@@ -1,0 +1,64 @@
+"""Ablation bench: all implemented defences side by side (extension).
+
+Fig. 10 evaluates Huber and RANSAC; the reproduction adds the low-rank SVD
+graph-purification defence (related-work family [24]).  This bench puts the
+three on the same attack instance and prints a defence league table.
+"""
+
+import numpy as np
+
+from repro.attacks import BinarizedAttack
+from repro.graph.datasets import load_dataset
+from repro.graph.features import egonet_features
+from repro.oddball.defense import purified_scores
+from repro.oddball.detector import OddBall
+from repro.oddball.robust import fit_with_estimator
+from repro.oddball.scores import score_from_features
+from repro.utils.rng import SeedSequenceFactory
+
+
+def _estimator_scores(adjacency, estimator, rng):
+    n_feature, e_feature = egonet_features(adjacency)
+    fit = fit_with_estimator(n_feature, e_feature, estimator=estimator, rng=rng)
+    return score_from_features(n_feature, e_feature, fit)
+
+
+def test_bench_defense_league(benchmark, bench_scale, bench_seed):
+    seeds = SeedSequenceFactory(bench_seed)
+    dataset = load_dataset(
+        "bitcoin-alpha", rng=seeds.generator("dataset-bitcoin-alpha"),
+        scale=bench_scale.graph_scale,
+    )
+    graph = dataset.graph
+    adjacency = graph.adjacency
+    report = OddBall().analyze(graph)
+    rng = seeds.generator("defense-targets")
+    targets = sorted(
+        int(v) for v in rng.choice(report.top_k(min(50, dataset.n_nodes)), 5, replace=False)
+    )
+    budget = max(bench_scale.budgets_for(graph.number_of_edges)[-1], 6)
+    purify_rank = max(dataset.n_nodes // 4, 8)
+
+    def run():
+        result = BinarizedAttack(iterations=bench_scale.attack_iterations).attack(
+            graph, targets, budget
+        )
+        poisoned = result.poisoned()
+        taus = {}
+        for estimator in ("ols", "huber", "ransac"):
+            est_rng = seeds.generator(f"defense-{estimator}")
+            before = _estimator_scores(adjacency, estimator, est_rng)[targets].sum()
+            after = _estimator_scores(poisoned, estimator, est_rng)[targets].sum()
+            taus[estimator] = float((before - after) / max(before, 1e-9))
+        before = purified_scores(adjacency, rank=purify_rank)[targets].sum()
+        after = purified_scores(poisoned, rank=purify_rank)[targets].sum()
+        taus["svd-purify"] = float((before - after) / max(before, 1e-9))
+        return taus
+
+    taus = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndefence league (lower tau = better defence): {taus}")
+    # the attack must succeed without defence ...
+    assert taus["ols"] > 0.3
+    # ... and no defence should flip the sign of the attack's effect wildly
+    for name, tau in taus.items():
+        assert -0.5 <= tau <= 1.0, (name, tau)

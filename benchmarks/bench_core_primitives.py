@@ -1,0 +1,74 @@
+"""Microbenchmarks of the hot primitives (multi-round pytest-benchmark).
+
+These are classic throughput benches: egonet feature extraction, the full
+differentiable surrogate forward+backward, one BinarizedAttack iteration,
+and OddBall end-to-end scoring.  They guard against performance regressions
+in the autograd engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.graph.datasets import load_dataset
+from repro.graph.features import egonet_features
+from repro.oddball.detector import OddBall
+from repro.oddball.surrogate import adjacency_gradient, surrogate_loss
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return load_dataset("wikivote", rng=7, scale=0.25).graph
+
+
+@pytest.fixture(scope="module")
+def medium_targets(medium_graph):
+    return OddBall().analyze(medium_graph).top_k(5).tolist()
+
+
+def test_bench_egonet_features(benchmark, medium_graph):
+    adjacency = medium_graph.adjacency
+    n, e = benchmark(egonet_features, adjacency)
+    assert len(n) == medium_graph.number_of_nodes
+    assert (e >= n - 1e-9).all()
+
+
+def test_bench_oddball_analyze(benchmark, medium_graph):
+    detector = OddBall()
+    report = benchmark(detector.analyze, medium_graph)
+    assert np.isfinite(report.scores).all()
+
+
+def test_bench_surrogate_forward(benchmark, medium_graph, medium_targets):
+    adjacency = Tensor(medium_graph.adjacency)
+
+    def forward():
+        return float(surrogate_loss(adjacency, medium_targets).data)
+
+    loss = benchmark(forward)
+    assert loss >= 0.0
+
+
+def test_bench_surrogate_forward_backward(benchmark, medium_graph, medium_targets):
+    adjacency = medium_graph.adjacency
+
+    def forward_backward():
+        return adjacency_gradient(adjacency, medium_targets)
+
+    gradient = benchmark(forward_backward)
+    assert np.allclose(gradient, gradient.T)
+
+
+def test_bench_autograd_matmul_backward(benchmark):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.random((300, 300)), requires_grad=True)
+    b = Tensor(rng.random((300, 300)), requires_grad=True)
+
+    def run():
+        a.zero_grad()
+        b.zero_grad()
+        ((a @ b) * 0.5).sum().backward()
+        return a.grad
+
+    grad = benchmark(run)
+    assert grad.shape == (300, 300)

@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 4 (attack effectiveness, all eight panels).
+
+Paper shape asserted: BinarizedAttack is the strongest method at the
+largest budget on (the majority of) panels, and ContinuousA is the weakest/
+erratic one.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_effectiveness
+
+
+def test_bench_fig4_all_panels(benchmark, bench_scale, bench_seed):
+    payload = run_once(
+        benchmark, fig4_effectiveness.run, scale=bench_scale, seed=bench_seed
+    )
+    print()
+    print(fig4_effectiveness.format_results(payload))
+
+    assert len(payload["panels"]) == 8
+    binarized_wins = 0
+    continuous_losses = 0
+    for panel in payload["panels"]:
+        tau = panel["tau_mean"]
+        final = {name: series[-1] for name, series in tau.items()}
+        if final["binarizedattack"] >= final["gradmaxsearch"] - 0.05:
+            binarized_wins += 1
+        if final["continuousa"] <= max(final["binarizedattack"], final["gradmaxsearch"]):
+            continuous_losses += 1
+        # attacks achieve substantial evasion with a few % of edges
+        assert max(final.values()) > 0.3
+    # the paper's headline ordering holds on most panels
+    assert binarized_wins >= 5
+    assert continuous_losses >= 6

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 5 (egonet rewiring case studies)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_case_study
+
+
+def test_bench_fig5(benchmark, bench_scale, bench_seed):
+    payload = run_once(
+        benchmark, fig5_case_study.run, scale=bench_scale, seed=bench_seed, n_cases=3
+    )
+    print()
+    print(fig5_case_study.format_results(payload))
+    assert len(payload["cases"]) == 3
+    for case in payload["cases"]:
+        # the paper's cases cut scores by roughly an order of magnitude;
+        # at bench scale we assert a substantial reduction
+        assert case["ascore_after"] < case["ascore_before"]
+    reductions = [
+        1.0 - c["ascore_after"] / max(c["ascore_before"], 1e-9) for c in payload["cases"]
+    ]
+    assert max(reductions) > 0.3

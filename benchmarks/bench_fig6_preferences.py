@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 6 (attack preference across AScore groups).
+
+Paper shape asserted: the high-AScore group loses far more score than the
+low/medium groups at the maximum budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_preferences
+
+
+def test_bench_fig6(benchmark, bench_scale, bench_seed):
+    payload = run_once(benchmark, fig6_preferences.run, scale=bench_scale, seed=bench_seed)
+    print()
+    print(fig6_preferences.format_results(payload))
+    tau = payload["tau_by_group"]
+    assert tau["high"][-1] > tau["medium"][-1]
+    assert tau["high"][-1] > tau["low"][-1]
+    # regression exponent stays in the paper's power-law band
+    for fit in (payload["regression_clean"], payload["regression_poisoned"]):
+        assert 0.8 <= fit["beta1"] <= 2.2

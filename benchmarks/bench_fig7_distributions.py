@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 7 (ego-feature densities, clean vs poisoned)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_distributions
+
+
+def test_bench_fig7(benchmark, bench_scale, bench_seed):
+    payload = run_once(benchmark, fig7_distributions.run, scale=bench_scale, seed=bench_seed)
+    print()
+    print(fig7_distributions.format_results(payload))
+    for feature in ("N", "E"):
+        summary = payload["summary"][feature]
+        # distributions barely move — the unnoticeability claim
+        assert summary["total_variation"] < 0.35
+        relative_mean_shift = abs(
+            summary["mean_poisoned"] - summary["mean_clean"]
+        ) / max(summary["mean_clean"], 1e-9)
+        assert relative_mean_shift < 0.2

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figs. 8/9 (t-SNE of penultimate features + probes)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_9_embeddings
+
+
+def test_bench_fig8_9(benchmark, bench_scale, bench_seed):
+    payload = run_once(benchmark, fig8_9_embeddings.run, scale=bench_scale, seed=bench_seed)
+    print()
+    print(fig8_9_embeddings.format_results(payload))
+    assert len(payload["panels"]) == 4
+    for panel in payload["panels"]:
+        clean = np.array(panel["clean_coordinates"])
+        poisoned = np.array(panel["poisoned_coordinates"])
+        assert clean.shape == (panel["n_test"], 2)
+        assert poisoned.shape == (panel["n_test"], 2)
+        assert np.isfinite(clean).all() and np.isfinite(poisoned).all()

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table I (dataset statistics)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_datasets
+
+
+def test_bench_table1(benchmark, bench_scale, bench_seed):
+    payload = run_once(benchmark, table1_datasets.run, scale=bench_scale, seed=bench_seed)
+    print()
+    print(table1_datasets.format_results(payload))
+    rows = {r["name"]: r for r in payload["rows"]}
+    assert set(rows) == {"er", "ba", "blogcatalog", "wikivote", "bitcoin-alpha"}
+    # every graph within a few percent of the (scaled) paper counts
+    for row in rows.values():
+        assert abs(row["nodes"] - row["paper_nodes"]) <= max(3, 0.03 * row["paper_nodes"])
+        assert abs(row["edges"] - row["paper_edges"]) <= max(10, 0.12 * row["paper_edges"])

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table III (GAL transfer attack).
+
+Paper shape asserted: the targets' soft-label sum decreases (δ_B > 0) under
+the black-box poison while global AUC stays usable.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_gal
+
+
+def test_bench_table3(benchmark, bench_scale, bench_seed):
+    payload = run_once(benchmark, table3_gal.run, scale=bench_scale, seed=bench_seed)
+    print()
+    print(table3_gal.format_results(payload))
+    for dataset, data in payload["datasets"].items():
+        rows = data["rows"]
+        assert rows[0]["budget"] == 0 and rows[0]["delta_b_pct"] == 0.0
+        max_delta = max(r["delta_b_pct"] for r in rows)
+        assert max_delta > 0.0, f"no soft-label decrease on {dataset}"
+        # the victim is not destroyed globally (targeted, unnoticeable attack)
+        assert min(r["auc"] for r in rows) > 0.5

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table IV (ReFeX transfer attack)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4_refex
+
+
+def test_bench_table4(benchmark, bench_scale, bench_seed):
+    payload = run_once(benchmark, table4_refex.run, scale=bench_scale, seed=bench_seed)
+    print()
+    print(table4_refex.format_results(payload))
+    for dataset, data in payload["datasets"].items():
+        rows = data["rows"]
+        assert rows[0]["budget"] == 0 and rows[0]["delta_b_pct"] == 0.0
+        assert max(r["delta_b_pct"] for r in rows) > 0.0, dataset
+        assert min(r["auc"] for r in rows) > 0.5

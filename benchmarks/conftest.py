@@ -1,0 +1,45 @@
+"""Benchmark-suite configuration.
+
+Every paper artefact (table/figure) has a bench that regenerates it at a
+reduced scale and prints the same rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scales are chosen so the full suite completes in minutes; pass
+``--bench-scale=ci`` (default) or ``--bench-scale=smoke`` to trade fidelity
+for speed.  The ``paper`` scale regenerates full-size graphs and is meant
+for overnight runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import CI, PAPER, SMOKE
+
+_SCALES = {"paper": PAPER, "ci": CI, "smoke": SMOKE}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        default="smoke",
+        choices=sorted(_SCALES),
+        help="experiment scale preset used by the paper-artefact benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    """The Scale preset selected on the command line."""
+    return _SCALES[request.config.getoption("--bench-scale")]
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return 7
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

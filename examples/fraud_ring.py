@@ -1,0 +1,54 @@
+"""Fraud-ring concealment on a trust network (Bitcoin-Alpha-style).
+
+A collusion ring in a who-trusts-whom network forms a near-clique — the
+other anomalous egonet shape OddBall flags (Fig. 2a).  This example compares
+all three attack methods of the paper at equal budgets as the ring tries to
+stay below the detector's radar, and shows the budget/evasion trade-off.
+
+Run:  python examples/fraud_ring.py
+"""
+
+import numpy as np
+
+from repro.attacks import BinarizedAttack, ContinuousA, GradMaxSearch
+from repro.graph import inject_near_clique, load_dataset
+from repro.oddball import OddBall
+
+
+def main() -> None:
+    dataset = load_dataset("bitcoin-alpha", rng=3, scale=0.25)
+    graph = dataset.graph
+
+    # plant a fresh 10-member collusion ring around one trader
+    ring_leader = int(np.argsort(graph.degrees())[len(graph.degrees()) // 2])
+    inject_near_clique(graph, ring_leader, clique_size=10, density=0.95, rng=5)
+    ring = [ring_leader] + [int(v) for v in graph.neighbors(ring_leader)[:4]]
+
+    detector = OddBall()
+    report = detector.analyze(graph)
+    print(f"trust graph: {graph.number_of_nodes} traders, {graph.number_of_edges} edges")
+    print(f"fraud ring {ring}: leader rank = {report.rank_of(ring_leader)}, "
+          f"ring AScore sum = {report.scores[ring].sum():.2f}")
+
+    budget = 12
+    print(f"\nattack comparison at budget {budget} (edge flips):")
+    attacks = {
+        "GradMaxSearch": GradMaxSearch(),
+        "ContinuousA": ContinuousA(max_iter=120),
+        "BinarizedAttack": BinarizedAttack(iterations=120),
+    }
+    for name, attack in attacks.items():
+        result = attack.attack(graph, ring, budget)
+        tau = result.score_decrease(ring)
+        adds = sum(1 for u, v in result.flips() if not graph.has_edge(u, v))
+        deletes = len(result.flips()) - adds
+        print(f"  {name:16s} tau = {tau:6.1%}  (+{adds} edges / -{deletes} edges)")
+
+    print("\nbudget sweep (BinarizedAttack):")
+    result = BinarizedAttack(iterations=120).attack(graph, ring, budget)
+    for b in range(0, budget + 1, 3):
+        print(f"  B={b:2d}: ring AScore decrease = {result.score_decrease(ring, b):6.1%}")
+
+
+if __name__ == "__main__":
+    main()

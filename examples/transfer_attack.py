@@ -1,0 +1,44 @@
+"""Black-box transfer attack against representation-learning GAD systems.
+
+The poison is optimised against OddBall only; GAL (GCN + graph anomaly loss)
+and ReFeX (recursive structural features) never reveal anything to the
+attacker — yet their predictions on the target nodes degrade (Section VI).
+
+Run:  python examples/transfer_attack.py
+"""
+
+from repro.attacks import BinarizedAttack
+from repro.gad import TransferAttackPipeline
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("wikivote", rng=7, scale=0.25)
+    print(f"graph: {dataset.n_nodes} nodes, {dataset.n_edges} edges")
+
+    for system in ("gal", "refex"):
+        print(f"\n=== victim: {system.upper()} (black-box) ===")
+        pipeline = TransferAttackPipeline(
+            system=system,
+            seed=11,
+            gal_kwargs={"epochs": 60},
+            mlp_kwargs={"epochs": 150},
+        )
+        attack = BinarizedAttack(iterations=100)
+        budgets = [0, 5, 10, 20]
+        outcome = pipeline.run(dataset.graph, attack, budgets, max_targets=8)
+        print(f"targets (test nodes predicted anomalous): {outcome.targets.tolist()}")
+        print(f"{'B':>4} {'edges%':>7} {'AUC':>6} {'F1':>6} {'deltaB%':>8}")
+        for row in outcome.rows:
+            print(
+                f"{row.budget:>4} {row.edges_changed_pct:>6.2f}% "
+                f"{row.auc:>6.3f} {row.f1:>6.3f} {row.delta_b_pct:>7.2f}%"
+            )
+        print(
+            "reading: global AUC/F1 degrade only mildly (the attack stays "
+            "unnoticeable), while the targets' soft labels drop."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of *BinarizedAttack: Structural Poisoning Attacks to
+Graph-based Anomaly Detection* (Zhu et al., ICDE 2022).
+
+Subpackages
+-----------
+``repro.autograd``
+    Reverse-mode automatic differentiation over numpy (PyTorch substitute),
+    including the straight-through-estimated ``binarize`` the attack needs.
+``repro.graph``
+    Graph substrate: dense simple graphs, ER/BA generators, egonet features,
+    anomaly planting, dataset stand-ins, threat-model simulation.
+``repro.oddball``
+    The target GAD system: egonet power-law regression, Eq. 3 anomaly
+    scores, the differentiable attack surrogate, robust (Huber/RANSAC)
+    estimator countermeasures.
+``repro.attacks``
+    The paper's three structural poisoning attacks — GradMaxSearch,
+    ContinuousA and BinarizedAttack — plus a random baseline.
+``repro.gad``
+    Transfer-attack victims: GAL (GCN + graph anomaly loss) and ReFeX
+    (recursive structural features), with the four-step black-box pipeline.
+``repro.ml``
+    Metrics (AUC/F1), PCA, t-SNE, permutation tests, logistic probes.
+``repro.experiments``
+    One driver per paper table/figure, with ``paper`` and ``ci`` scale
+    presets and a CLI runner.
+
+Quickstart
+----------
+>>> from repro.graph import load_dataset
+>>> from repro.oddball import OddBall
+>>> from repro.attacks import BinarizedAttack
+>>> dataset = load_dataset("bitcoin-alpha", rng=7, scale=0.2)
+>>> report = OddBall().analyze(dataset.graph)
+>>> targets = report.top_k(3).tolist()
+>>> result = BinarizedAttack(iterations=40).attack(dataset.graph, targets, budget=6)
+>>> result.score_decrease(targets) >= 0.0
+True
+"""
+
+from repro import attacks, autograd, experiments, gad, graph, ml, oddball, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "attacks",
+    "autograd",
+    "experiments",
+    "gad",
+    "graph",
+    "ml",
+    "oddball",
+    "utils",
+]

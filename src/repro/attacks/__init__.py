@@ -1,0 +1,39 @@
+"""Structural poisoning attacks against OddBall (the paper's Section V)."""
+
+from repro.attacks.base import AttackResult, StructuralAttack, apply_flips, validate_targets
+from repro.attacks.binarized import BinarizedAttack
+from repro.attacks.constraints import (
+    creates_singleton,
+    filter_valid_flips,
+    no_singleton_mask,
+    sign_valid_mask,
+)
+from repro.attacks.continuous import ContinuousA
+from repro.attacks.gradmax import GradMaxSearch
+from repro.attacks.heuristic import OddBallHeuristic
+from repro.attacks.random_attack import RandomAttack
+
+ATTACK_REGISTRY = {
+    BinarizedAttack.name: BinarizedAttack,
+    GradMaxSearch.name: GradMaxSearch,
+    ContinuousA.name: ContinuousA,
+    RandomAttack.name: RandomAttack,
+    OddBallHeuristic.name: OddBallHeuristic,
+}
+
+__all__ = [
+    "ATTACK_REGISTRY",
+    "AttackResult",
+    "BinarizedAttack",
+    "ContinuousA",
+    "GradMaxSearch",
+    "OddBallHeuristic",
+    "RandomAttack",
+    "StructuralAttack",
+    "apply_flips",
+    "creates_singleton",
+    "filter_valid_flips",
+    "no_singleton_mask",
+    "sign_valid_mask",
+    "validate_targets",
+]

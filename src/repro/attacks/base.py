@@ -1,0 +1,177 @@
+"""Attack framework: problem definition, result container, shared plumbing.
+
+A structural attack takes a clean graph, a target set ``T`` and a budget
+``B`` and returns, for every intermediate budget ``b ≤ B``, a set of edge
+flips (Eq. 4c allows up to ``B`` modified pairs).  Keeping the whole
+budget-indexed family around is what the paper's Fig. 4 sweeps need.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.oddball.scores import anomaly_scores
+from repro.utils.validation import check_adjacency, check_budget
+
+__all__ = ["AttackResult", "StructuralAttack", "apply_flips", "validate_targets"]
+
+Edge = tuple[int, int]
+
+
+def validate_targets(targets: Sequence[int], n: int) -> list[int]:
+    """Validate a target node set against a graph of ``n`` nodes."""
+    targets = [int(t) for t in targets]
+    if not targets:
+        raise ValueError("target set must not be empty")
+    if len(set(targets)) != len(targets):
+        raise ValueError("target ids must be unique")
+    out_of_range = [t for t in targets if not 0 <= t < n]
+    if out_of_range:
+        raise ValueError(f"target ids out of range [0, {n}): {out_of_range}")
+    return targets
+
+
+def apply_flips(adjacency: np.ndarray, flips: Sequence[Edge]) -> np.ndarray:
+    """Return a copy of ``adjacency`` with each (u, v) pair toggled."""
+    poisoned = np.array(adjacency, dtype=np.float64, copy=True)
+    seen: set[Edge] = set()
+    for u, v in flips:
+        pair = (u, v) if u < v else (v, u)
+        if pair in seen:
+            raise ValueError(f"pair {pair} flipped twice")
+        if u == v:
+            raise ValueError(f"cannot flip the diagonal pair ({u}, {u})")
+        seen.add(pair)
+        new_value = 1.0 - poisoned[u, v]
+        poisoned[u, v] = poisoned[v, u] = new_value
+    return poisoned
+
+
+@dataclass
+class AttackResult:
+    """Budget-indexed family of poisoned graphs produced by one attack run.
+
+    ``flips_by_budget[b]`` is the flip set the attack recommends when allowed
+    exactly ``b`` modifications (``len(...) <= b``; an attack may decline to
+    spend its whole budget if extra flips would hurt the objective).
+    """
+
+    method: str
+    original: np.ndarray
+    flips_by_budget: dict[int, list[Edge]]
+    surrogate_by_budget: dict[int, float] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.original = check_adjacency(self.original)
+        for budget, flips in self.flips_by_budget.items():
+            if len(flips) > budget:
+                raise ValueError(
+                    f"{len(flips)} flips recorded for budget {budget} (> budget)"
+                )
+
+    @property
+    def budgets(self) -> list[int]:
+        """Evaluated budgets in increasing order."""
+        return sorted(self.flips_by_budget)
+
+    @property
+    def max_budget(self) -> int:
+        return max(self.flips_by_budget, default=0)
+
+    def flips(self, budget: "int | None" = None) -> list[Edge]:
+        """Flip set for ``budget`` (default: the largest evaluated budget)."""
+        if budget is None:
+            budget = self.max_budget
+        if budget not in self.flips_by_budget:
+            raise KeyError(f"budget {budget} not evaluated; available: {self.budgets}")
+        return list(self.flips_by_budget[budget])
+
+    def poisoned(self, budget: "int | None" = None) -> np.ndarray:
+        """Poisoned adjacency matrix at ``budget``."""
+        return apply_flips(self.original, self.flips(budget))
+
+    def poisoned_graph(self, budget: "int | None" = None) -> Graph:
+        """Poisoned :class:`Graph` at ``budget``."""
+        return Graph(self.poisoned(budget))
+
+    def edges_changed_fraction(self, budget: "int | None" = None) -> float:
+        """Attack power ``B / |E|`` (x-axis of Fig. 4)."""
+        edges = int(self.original.sum()) // 2
+        return len(self.flips(budget)) / max(edges, 1)
+
+    def score_decrease(
+        self,
+        targets: Sequence[int],
+        budget: "int | None" = None,
+        weights: "Sequence[float] | None" = None,
+    ) -> float:
+        """τ_as = (S⁰_T − S^B_T) / S⁰_T, the paper's Fig. 4 metric.
+
+        With ``weights`` the sums are κ-weighted (Section IV-B's general
+        objective ``Σ κ_i S_i``).
+        """
+        targets = validate_targets(targets, self.original.shape[0])
+        kappa = np.ones(len(targets)) if weights is None else np.asarray(list(weights))
+        if kappa.shape != (len(targets),):
+            raise ValueError("weights must align with targets")
+        before = float((anomaly_scores(self.original)[targets] * kappa).sum())
+        after = float((anomaly_scores(self.poisoned(budget))[targets] * kappa).sum())
+        if before <= 0.0:
+            return 0.0
+        return (before - after) / before
+
+
+class StructuralAttack(abc.ABC):
+    """Interface of the three attack methods (plus baselines).
+
+    ``target_weights`` (optional, aligned with ``targets``) are the κ
+    importances of the paper's general objective; every attack treats them
+    as multipliers on the per-target squared residuals.
+    """
+
+    name: str = "structural-attack"
+
+    @abc.abstractmethod
+    def attack(
+        self,
+        graph: "Graph | np.ndarray",
+        targets: Sequence[int],
+        budget: int,
+        target_weights: "Sequence[float] | None" = None,
+    ) -> AttackResult:
+        """Poison ``graph`` to hide ``targets`` using at most ``budget`` flips."""
+
+    @staticmethod
+    def _adjacency_of(graph: "Graph | np.ndarray") -> np.ndarray:
+        if isinstance(graph, Graph):
+            return graph.adjacency
+        return check_adjacency(np.asarray(graph, dtype=np.float64))
+
+    @staticmethod
+    def _prefix_result(
+        method: str,
+        original: np.ndarray,
+        ordered_flips: Sequence[Edge],
+        budget: int,
+        surrogate_by_budget: "Mapping[int, float] | None" = None,
+        metadata: "dict | None" = None,
+    ) -> AttackResult:
+        """Build a result whose budget-b flip set is the first b ordered flips."""
+        check_budget(budget)
+        flips_by_budget = {
+            b: [tuple(f) for f in ordered_flips[: min(b, len(ordered_flips))]]
+            for b in range(budget + 1)
+        }
+        return AttackResult(
+            method=method,
+            original=original,
+            flips_by_budget=flips_by_budget,
+            surrogate_by_budget=dict(surrogate_by_budget or {}),
+            metadata=metadata or {},
+        )

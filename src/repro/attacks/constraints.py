@@ -1,0 +1,91 @@
+"""Validity rules shared by the attack methods (Section V-A).
+
+The paper's implementation notes for GradMaxSearch:
+
+* **sign validity** — adding an edge (``A_ij = 0``) is only useful when the
+  gradient is negative (increasing ``A_ij`` decreases the loss); deleting
+  (``A_ij = 1``) requires a positive gradient;
+* **no-repeat pool** — a pair modified once is never modified again;
+* **no singletons** — no deletion may leave a node with degree 0.
+
+The same guards are reused when materialising the flip sets of ContinuousA
+and BinarizedAttack so that every poisoned graph is a valid simple graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "creates_singleton",
+    "filter_valid_flips",
+    "sign_valid_mask",
+    "no_singleton_mask",
+]
+
+Edge = tuple[int, int]
+
+
+def sign_valid_mask(adjacency: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+    """Boolean matrix of pairs whose gradient sign permits a useful flip."""
+    add_ok = (adjacency == 0.0) & (gradient < 0.0)
+    delete_ok = (adjacency == 1.0) & (gradient > 0.0)
+    mask = add_ok | delete_ok
+    np.fill_diagonal(mask, False)
+    return mask
+
+
+def no_singleton_mask(adjacency: np.ndarray) -> np.ndarray:
+    """Boolean matrix of pairs whose flip would NOT create a singleton.
+
+    Additions are always safe; deleting (u, v) is unsafe when either endpoint
+    has degree 1.
+    """
+    degrees = adjacency.sum(axis=1)
+    unsafe_endpoint = degrees <= 1.0
+    deletion = adjacency == 1.0
+    unsafe = deletion & (unsafe_endpoint[:, None] | unsafe_endpoint[None, :])
+    mask = ~unsafe
+    np.fill_diagonal(mask, False)
+    return mask
+
+
+def creates_singleton(adjacency: np.ndarray, u: int, v: int) -> bool:
+    """Whether flipping (u, v) on ``adjacency`` would isolate a node."""
+    if adjacency[u, v] == 0.0:
+        return False
+    return bool(adjacency[u].sum() <= 1.0 or adjacency[v].sum() <= 1.0)
+
+
+def filter_valid_flips(
+    adjacency: np.ndarray,
+    candidates: Iterable[Edge],
+    limit: "int | None" = None,
+    forbidden: "Sequence[Edge] | None" = None,
+) -> list[Edge]:
+    """Greedily keep candidate flips that stay valid as they are applied.
+
+    Walks ``candidates`` in order, applying each flip to a scratch copy; a
+    flip is skipped when it would recreate a pair already taken, touch the
+    diagonal, or isolate a node.  Stops after ``limit`` accepted flips.
+    """
+    scratch = np.array(adjacency, dtype=np.float64, copy=True)
+    taken: set[Edge] = {tuple(sorted(pair)) for pair in (forbidden or [])}
+    accepted: list[Edge] = []
+    for u, v in candidates:
+        if limit is not None and len(accepted) >= limit:
+            break
+        if u == v:
+            continue
+        pair = (u, v) if u < v else (v, u)
+        if pair in taken:
+            continue
+        if creates_singleton(scratch, *pair):
+            continue
+        new_value = 1.0 - scratch[pair[0], pair[1]]
+        scratch[pair[0], pair[1]] = scratch[pair[1], pair[0]] = new_value
+        taken.add(pair)
+        accepted.append(pair)
+    return accepted

@@ -1,0 +1,131 @@
+"""A gradient-free, OddBall-specific heuristic baseline (reproduction
+extension, not in the paper).
+
+Rationale: OddBall flags a node when its egonet point (N, E) sits far from
+the power-law line ``E ≈ e^{β0} N^{β1}`` (Fig. 2b).  An attacker who knows
+this can move each target's point back toward the line directly:
+
+* **above the line** (near-clique, too many egonet edges): delete edges
+  *between the target's neighbours* — each removal decreases E by 1 while
+  leaving N unchanged;
+* **below the line** (near-star, too few egonet edges): add edges between
+  pairs of the target's neighbours — each insertion increases E by 1 while
+  leaving N unchanged.
+
+This is the strongest attack one can design without gradients, and the
+ablation benches use it to show what the gradient machinery adds: the
+heuristic ignores the bi-level effect (moving points also moves the fitted
+line) and cross-target interactions, both of which the gradient-based
+attacks exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
+from repro.attacks.constraints import creates_singleton
+from repro.graph.features import egonet_features
+from repro.oddball.regression import fit_power_law
+from repro.oddball.surrogate import surrogate_loss_numpy
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_budget
+
+__all__ = ["OddBallHeuristic"]
+
+Edge = tuple[int, int]
+
+
+class OddBallHeuristic(StructuralAttack):
+    """Move each target's (N, E) point toward the regression line.
+
+    The budget is spent round-robin across targets, largest |residual|
+    first; each step flips the neighbour-pair edge of the current target
+    that moves E one unit toward the line.  Residuals are re-evaluated
+    against the *re-fitted* line after every flip, so the heuristic is not
+    entirely blind to poisoning effects — it just cannot anticipate them.
+    """
+
+    name = "oddball-heuristic"
+
+    def __init__(self, rng=None):
+        self.rng = rng
+
+    def attack(
+        self,
+        graph,
+        targets: Sequence[int],
+        budget: int,
+        target_weights: "Sequence[float] | None" = None,
+    ) -> AttackResult:
+        adjacency = self._adjacency_of(graph)
+        n = adjacency.shape[0]
+        targets = validate_targets(targets, n)
+        budget = check_budget(budget)
+        generator = as_generator(self.rng)
+
+        current = adjacency.copy()
+        modified = np.zeros((n, n), dtype=bool)
+        ordered_flips: list[Edge] = []
+        surrogate_by_budget = {0: surrogate_loss_numpy(adjacency, targets, target_weights)}
+
+        for _ in range(budget):
+            flip = self._best_step(current, targets, modified, generator)
+            if flip is None:
+                break
+            u, v = flip
+            current[u, v] = current[v, u] = 1.0 - current[u, v]
+            modified[u, v] = modified[v, u] = True
+            ordered_flips.append(flip)
+            surrogate_by_budget[len(ordered_flips)] = surrogate_loss_numpy(
+                current, targets, target_weights
+            )
+
+        return self._prefix_result(
+            self.name,
+            adjacency,
+            ordered_flips,
+            budget,
+            surrogate_by_budget=surrogate_by_budget,
+            metadata={"steps_taken": len(ordered_flips)},
+        )
+
+    # ------------------------------------------------------------------ #
+    def _best_step(
+        self,
+        adjacency: np.ndarray,
+        targets: Sequence[int],
+        modified: np.ndarray,
+        generator: np.random.Generator,
+    ) -> "Edge | None":
+        """One heuristic flip: fix the worst-residual target's egonet."""
+        n_feature, e_feature = egonet_features(adjacency)
+        fit = fit_power_law(n_feature, e_feature)
+        expected = fit.predict_e(n_feature)
+        residuals = e_feature - expected
+
+        # visit targets by decreasing |residual|
+        order = sorted(targets, key=lambda t: -abs(residuals[t]))
+        for target in order:
+            neighbors = np.flatnonzero(adjacency[target])
+            if len(neighbors) < 2:
+                continue
+            pairs = [
+                (int(a), int(b))
+                for i, a in enumerate(neighbors)
+                for b in neighbors[i + 1 :]
+            ]
+            generator.shuffle(pairs)
+            if residuals[target] > 0:  # near-clique: delete a neighbour edge
+                for u, v in pairs:
+                    if adjacency[u, v] == 1.0 and not modified[u, v] and not creates_singleton(
+                        adjacency, u, v
+                    ):
+                        return (u, v) if u < v else (v, u)
+            else:  # near-star: add a neighbour-pair edge
+                for u, v in pairs:
+                    if adjacency[u, v] == 0.0 and not modified[u, v]:
+                        return (u, v) if u < v else (v, u)
+        return None

@@ -1,0 +1,32 @@
+"""Reverse-mode automatic differentiation over numpy (the PyTorch substitute).
+
+Public surface:
+
+* :class:`Tensor` — numpy-backed tensor with a dynamic computation graph.
+* :mod:`repro.autograd.ops` — multi-input primitives incl. the
+  straight-through :func:`~repro.autograd.ops.binarize_ste`.
+* :mod:`repro.autograd.functional` — losses and activations.
+* :mod:`repro.autograd.nn` — ``Module``/``Linear``/``GraphConvolution``.
+* :mod:`repro.autograd.optim` — ``SGD``/``Adam``/``ProjectedGradientDescent``.
+* :func:`gradcheck` — finite-difference verification used by the tests.
+"""
+
+from repro.autograd import functional, init, nn, ops, optim
+from repro.autograd.gradcheck import gradcheck, numerical_gradient
+from repro.autograd.ops import binarize_ste
+from repro.autograd.tensor import Tensor, as_tensor, grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "binarize_ste",
+    "functional",
+    "grad_enabled",
+    "gradcheck",
+    "init",
+    "nn",
+    "no_grad",
+    "numerical_gradient",
+    "ops",
+    "optim",
+]

@@ -1,0 +1,206 @@
+"""A small neural-network layer library on top of the autograd engine.
+
+Provides the pieces the paper's transfer-attack targets need: ``Linear`` and
+``GraphConvolution`` layers (for GAL's GCN encoder), ``Sequential``/``ReLU``
+composition (for the MLP classification heads), and a ``Module`` base class
+with recursive parameter collection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd import init as init_schemes
+from repro.autograd.tensor import Tensor
+
+__all__ = ["GraphConvolution", "Linear", "Module", "Parameter", "ReLU", "Sequential", "Tanh"]
+
+
+class Parameter(Tensor):
+    """A leaf tensor registered as trainable by :class:`Module`."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with torch-like parameter discovery.
+
+    Subclasses simply assign :class:`Parameter` and :class:`Module` instances
+    to attributes; :meth:`parameters` walks the object graph recursively.
+    """
+
+    training: bool = True
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter exactly once."""
+        seen: set[int] = set()
+        yield from self._parameters(seen)
+
+    def _parameters(self, seen: set[int]) -> Iterator[Parameter]:
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from value._parameters(seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item._parameters(seen)
+                    elif isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch to training mode (affects dropout-style layers)."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name→array snapshot of all parameters (copies)."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict` (order-based)."""
+        params = list(self.parameters())
+        if len(params) != len(state):
+            raise ValueError(f"state has {len(state)} entries, model has {len(params)}")
+        for i, parameter in enumerate(params):
+            value = state[f"param_{i}"]
+            if value.shape != parameter.shape:
+                raise ValueError(
+                    f"shape mismatch for param_{i}: {value.shape} vs {parameter.shape}"
+                )
+            parameter.data = value.copy()
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init_schemes.kaiming_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init_schemes.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sequential(Module):
+    """Feed-forward composition of modules."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"
+
+
+class GraphConvolution(Module):
+    """One GCN layer: ``H' = Â H W + b`` with a precomputed propagation Â.
+
+    ``Â`` is the symmetrically-normalised adjacency with self-loops
+    (``D̂^{-1/2}(A+I)D̂^{-1/2}``, Kipf & Welling 2017); it is passed per call
+    because transfer-attack evaluation retrains the same architecture on
+    clean and poisoned graphs.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init_schemes.xavier_uniform((in_features, out_features), rng), name="gcn_weight"
+        )
+        self.bias = Parameter(init_schemes.zeros((out_features,)), name="gcn_bias") if bias else None
+
+    def forward(self, propagation: Tensor, features: Tensor) -> Tensor:
+        out = propagation @ (features @ self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"GraphConvolution({self.in_features}, {self.out_features})"
+
+
+def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Return ``D̂^{-1/2}(A+I)D̂^{-1/2}`` as a plain numpy array."""
+    a_hat = np.asarray(adjacency, dtype=np.float64) + np.eye(adjacency.shape[0])
+    degrees = a_hat.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    return a_hat * inv_sqrt[:, None] * inv_sqrt[None, :]

@@ -1,0 +1,195 @@
+"""Functional operations on :class:`~repro.autograd.tensor.Tensor`.
+
+Most elementwise/reduction operations live as ``Tensor`` methods; this module
+adds the multi-input primitives (``where``, ``maximum``, ``concatenate``...)
+and, crucially, :func:`binarize_ste` — the straight-through-estimated sign
+function at the heart of BinarizedAttack (Eq. 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, _make, as_tensor, unbroadcast
+
+__all__ = [
+    "binarize_ste",
+    "concatenate",
+    "exp",
+    "log",
+    "log1p",
+    "maximum",
+    "minimum",
+    "outer",
+    "stack",
+    "symmetric_from_upper",
+    "where",
+]
+
+
+def exp(x) -> Tensor:
+    """Elementwise exponential."""
+    return as_tensor(x).exp()
+
+
+def log(x) -> Tensor:
+    """Elementwise natural logarithm."""
+    return as_tensor(x).log()
+
+
+def log1p(x) -> Tensor:
+    """Elementwise ``log(1 + x)`` (stable near zero)."""
+    return as_tensor(x).log1p()
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select: ``condition ? a : b``.
+
+    ``condition`` is treated as a constant boolean mask (no gradient flows
+    through it), matching ``torch.where`` semantics.
+    """
+    cond = np.asarray(condition, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        return (
+            (a, unbroadcast(np.where(cond, g, 0.0), a.shape)),
+            (b, unbroadcast(np.where(cond, 0.0, g), b.shape)),
+        )
+
+    return _make(out_data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; ties split the gradient equally."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(g):
+        a_wins = (a.data > b.data).astype(np.float64)
+        tie = (a.data == b.data).astype(np.float64) * 0.5
+        return (
+            (a, unbroadcast(g * (a_wins + tie), a.shape)),
+            (b, unbroadcast(g * (1.0 - a_wins - tie), b.shape)),
+        )
+
+    return _make(out_data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; ties split the gradient equally."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.minimum(a.data, b.data)
+
+    def backward(g):
+        a_wins = (a.data < b.data).astype(np.float64)
+        tie = (a.data == b.data).astype(np.float64) * 0.5
+        return (
+            (a, unbroadcast(g * (a_wins + tie), a.shape)),
+            (b, unbroadcast(g * (1.0 - a_wins - tie), b.shape)),
+        )
+
+    return _make(out_data, (a, b), backward)
+
+
+def outer(a, b) -> Tensor:
+    """Outer product of two 1-D tensors."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError(f"outer expects 1-D tensors, got {a.shape} and {b.shape}")
+    out_data = np.outer(a.data, b.data)
+
+    def backward(g):
+        return ((a, g @ b.data), (b, g.T @ a.data))
+
+    return _make(out_data, (a, b), backward)
+
+
+def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        grads = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(int(start), int(stop))
+            grads.append((tensor, g[tuple(index)]))
+        return tuple(grads)
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        slices = np.split(g, len(tensors), axis=axis)
+        return tuple(
+            (tensor, np.squeeze(piece, axis=axis)) for tensor, piece in zip(tensors, slices)
+        )
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def symmetric_from_upper(values, n: int, rows: np.ndarray, cols: np.ndarray) -> Tensor:
+    """Scatter a vector of upper-triangle entries into a symmetric n×n matrix.
+
+    ``rows``/``cols`` index the strictly-upper-triangular positions (as from
+    ``np.triu_indices(n, k=1)``); the result has ``out[r, c] = out[c, r] =
+    values[k]`` and a zero diagonal.  The backward pass gathers
+    ``g[r, c] + g[c, r]`` — the chain rule for a matrix constrained to be
+    symmetric, which is exactly what the structural attacks need when
+    differentiating through the adjacency matrix.
+    """
+    values = as_tensor(values)
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if values.ndim != 1 or len(rows) != len(cols) or len(rows) != values.size:
+        raise ValueError(
+            f"expected 1-D values aligned with index arrays, got {values.shape}, "
+            f"{rows.shape}, {cols.shape}"
+        )
+    if np.any(rows >= cols):
+        raise ValueError("indices must address the strict upper triangle (rows < cols)")
+    out_data = np.zeros((n, n))
+    out_data[rows, cols] = values.data
+    out_data[cols, rows] = values.data
+
+    def backward(g):
+        return ((values, g[rows, cols] + g[cols, rows]),)
+
+    return _make(out_data, (values,), backward)
+
+
+def binarize_ste(x, clip: "float | None" = 1.0) -> Tensor:
+    """Sign function with a straight-through gradient estimator.
+
+    Forward: ``+1`` where ``x >= 0``, ``-1`` elsewhere — exactly the
+    ``binarized(.)`` of Eq. 7 in the paper (note ``binarized(0) = +1``).
+
+    Backward: the gradient passes through unchanged (identity), optionally
+    zeroed where ``|x| > clip`` — the *clipped* straight-through estimator of
+    Binarized Neural Networks [Hubara et al. 2016].  BinarizedAttack feeds
+    ``2·Ż − 1`` with ``Ż ∈ [0, 1]`` so the clip at 1 never activates, but it
+    is kept for generality (and tested).
+    """
+    x = as_tensor(x)
+    out_data = np.where(x.data >= 0.0, 1.0, -1.0)
+    if clip is None:
+        pass_mask = np.ones_like(x.data)
+    else:
+        pass_mask = (np.abs(x.data) <= float(clip)).astype(np.float64)
+
+    def backward(g):
+        return ((x, g * pass_mask),)
+
+    return _make(out_data, (x,), backward)

@@ -1,0 +1,507 @@
+"""A reverse-mode automatic differentiation engine over numpy arrays.
+
+This module is the library's substitute for PyTorch autograd.  It implements a
+dynamically-built computation graph: every operation on :class:`Tensor`
+produces a new tensor holding references to its parents and a closure that
+propagates the upstream gradient.  Calling :meth:`Tensor.backward` performs a
+topological sort and accumulates gradients into every leaf with
+``requires_grad=True``.
+
+Design notes
+------------
+* All data is ``float64`` — the attack objective involves ``exp``/``log`` of
+  regression coefficients and benefits from double precision.
+* Broadcasting follows numpy semantics; gradients of broadcast operands are
+  reduced back to the operand's shape by :func:`unbroadcast`.
+* The straight-through estimator needed by BinarizedAttack lives in
+  :func:`repro.autograd.ops.binarize_ste`.
+* A module-level switch (:func:`no_grad`) disables graph construction for
+  evaluation-only code paths.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "grad_enabled", "no_grad", "unbroadcast"]
+
+_GRAD_ENABLED = True
+
+
+def grad_enabled() -> bool:
+    """Return whether new operations record gradient information."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape of a broadcast result) back to ``shape``.
+
+    Sums over the axes that numpy broadcasting expanded, so that the gradient
+    of e.g. a ``(n,)`` bias added to an ``(m, n)`` matrix has shape ``(n,)``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape but expanded.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``float64`` numpy array.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.  Only leaves honour this flag directly; interior
+        nodes require grad whenever any parent does.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: "Callable[[np.ndarray], None] | None" = None,
+        name: str = "",
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: "np.ndarray | None" = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if self.requires_grad else ()
+        self._backward = _backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._parents
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor({np.array2string(self.data, threshold=8)}{grad_flag}{label})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return a defensive copy of the underlying array."""
+        return self.data.copy()
+
+    # ------------------------------------------------------------------ #
+    # Graph bookkeeping
+    # ------------------------------------------------------------------ #
+    def detach(self) -> "Tensor":
+        """Return a leaf tensor sharing this tensor's data, cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: "np.ndarray | float | None" = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1.0 and must be supplied for non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "grad must be provided for non-scalar outputs "
+                    f"(output shape {self.data.shape})"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.broadcast_to(np.asarray(grad, dtype=np.float64), self.data.shape)
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): np.array(grad, copy=True)}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.is_leaf:
+                node._accumulate(node_grad)
+                continue
+            assert node._backward is not None
+            for parent, parent_grad in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = np.array(parent_grad, dtype=np.float64, copy=True)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (broadcasting numpy semantics)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return (
+                (self, unbroadcast(g, self.shape)),
+                (other, unbroadcast(g, other.shape)),
+            )
+
+        return _make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g):
+            return (
+                (self, unbroadcast(g, self.shape)),
+                (other, unbroadcast(-g, other.shape)),
+            )
+
+        return _make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g):
+            return (
+                (self, unbroadcast(g * other.data, self.shape)),
+                (other, unbroadcast(g * self.data, other.shape)),
+            )
+
+        return _make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g):
+            return (
+                (self, unbroadcast(g / other.data, self.shape)),
+                (other, unbroadcast(-g * self.data / (other.data**2), other.shape)),
+            )
+
+        return _make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return ((self, -g),)
+
+        return _make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            return self._tensor_pow(exponent)
+        exponent = float(exponent)
+        out_data = self.data**exponent
+
+        def backward(g):
+            return ((self, g * exponent * self.data ** (exponent - 1.0)),)
+
+        return _make(out_data, (self,), backward)
+
+    def _tensor_pow(self, exponent: "Tensor") -> "Tensor":
+        """``self ** exponent`` with a tensor exponent (requires self > 0)."""
+        out_data = self.data**exponent.data
+
+        def backward(g):
+            grad_base = g * exponent.data * self.data ** (exponent.data - 1.0)
+            grad_exp = g * out_data * np.log(self.data)
+            return (
+                (self, unbroadcast(grad_base, self.shape)),
+                (exponent, unbroadcast(grad_exp, exponent.shape)),
+            )
+
+        return _make(out_data, (self, exponent), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:  # inner product -> scalar
+                return ((self, g * b), (other, g * a))
+            if a.ndim == 1:  # (k,) @ (k, n) -> (n,)
+                return ((self, g @ b.T), (other, np.outer(a, g)))
+            if b.ndim == 1:  # (m, k) @ (k,) -> (m,)
+                return ((self, np.outer(g, b)), (other, a.T @ g))
+            return ((self, g @ b.swapaxes(-1, -2)), (other, a.swapaxes(-1, -2) @ g))
+
+        return _make(out_data, (self, other), backward)
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return as_tensor(other) @ self
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g = np.asarray(g)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return ((self, np.broadcast_to(g, self.shape).copy()),)
+
+        return _make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.shape[ax] for ax in _normalize_axes(axis, self.ndim)]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g = np.asarray(g)
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(np.float64)
+            # Split gradient equally among ties (matches subgradient choice).
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return ((self, mask / counts * g),)
+
+        return _make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return ((self, g * out_data),)
+
+        return _make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g):
+            return ((self, g / self.data),)
+
+        return _make(np.log(self.data), (self,), backward)
+
+    def log1p(self) -> "Tensor":
+        def backward(g):
+            return ((self, g / (1.0 + self.data)),)
+
+        return _make(np.log1p(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            return ((self, g * 0.5 / out_data),)
+
+        return _make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        def backward(g):
+            return ((self, g * np.sign(self.data)),)
+
+        return _make(np.abs(self.data), (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable piecewise computation.  np.where evaluates both
+        # branches, so the unused branch may overflow harmlessly — suppress.
+        x = self.data
+        with np.errstate(over="ignore"):
+            out_data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+        def backward(g):
+            return ((self, g * out_data * (1.0 - out_data)),)
+
+        return _make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return ((self, g * (1.0 - out_data**2)),)
+
+        return _make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(g):
+            return ((self, g * mask),)
+
+        return _make(self.data * mask, (self,), backward)
+
+    def clamp(self, low: "float | None" = None, high: "float | None" = None) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        inside = np.ones_like(self.data)
+        if low is not None:
+            inside = inside * (self.data >= low)
+        if high is not None:
+            inside = inside * (self.data <= high)
+
+        def backward(g):
+            return ((self, g * inside),)
+
+        return _make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(g):
+            return ((self, g.reshape(self.shape)),)
+
+        return _make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, axes: "tuple[int, ...] | None" = None) -> "Tensor":
+        out_data = self.data.transpose(axes)
+
+        def backward(g):
+            inverse = None if axes is None else tuple(np.argsort(axes))
+            return ((self, g.transpose(inverse)),)
+
+        return _make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 (mirror numpy's .T)
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            return ((self, full),)
+
+        return _make(out_data, (self,), backward)
+
+    def diagonal(self) -> "Tensor":
+        out_data = np.diagonal(self.data).copy()
+
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.fill_diagonal(full, g)
+            return ((self, full),)
+
+        return _make(out_data, (self,), backward)
+
+
+def _normalize_axes(axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, (int, np.integer)):
+        axis = (int(axis),)
+    return tuple(ax % ndim for ax in axis)
+
+
+def _make(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward: "Callable[[np.ndarray], Iterable[tuple[Tensor, np.ndarray]]]",
+) -> Tensor:
+    """Create an interior graph node (or a constant when grad is off)."""
+    requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce a scalar/array/Tensor into a Tensor (no copy for Tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Reverse topological order (root first), iterative to spare the stack."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited and parent.requires_grad:
+                stack.append((parent, False))
+    order.reverse()
+    return order

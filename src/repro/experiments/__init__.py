@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run(scale, seed) -> payload`` and
+``format_results(payload) -> str``; :mod:`repro.experiments.runner` wires
+them into a CLI, and the :mod:`benchmarks` suite calls them through
+pytest-benchmark.
+"""
+
+from repro.experiments import (
+    fig4_effectiveness,
+    fig5_case_study,
+    fig6_preferences,
+    fig7_distributions,
+    fig8_9_embeddings,
+    fig10_defense,
+    table1_datasets,
+    table2_side_effects,
+    table3_gal,
+    table4_refex,
+)
+from repro.experiments.config import CI, PAPER, SMOKE, Scale
+
+__all__ = [
+    "CI",
+    "PAPER",
+    "SMOKE",
+    "Scale",
+    "fig10_defense",
+    "fig4_effectiveness",
+    "fig5_case_study",
+    "fig6_preferences",
+    "fig7_distributions",
+    "fig8_9_embeddings",
+    "table1_datasets",
+    "table2_side_effects",
+    "table3_gal",
+    "table4_refex",
+]

@@ -1,0 +1,121 @@
+"""Fig. 4 — attack effectiveness: τ_as vs. edges-changed % for the three
+attack methods on all five datasets.
+
+Protocol (Section VIII-A/B): targets are sampled from the top-50 AScore
+nodes (|T| = 10 for the synthetic graphs and both 10 and 30 for the real
+ones), 5 samplings are averaged, and each attack is swept over a budget grid
+expressed as a fraction of the clean edge count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    attack_suite,
+    format_table,
+    load_experiment_graph,
+    sample_targets,
+    tau_for_budgets,
+)
+from repro.experiments.config import CI, Scale
+from repro.oddball.detector import OddBall
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["format_results", "run"]
+
+_log = get_logger("experiments.fig4")
+
+#: (dataset, paper target count) pairs — one per Fig. 4 panel.
+PANELS = (
+    ("er", 10),
+    ("ba", 10),
+    ("blogcatalog", 10),
+    ("blogcatalog", 30),
+    ("bitcoin-alpha", 10),
+    ("bitcoin-alpha", 30),
+    ("wikivote", 10),
+    ("wikivote", 30),
+)
+
+
+def run(
+    scale: Scale = CI,
+    seed: int = 7,
+    panels=PANELS,
+) -> dict:
+    """Sweep every panel; returns per-panel series (mean over repeats)."""
+    seeds = SeedSequenceFactory(seed)
+    detector = OddBall()
+    results = []
+    for dataset_name, paper_targets in panels:
+        dataset = load_experiment_graph(dataset_name, scale, seeds)
+        graph = dataset.graph
+        adjacency = graph.adjacency
+        n_edges = graph.number_of_edges
+        budgets = scale.budgets_for(n_edges)
+        n_targets = max(scale.scaled(paper_targets), 3)
+        report = detector.analyze(graph)
+
+        per_method: dict[str, list[list[float]]] = {
+            name: [] for name in attack_suite(scale)
+        }
+        for repeat in range(scale.n_repeats):
+            rng = seeds.generator(f"targets-{dataset_name}-{paper_targets}-{repeat}")
+            targets = sample_targets(report, n_targets, rng)
+            for method_name, attack in attack_suite(scale).items():
+                result = attack.attack(graph, targets, budgets[-1])
+                taus = tau_for_budgets(adjacency, result, targets, budgets)
+                per_method[method_name].append(taus)
+                _log.info(
+                    "%s |T|=%d rep=%d %s tau@max=%.3f",
+                    dataset_name, n_targets, repeat, method_name, taus[-1],
+                )
+        results.append(
+            {
+                "panel": f"{dataset_name}-{paper_targets}",
+                "dataset": dataset_name,
+                "paper_target_count": paper_targets,
+                "target_count": n_targets,
+                "n_edges": n_edges,
+                "budgets": budgets,
+                "edges_changed_pct": [100.0 * b / n_edges for b in budgets],
+                "tau_mean": {
+                    name: np.mean(np.array(rows), axis=0).tolist()
+                    for name, rows in per_method.items()
+                },
+                "tau_std": {
+                    name: np.std(np.array(rows), axis=0).tolist()
+                    for name, rows in per_method.items()
+                },
+            }
+        )
+    return {"scale": scale.name, "seed": seed, "panels": results}
+
+
+def format_results(payload: dict) -> str:
+    """One text block per Fig. 4 panel: the plotted series as numbers."""
+    blocks = []
+    for panel in payload["panels"]:
+        rows = []
+        for i, pct in enumerate(panel["edges_changed_pct"]):
+            rows.append(
+                [
+                    f"{pct:.2f}%",
+                    panel["tau_mean"]["gradmaxsearch"][i],
+                    panel["tau_mean"]["continuousa"][i],
+                    panel["tau_mean"]["binarizedattack"][i],
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["edges-changed", "gradmaxsearch", "continuousa", "binarizedattack"],
+                rows,
+                title=(
+                    f"Fig 4 [{panel['panel']}] τ_as (|T|={panel['target_count']}, "
+                    f"mean of repeats, scale={payload['scale']})"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

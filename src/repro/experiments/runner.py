@@ -1,0 +1,88 @@
+"""Experiment runner: regenerate any (or every) table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment fig4 --scale ci
+    python -m repro.experiments.runner --all --scale paper --output results/
+
+Each driver returns a JSON-serialisable payload and a formatted text block;
+the runner prints the text and optionally persists the payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    fig4_effectiveness,
+    fig5_case_study,
+    fig6_preferences,
+    fig7_distributions,
+    fig8_9_embeddings,
+    fig10_defense,
+    table1_datasets,
+    table2_side_effects,
+    table3_gal,
+    table4_refex,
+)
+from repro.experiments.config import CI, PAPER, SMOKE, Scale
+from repro.utils.serialization import save_json
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
+    "table1": (table1_datasets.run, table1_datasets.format_results),
+    "fig4": (fig4_effectiveness.run, fig4_effectiveness.format_results),
+    "fig5": (fig5_case_study.run, fig5_case_study.format_results),
+    "fig6": (fig6_preferences.run, fig6_preferences.format_results),
+    "table2": (table2_side_effects.run, table2_side_effects.format_results),
+    "fig7": (fig7_distributions.run, fig7_distributions.format_results),
+    "table3": (table3_gal.run, table3_gal.format_results),
+    "table4": (table4_refex.run, table4_refex.format_results),
+    "fig8_9": (fig8_9_embeddings.run, fig8_9_embeddings.format_results),
+    "fig10": (fig10_defense.run, fig10_defense.format_results),
+}
+
+_SCALES = {"paper": PAPER, "ci": CI, "smoke": SMOKE}
+
+
+def run_experiment(
+    name: str, scale: Scale = CI, seed: int = 7, output_dir: "Path | None" = None
+) -> tuple[dict, str]:
+    """Run one experiment; returns (payload, formatted text)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    run_fn, format_fn = EXPERIMENTS[name]
+    payload = run_fn(scale=scale, seed=seed)
+    text = format_fn(payload)
+    if output_dir is not None:
+        save_json(Path(output_dir) / f"{name}_{scale.name}.json", payload)
+        (Path(output_dir) / f"{name}_{scale.name}.txt").write_text(text + "\n")
+    return payload, text
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiment", "-e", choices=sorted(EXPERIMENTS), default=None)
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="ci")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=None, help="directory for JSON/text dumps")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.all else [args.experiment]
+    if names == [None]:
+        parser.error("provide --experiment NAME or --all")
+    for name in names:
+        _, text = run_experiment(
+            name, scale=_SCALES[args.scale], seed=args.seed, output_dir=args.output
+        )
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

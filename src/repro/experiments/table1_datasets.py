@@ -1,0 +1,56 @@
+"""Table I — statistics of the five evaluation graphs."""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, load_experiment_graph
+from repro.experiments.config import CI, Scale
+from repro.graph.datasets import DATASET_NAMES, dataset_statistics
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["format_results", "run"]
+
+#: The paper's Table I (nodes, edges) for reference in the printed output.
+PAPER_TABLE_I = {
+    "er": (1000, 9948),
+    "ba": (1000, 4975),
+    "blogcatalog": (1000, 6190),
+    "wikivote": (1012, 4860),
+    "bitcoin-alpha": (1025, 2311),
+}
+
+
+def run(scale: Scale = CI, seed: int = 7) -> dict:
+    """Generate all five graphs and collect their statistics."""
+    seeds = SeedSequenceFactory(seed)
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load_experiment_graph(name, scale, seeds)
+        stats = dataset_statistics(dataset)
+        paper_nodes, paper_edges = PAPER_TABLE_I[name]
+        stats["paper_nodes"] = round(paper_nodes * scale.graph_scale)
+        stats["paper_edges"] = round(paper_edges * scale.graph_scale)
+        rows.append(stats)
+    return {"scale": scale.name, "seed": seed, "rows": rows}
+
+
+def format_results(payload: dict) -> str:
+    """Printable Table I reproduction."""
+    rows = [
+        [
+            r["name"],
+            r["nodes"],
+            r["edges"],
+            r["paper_nodes"],
+            r["paper_edges"],
+            r["mean_degree"],
+            r["max_degree"],
+            "yes" if r["connected"] else "no",
+        ]
+        for r in payload["rows"]
+    ]
+    return format_table(
+        ["dataset", "nodes", "edges", "paper-nodes(scaled)", "paper-edges(scaled)",
+         "mean-deg", "max-deg", "connected"],
+        rows,
+        title=f"Table I — dataset statistics (scale={payload['scale']})",
+    )

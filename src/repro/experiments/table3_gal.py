@@ -1,0 +1,75 @@
+"""Table III — transfer attack against GAL (AUC / F1 / δ_B vs attack power).
+
+For Bitcoin-Alpha and Wikivote, BinarizedAttack's poison (generated against
+OddBall, black-box w.r.t. GAL) is evaluated at 0–2% edges changed.  Paper
+shape: AUC/F1 degrade mildly (0.72→0.65 AUC on Bitcoin-Alpha) while the
+targets' soft-label sum drops by ~20–28%.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import BinarizedAttack
+from repro.experiments.common import format_table, load_experiment_graph
+from repro.experiments.config import CI, Scale
+from repro.gad.pipeline import TransferAttackPipeline
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["format_results", "run"]
+
+DATASETS = ("bitcoin-alpha", "wikivote")
+#: Paper grid: 0% to 2% in 0.2% steps (we thin it at smaller scales).
+PAPER_EDGE_FRACTIONS = tuple(round(0.002 * k, 4) for k in range(11))
+
+
+def run(
+    scale: Scale = CI,
+    seed: int = 7,
+    datasets=DATASETS,
+    edge_fractions: "tuple[float, ...] | None" = None,
+    max_targets: int = 10,
+) -> dict:
+    """Run the GAL transfer pipeline on each dataset over the budget grid."""
+    seeds = SeedSequenceFactory(seed)
+    if edge_fractions is None:
+        edge_fractions = (
+            PAPER_EDGE_FRACTIONS if scale.graph_scale >= 0.9 else (0.0, 0.005, 0.01, 0.015, 0.02)
+        )
+    results = {}
+    for name in datasets:
+        dataset = load_experiment_graph(name, scale, seeds)
+        n_edges = dataset.graph.number_of_edges
+        budgets = sorted({int(round(f * n_edges)) for f in edge_fractions})
+        pipeline = TransferAttackPipeline(
+            system="gal",
+            seed=seeds.seed(f"gal-{name}"),
+            gal_kwargs={"epochs": scale.gal_epochs},
+            mlp_kwargs={"epochs": scale.mlp_epochs},
+        )
+        attack = BinarizedAttack(iterations=scale.attack_iterations)
+        outcome = pipeline.run(dataset.graph, attack, budgets, max_targets=max_targets)
+        results[name] = {
+            "n_edges": n_edges,
+            "n_targets": len(outcome.targets),
+            "rows": [vars(r) for r in outcome.rows],
+        }
+    return {"scale": scale.name, "seed": seed, "system": "gal", "datasets": results}
+
+
+def format_results(payload: dict) -> str:
+    blocks = []
+    for name, data in payload["datasets"].items():
+        rows = [
+            [f"{r['edges_changed_pct']:.2f}%", r["auc"], r["f1"], f"{r['delta_b_pct']:.2f}"]
+            for r in data["rows"]
+        ]
+        blocks.append(
+            format_table(
+                ["edges-changed", "AUC", "F1", "deltaB(%)"],
+                rows,
+                title=(
+                    f"Table III [{name}] — GAL under transfer attack "
+                    f"({data['n_targets']} targets, scale={payload['scale']})"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

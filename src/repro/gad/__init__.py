@@ -1,0 +1,19 @@
+"""Representation-learning GAD systems (transfer-attack targets) and pipeline."""
+
+from repro.gad.gal import GAL
+from repro.gad.gcn import GCNEncoder, structural_features
+from repro.gad.mlp import MLPClassifier
+from repro.gad.pipeline import TransferAttackPipeline, TransferOutcome, TransferRow
+from repro.gad.refex import ReFeX, vertical_log_binning
+
+__all__ = [
+    "GAL",
+    "GCNEncoder",
+    "MLPClassifier",
+    "ReFeX",
+    "TransferAttackPipeline",
+    "TransferOutcome",
+    "TransferRow",
+    "structural_features",
+    "vertical_log_binning",
+]

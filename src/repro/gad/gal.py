@@ -1,0 +1,148 @@
+"""GAL: Graph Anomaly Loss (Zhao et al., CIKM 2020) — transfer target #1.
+
+GAL learns node embeddings with a GNN trained under a class-distribution-
+aware margin loss (Eq. 9 of the BinarizedAttack paper):
+
+.. math::
+
+    L(u) = E_{u^+ ∼ U_{u^+}, u^- ∼ U_{u^-}}
+           \\max\\{0,\\; g(u, u^-) − g(u, u^+) + Δ_{y_u}\\},
+    \\qquad Δ_{y_u} = C / n_{y_u}^{1/4},
+
+where ``g(u, v) = f(u)ᵀ f(v)`` is the embedding similarity, ``U_{u^+}`` the
+nodes sharing ``u``'s label, and ``n_y`` the size of class ``y``.  The
+``n^{-1/4}`` margin enlarges the separation required around the minority
+(anomaly) class.  A downstream MLP classifies the learned embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.nn import normalized_adjacency
+from repro.autograd.ops import maximum
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor, no_grad
+from repro.gad.gcn import GCNEncoder, structural_features
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = ["GAL"]
+
+
+class GAL:
+    """GNN embedding model trained with the graph anomaly (margin) loss.
+
+    Parameters
+    ----------
+    hidden_dim, embedding_dim:
+        GCN encoder widths.
+    margin_constant:
+        The constant ``C`` of the class-distribution-aware margin.
+    pairs_per_node:
+        How many (u⁺, u⁻) pairs are sampled per anchor per epoch (Monte-Carlo
+        estimate of the expectation in Eq. 9).
+    epochs, lr:
+        Optimisation schedule (Adam).
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int = 32,
+        embedding_dim: int = 16,
+        margin_constant: float = 1.0,
+        pairs_per_node: int = 2,
+        epochs: int = 100,
+        lr: float = 0.01,
+        rng=None,
+    ):
+        if margin_constant <= 0:
+            raise ValueError(f"margin constant C must be positive, got {margin_constant}")
+        if pairs_per_node < 1:
+            raise ValueError(f"pairs_per_node must be >= 1, got {pairs_per_node}")
+        self.hidden_dim = hidden_dim
+        self.embedding_dim = embedding_dim
+        self.margin_constant = margin_constant
+        self.pairs_per_node = pairs_per_node
+        self.epochs = epochs
+        self.lr = lr
+        self._init_rng, self._sample_rng = spawn_generators(as_generator(rng), 2)
+        self.encoder: "GCNEncoder | None" = None
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(self, adjacency: np.ndarray, labels: np.ndarray, train_index: np.ndarray) -> "GAL":
+        """Train the encoder on ``adjacency`` using labels of ``train_index``."""
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        train_index = np.asarray(train_index, dtype=np.intp)
+        if len(labels) != adjacency.shape[0]:
+            raise ValueError("labels must align with the adjacency matrix")
+
+        features = structural_features(adjacency)
+        propagation = Tensor(normalized_adjacency(adjacency))
+        feature_tensor = Tensor(features)
+        self.encoder = GCNEncoder(
+            features.shape[1], self.hidden_dim, self.embedding_dim, rng=self._init_rng
+        )
+
+        train_labels = labels[train_index]
+        positives = train_index[train_labels == 1]
+        negatives = train_index[train_labels == 0]
+        if len(positives) < 2 or len(negatives) < 2:
+            raise ValueError(
+                "GAL needs at least two nodes of each class in the training split"
+            )
+        margins = self._margins(labels, train_index)
+
+        optimizer = Adam(self.encoder.parameters(), lr=self.lr)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            embeddings = self.encoder(propagation, feature_tensor)
+            anchors, same, other = self._sample_pairs(train_index, labels)
+            anchor_e = embeddings[anchors]
+            positive_similarity = (anchor_e * embeddings[same]).sum(axis=1)
+            negative_similarity = (anchor_e * embeddings[other]).sum(axis=1)
+            margin = Tensor(margins[anchors])
+            zeros = Tensor(np.zeros(len(anchors)))
+            hinge = maximum(zeros, negative_similarity - positive_similarity + margin)
+            loss = hinge.mean()
+            loss.backward()
+            optimizer.step()
+            self.loss_history_.append(float(loss.data))
+        return self
+
+    def _margins(self, labels: np.ndarray, train_index: np.ndarray) -> np.ndarray:
+        """Per-node margin Δ_y = C / n_y^{1/4} from training-class counts."""
+        counts = np.bincount(labels[train_index], minlength=2).astype(np.float64)
+        counts = np.maximum(counts, 1.0)
+        per_class = self.margin_constant / counts**0.25
+        return per_class[labels]
+
+    def _sample_pairs(
+        self, train_index: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Monte-Carlo (anchor, same-class, other-class) index triples."""
+        train_labels = labels[train_index]
+        by_class = {c: train_index[train_labels == c] for c in (0, 1)}
+        anchors, same, other = [], [], []
+        for anchor in np.repeat(train_index, self.pairs_per_node):
+            y = labels[anchor]
+            same_pool = by_class[y]
+            other_pool = by_class[1 - y]
+            positive = anchor
+            while positive == anchor:
+                positive = int(same_pool[self._sample_rng.integers(len(same_pool))])
+            negative = int(other_pool[self._sample_rng.integers(len(other_pool))])
+            anchors.append(int(anchor))
+            same.append(positive)
+            other.append(negative)
+        return np.array(anchors), np.array(same), np.array(other)
+
+    # ------------------------------------------------------------------ #
+    def embeddings(self, adjacency: np.ndarray) -> np.ndarray:
+        """Node embeddings for (a possibly different) adjacency matrix."""
+        if self.encoder is None:
+            raise RuntimeError("GAL must be fitted before computing embeddings")
+        with no_grad():
+            return self.encoder.embed(np.asarray(adjacency, dtype=np.float64)).data

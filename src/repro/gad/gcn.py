@@ -1,0 +1,67 @@
+"""GCN encoder and structural input features for GAL.
+
+The paper's graphs carry no node attributes, so — as is standard for
+structure-only anomaly detection — the GCN consumes structural features
+derived from the adjacency matrix (degree, egonet features, triangle counts,
+clustering coefficient), standardised per column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.nn import GraphConvolution, Module, normalized_adjacency
+from repro.autograd.tensor import Tensor
+from repro.graph.features import egonet_features
+from repro.ml.preprocessing import StandardScaler
+from repro.utils.rng import as_generator
+
+__all__ = ["GCNEncoder", "structural_features"]
+
+
+def structural_features(adjacency: np.ndarray) -> np.ndarray:
+    """Per-node structural feature matrix (n × 6), standardised.
+
+    Columns: degree, log-degree, egonet edges E, log-E, triangles, local
+    clustering coefficient.  These are the same quantities OddBall-style
+    detectors consume, which is precisely why the transfer attack works: the
+    poison perturbs the inputs every structure-based GAD system relies on.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    n_feature, e_feature = egonet_features(adjacency)
+    degrees = n_feature
+    triangles = ((adjacency @ adjacency) * adjacency).sum(axis=1) / 2.0
+    possible = np.maximum(degrees * (degrees - 1.0) / 2.0, 1.0)
+    clustering = triangles / possible
+    raw = np.column_stack(
+        [
+            degrees,
+            np.log1p(degrees),
+            e_feature,
+            np.log1p(e_feature),
+            triangles,
+            clustering,
+        ]
+    )
+    return StandardScaler().fit_transform(raw)
+
+
+class GCNEncoder(Module):
+    """Two-layer graph convolutional encoder producing node embeddings."""
+
+    def __init__(self, in_features: int, hidden_dim: int = 32, embedding_dim: int = 16, rng=None):
+        generator = as_generator(rng)
+        self.layer1 = GraphConvolution(in_features, hidden_dim, rng=generator)
+        self.layer2 = GraphConvolution(hidden_dim, embedding_dim, rng=generator)
+
+    def forward(self, propagation: Tensor, features: Tensor) -> Tensor:
+        hidden = self.layer1(propagation, features).relu()
+        return self.layer2(propagation, hidden)
+
+    def embed(self, adjacency: np.ndarray, features: "np.ndarray | None" = None) -> Tensor:
+        """Embeddings for a raw adjacency matrix (propagation built inside)."""
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if features is None:
+            features = structural_features(adjacency)
+        propagation = Tensor(normalized_adjacency(adjacency))
+        return self.forward(propagation, Tensor(features))

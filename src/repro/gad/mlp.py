@@ -1,0 +1,114 @@
+"""MLP classification head used by both GAL and ReFeX (Section VI-A).
+
+The representation-learning GAD systems share the same second stage: an MLP
+that maps node embeddings to an anomaly probability ("soft label").  The
+penultimate hidden activations are what Figs. 8/9 visualise with t-SNE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.nn import Linear, Module, ReLU, Sequential
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor, no_grad
+from repro.utils.rng import as_generator
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(Module):
+    """Binary MLP classifier with access to penultimate features.
+
+    Parameters
+    ----------
+    n_features:
+        Input embedding dimensionality.
+    hidden:
+        Sizes of the hidden layers (ReLU between them).
+    class_weight:
+        ``"balanced"`` re-weights the BCE loss inversely to class frequency
+        (anomalies are a small minority), or ``None`` for uniform weights.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden: tuple[int, ...] = (32, 16),
+        lr: float = 0.01,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        class_weight: "str | None" = "balanced",
+        rng=None,
+    ):
+        if not hidden:
+            raise ValueError("MLP needs at least one hidden layer")
+        if class_weight not in (None, "balanced"):
+            raise ValueError(f"class_weight must be None or 'balanced', got {class_weight!r}")
+        generator = as_generator(rng)
+        layers: list[Module] = []
+        previous = n_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=generator))
+            layers.append(ReLU())
+            previous = width
+        self.body = Sequential(*layers)
+        self.head = Linear(previous, 1, rng=generator)
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.class_weight = class_weight
+        self.loss_history_: list[float] = []
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.body(x)).reshape(-1)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        """Train on ``(features, labels)`` with Adam + (weighted) BCE."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ValueError("features must be 2-D and aligned with labels")
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise ValueError("labels must be binary (0/1)")
+        weights = self._sample_weights(labels)
+        x = Tensor(features)
+        y = Tensor(labels)
+        w = Tensor(weights)
+        optimizer = Adam(self.parameters(), lr=self.lr, weight_decay=self.l2)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            logits = self.forward(x)
+            per_sample = F.binary_cross_entropy_with_logits(logits, y, reduction="none")
+            loss = (per_sample * w).sum() / float(len(labels))
+            loss.backward()
+            optimizer.step()
+            self.loss_history_.append(float(loss.data))
+        return self
+
+    def _sample_weights(self, labels: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.ones_like(labels)
+        n = len(labels)
+        n_pos = max(labels.sum(), 1.0)
+        n_neg = max(n - labels.sum(), 1.0)
+        # inverse-frequency weights normalised to mean 1
+        weights = np.where(labels == 1.0, n / (2.0 * n_pos), n / (2.0 * n_neg))
+        return weights
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Soft labels P(anomalous | embedding)."""
+        with no_grad():
+            logits = self.forward(Tensor(np.asarray(features, dtype=np.float64)))
+            return logits.sigmoid().data
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    def penultimate(self, features: np.ndarray) -> np.ndarray:
+        """Hidden activations feeding the output layer (Figs. 8/9 input)."""
+        with no_grad():
+            return self.body(Tensor(np.asarray(features, dtype=np.float64))).data

@@ -1,0 +1,153 @@
+"""ReFeX: Recursive Feature eXtraction (Henderson et al., KDD 2011) —
+transfer target #2.
+
+ReFeX starts from local and egonet features, recursively aggregates them
+over neighbourhoods (means and sums), prunes redundant features with
+*vertical logarithmic binning* + feature-graph deduplication, and emits
+binary-valued embeddings (the one-hot encoding of each surviving feature's
+bin index).  The BinarizedAttack paper feeds these embeddings to an MLP for
+anomaly classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.features import egonet_features
+
+__all__ = ["ReFeX", "vertical_log_binning"]
+
+
+def vertical_log_binning(values: np.ndarray, fraction: float = 0.5, n_bins: int = 4) -> np.ndarray:
+    """Assign logarithmic-bin codes 0..n_bins−1 to ``values``.
+
+    The lowest ``fraction`` of the (rank-ordered) nodes get bin 0, the same
+    fraction of the remainder bin 1, and so on — ReFeX's vertical binning,
+    which is robust to the heavy-tailed feature distributions of real graphs.
+    Ties are broken stably so equal values land in the same-or-adjacent bin.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    values = np.asarray(values, dtype=np.float64).ravel()
+    n = len(values)
+    codes = np.full(n, n_bins - 1, dtype=np.int64)
+    order = np.argsort(values, kind="stable")
+    start = 0
+    for bin_index in range(n_bins - 1):
+        remaining = n - start
+        if remaining <= 0:
+            break
+        take = max(int(np.ceil(fraction * remaining)), 1)
+        codes[order[start : start + take]] = bin_index
+        start += take
+    return codes
+
+
+class ReFeX:
+    """Recursive structural feature extractor producing binary embeddings.
+
+    Parameters
+    ----------
+    levels:
+        Number of recursive aggregation rounds (each appends neighbour means
+        and sums of the current feature set).
+    n_bins:
+        Bins of the vertical logarithmic binning (embedding width per
+        retained feature is ``n_bins``).
+    bin_fraction:
+        Fraction parameter of the binning.
+    prune_tolerance:
+        Two features are considered redundant when their bin codes disagree
+        on no node by more than this many levels; redundant features are
+        dropped (connected-component representative retained).
+    """
+
+    def __init__(
+        self,
+        levels: int = 2,
+        n_bins: int = 4,
+        bin_fraction: float = 0.5,
+        prune_tolerance: int = 0,
+    ):
+        if levels < 0:
+            raise ValueError(f"levels must be non-negative, got {levels}")
+        if prune_tolerance < 0:
+            raise ValueError(f"prune_tolerance must be non-negative, got {prune_tolerance}")
+        self.levels = levels
+        self.n_bins = n_bins
+        self.bin_fraction = bin_fraction
+        self.prune_tolerance = prune_tolerance
+        self.retained_: "list[int] | None" = None
+
+    # ------------------------------------------------------------------ #
+    def base_features(self, adjacency: np.ndarray) -> np.ndarray:
+        """Local + egonet features: degree, E_within, E_out.
+
+        ``E_out`` (edges leaving the egonet) follows the original ReFeX
+        feature set: total degree mass of the egonet minus twice its
+        internal edges.
+        """
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        degrees, e_within = egonet_features(adjacency)
+        ego_degree_mass = degrees + adjacency @ degrees
+        e_out = np.maximum(ego_degree_mass - 2.0 * e_within, 0.0)
+        return np.column_stack([degrees, e_within, e_out])
+
+    def recursive_features(self, adjacency: np.ndarray) -> np.ndarray:
+        """Base features plus ``levels`` rounds of neighbour mean/sum."""
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        degrees = adjacency.sum(axis=1)
+        safe_degrees = np.maximum(degrees, 1.0)
+        features = self.base_features(adjacency)
+        current = features
+        for _ in range(self.levels):
+            sums = adjacency @ current
+            means = sums / safe_degrees[:, None]
+            current = np.column_stack([sums, means])
+            features = np.column_stack([features, current])
+        return features
+
+    # ------------------------------------------------------------------ #
+    def transform(self, adjacency: np.ndarray) -> np.ndarray:
+        """Full pipeline: recursion → binning → pruning → binary embedding."""
+        recursive = self.recursive_features(adjacency)
+        codes = np.column_stack(
+            [
+                vertical_log_binning(recursive[:, j], self.bin_fraction, self.n_bins)
+                for j in range(recursive.shape[1])
+            ]
+        )
+        retained = self._prune(codes)
+        self.retained_ = retained
+        return self._binarize(codes[:, retained])
+
+    def _prune(self, codes: np.ndarray) -> list[int]:
+        """Connected-component pruning on the feature agreement graph."""
+        n_features = codes.shape[1]
+        parent = list(range(n_features))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for i in range(n_features):
+            for j in range(i + 1, n_features):
+                if np.max(np.abs(codes[:, i] - codes[:, j])) <= self.prune_tolerance:
+                    root_i, root_j = find(i), find(j)
+                    if root_i != root_j:
+                        parent[max(root_i, root_j)] = min(root_i, root_j)
+        # Keep the earliest feature of every component (ReFeX keeps the
+        # "simplest", and earlier columns are lower recursion depth).
+        return sorted({find(i) for i in range(n_features)})
+
+    def _binarize(self, codes: np.ndarray) -> np.ndarray:
+        """One-hot encode bin codes → binary embedding matrix."""
+        n, k = codes.shape
+        out = np.zeros((n, k * self.n_bins), dtype=np.float64)
+        for j in range(k):
+            out[np.arange(n), j * self.n_bins + codes[:, j]] = 1.0
+        return out

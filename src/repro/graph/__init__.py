@@ -1,0 +1,48 @@
+"""Graph substrate: graphs, generators, egonet features, datasets, threat model."""
+
+from repro.graph.anomaly import inject_near_clique, inject_near_star, plant_anomalies
+from repro.graph.datasets import (
+    DATASET_NAMES,
+    Dataset,
+    dataset_statistics,
+    load_dataset,
+    sample_connected_subgraph,
+)
+from repro.graph.features import (
+    egonet_features,
+    egonet_features_bruteforce,
+    egonet_features_from_graph,
+    egonet_features_tensor,
+)
+from repro.graph.generators import barabasi_albert, erdos_renyi, ring_lattice
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.sparse import anomaly_scores_sparse, egonet_features_sparse, to_sparse
+from repro.graph.threatmodel import Defender, Environment, ManInTheMiddleAttacker
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "Defender",
+    "Environment",
+    "Graph",
+    "ManInTheMiddleAttacker",
+    "anomaly_scores_sparse",
+    "barabasi_albert",
+    "dataset_statistics",
+    "egonet_features_sparse",
+    "to_sparse",
+    "egonet_features",
+    "egonet_features_bruteforce",
+    "egonet_features_from_graph",
+    "egonet_features_tensor",
+    "erdos_renyi",
+    "inject_near_clique",
+    "inject_near_star",
+    "load_dataset",
+    "plant_anomalies",
+    "read_edge_list",
+    "ring_lattice",
+    "sample_connected_subgraph",
+    "write_edge_list",
+]

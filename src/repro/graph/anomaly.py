@@ -1,0 +1,121 @@
+"""Anomaly injection: planting near-clique and near-star egonets.
+
+OddBall flags nodes whose egonets deviate from the Egonet Density Power Law
+``E ∝ N^α`` (1 ≤ α ≤ 2): near-cliques sit far *above* the regression line,
+near-stars far *below* it (Fig. 2a of the paper).  The dataset stand-ins use
+these planters to reproduce the anomalous tail the paper's real graphs have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import as_generator
+
+__all__ = ["inject_near_clique", "inject_near_star", "plant_anomalies"]
+
+
+def inject_near_clique(
+    graph: Graph,
+    center: int,
+    clique_size: int,
+    density: float = 0.9,
+    rng=None,
+) -> list[tuple[int, int]]:
+    """Turn ``center``'s neighbourhood into a near-clique.
+
+    Ensures ``center`` has at least ``clique_size`` neighbours (adding random
+    ones if needed), then inserts edges among those neighbours until the pair
+    density inside the egonet reaches ``density``.  Returns the added edges.
+    """
+    generator = as_generator(rng)
+    added: list[tuple[int, int]] = []
+    neighbors = list(graph.neighbors(center))
+    candidates = [v for v in range(graph.number_of_nodes) if v != center and v not in set(neighbors)]
+    generator.shuffle(candidates)
+    while len(neighbors) < clique_size and candidates:
+        new_neighbor = candidates.pop()
+        graph.add_edge(center, new_neighbor)
+        added.append(tuple(sorted((center, new_neighbor))))
+        neighbors.append(new_neighbor)
+
+    members = neighbors[:clique_size]
+    pairs = [
+        (u, v)
+        for i, u in enumerate(members)
+        for v in members[i + 1 :]
+        if not graph.has_edge(u, v)
+    ]
+    total_pairs = len(members) * (len(members) - 1) // 2
+    existing = total_pairs - len(pairs)
+    wanted = int(np.ceil(density * total_pairs)) - existing
+    generator.shuffle(pairs)
+    for u, v in pairs[: max(wanted, 0)]:
+        graph.add_edge(u, v)
+        added.append(tuple(sorted((u, v))))
+    return added
+
+
+def inject_near_star(
+    graph: Graph,
+    center: int,
+    n_leaves: int,
+    rng=None,
+) -> list[tuple[int, int]]:
+    """Turn ``center`` into the hub of a near-star.
+
+    Connects ``center`` to ``n_leaves`` additional low-degree nodes.  Leaves
+    are chosen preferring low degree so the egonet stays sparse (few edges
+    among the spokes), which is exactly the below-the-line anomaly.
+    """
+    generator = as_generator(rng)
+    added: list[tuple[int, int]] = []
+    degrees = graph.degrees()
+    non_neighbors = np.array(
+        [
+            v
+            for v in range(graph.number_of_nodes)
+            if v != center and not graph.has_edge(center, v)
+        ]
+    )
+    if len(non_neighbors) == 0:
+        return added
+    order = np.argsort(degrees[non_neighbors] + generator.random(len(non_neighbors)))
+    for v in non_neighbors[order][:n_leaves]:
+        graph.add_edge(center, int(v))
+        added.append(tuple(sorted((center, int(v)))))
+    return added
+
+
+def plant_anomalies(
+    graph: Graph,
+    n_cliques: int,
+    n_stars: int,
+    clique_size: int = 12,
+    star_leaves: int = 25,
+    rng=None,
+) -> dict[str, list[int]]:
+    """Plant a mix of near-clique and near-star anomalies at random centers.
+
+    Returns ``{"cliques": [...], "stars": [...]}`` with the chosen centers.
+    Centers are distinct; star hubs prefer currently low-degree nodes and
+    clique centers medium-degree nodes, mimicking how fraud rings (dense) and
+    bot hubs (star) appear in the paper's motivating domains.
+    """
+    generator = as_generator(rng)
+    n = graph.number_of_nodes
+    if n_cliques + n_stars > n:
+        raise ValueError("more anomalies requested than nodes available")
+    degrees = graph.degrees()
+    order = np.argsort(degrees + generator.random(n))
+    star_centers = [int(v) for v in order[:n_stars]]
+    remaining = [int(v) for v in order[n_stars:]]
+    mid_start = len(remaining) // 3
+    clique_centers = [int(v) for v in remaining[mid_start : mid_start + n_cliques]]
+
+    for center in clique_centers:
+        inject_near_clique(graph, center, clique_size, rng=generator)
+    for center in star_centers:
+        inject_near_star(graph, center, star_leaves, rng=generator)
+    return {"cliques": clique_centers, "stars": star_centers}

@@ -1,0 +1,110 @@
+"""Random graph generators: Erdős–Rényi and Barabási–Albert.
+
+The paper's synthetic datasets are ``ER(n=1000, p=0.02)`` and
+``BA(n=1000, m=5)`` (Section VIII-A).  Both generators are implemented from
+scratch; the test-suite cross-checks their degree statistics against
+networkx as an oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["barabasi_albert", "erdos_renyi", "random_regular_ish", "ring_lattice"]
+
+
+def erdos_renyi(n: int, p: float, rng=None) -> Graph:
+    """G(n, p): each of the ``n·(n−1)/2`` pairs is an edge with probability ``p``."""
+    if n < 0:
+        raise ValueError(f"node count must be non-negative, got {n}")
+    check_probability(p, "edge probability")
+    generator = as_generator(rng)
+    upper = np.triu(generator.random((n, n)) < p, k=1)
+    adjacency = (upper | upper.T).astype(np.float64)
+    return Graph(adjacency)
+
+
+def barabasi_albert(n: int, m: int, rng=None) -> Graph:
+    """Preferential attachment: each new node attaches to ``m`` existing nodes.
+
+    Follows the standard repeated-nodes construction (as in networkx): the
+    probability of attaching to a node is proportional to its current degree.
+    Starts from ``m`` isolated seed nodes; the first arrival connects to all
+    of them, guaranteeing a connected result for ``m ≥ 1``.
+    """
+    if m < 1:
+        raise ValueError(f"attachment count m must be >= 1, got {m}")
+    if n < m + 1:
+        raise ValueError(f"need n > m (got n={n}, m={m})")
+    generator = as_generator(rng)
+    graph = Graph.empty(n)
+    # `repeated` holds node ids once per incident edge endpoint, so uniform
+    # sampling from it is exactly degree-proportional sampling.
+    repeated: list[int] = []
+    targets = list(range(m))
+    for source in range(m, n):
+        for target in set(targets):
+            graph.add_edge(source, target)
+            repeated.append(source)
+            repeated.append(target)
+        targets = _sample_distinct(repeated, m, generator)
+    return graph
+
+
+def _sample_distinct(pool: list[int], m: int, rng: np.random.Generator) -> list[int]:
+    """Draw ``m`` distinct values from ``pool`` (uniform over pool entries)."""
+    chosen: set[int] = set()
+    while len(chosen) < m:
+        chosen.add(pool[int(rng.integers(len(pool)))])
+    return list(chosen)
+
+
+def ring_lattice(n: int, k: int) -> Graph:
+    """Ring lattice: each node linked to its ``k`` nearest neighbours per side."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n < 2 * k + 1:
+        raise ValueError(f"need n >= 2k+1 (got n={n}, k={k})")
+    graph = Graph.empty(n)
+    for node in range(n):
+        for offset in range(1, k + 1):
+            neighbor = (node + offset) % n
+            if not graph.has_edge(node, neighbor):
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def random_regular_ish(n: int, degree: int, rng=None) -> Graph:
+    """Approximately ``degree``-regular graph via edge-randomised ring lattice.
+
+    Used by the failure-injection tests as a homogeneous-degree contrast to
+    the heavy-tailed generators (OddBall scores should be nearly flat here).
+    """
+    if degree % 2 != 0:
+        raise ValueError("degree must be even for the ring-lattice construction")
+    generator = as_generator(rng)
+    graph = ring_lattice(n, degree // 2)
+    edges = list(graph.edges())
+    generator.shuffle(edges)
+    # Random double-edge swaps preserve the degree sequence exactly.
+    for _ in range(len(edges)):
+        (a, b), (c, d) = (
+            edges[int(generator.integers(len(edges)))],
+            edges[int(generator.integers(len(edges)))],
+        )
+        if len({a, b, c, d}) < 4:
+            continue
+        if graph.has_edge(a, c) or graph.has_edge(b, d):
+            continue
+        if not (graph.has_edge(a, b) and graph.has_edge(c, d)):
+            continue
+        graph.remove_edge(a, b)
+        graph.remove_edge(c, d)
+        graph.add_edge(a, c)
+        graph.add_edge(b, d)
+        edges = list(graph.edges())
+    return graph

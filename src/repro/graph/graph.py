@@ -1,0 +1,220 @@
+"""Simple undirected graph over a dense adjacency matrix.
+
+Every algorithm in the paper — OddBall's egonet features, the attack's
+decision variables, the GCN propagation — consumes the adjacency matrix
+directly, so the graph type is a thin, validated wrapper around a dense
+``float64`` numpy array.  Graphs at the paper's scale (~1000 nodes) occupy
+~8 MB, well within laptop memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_adjacency
+
+__all__ = ["Graph"]
+
+Edge = tuple[int, int]
+
+
+class Graph:
+    """An undirected, unweighted, simple graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Square, symmetric, binary matrix with zero diagonal.  A defensive
+        copy is made; mutate through the provided methods.
+    """
+
+    def __init__(self, adjacency: np.ndarray):
+        self._adjacency = check_adjacency(np.array(adjacency, dtype=np.float64, copy=True))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, n: int) -> "Graph":
+        """Graph with ``n`` nodes and no edges."""
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        return cls(np.zeros((n, n)))
+
+    @classmethod
+    def complete(cls, n: int) -> "Graph":
+        """Complete graph K_n."""
+        adjacency = np.ones((n, n)) - np.eye(n)
+        return cls(adjacency)
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph on ``n`` nodes from an iterable of (u, v) pairs."""
+        adjacency = np.zeros((n, n))
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {u}) not allowed in a simple graph")
+            adjacency[u, v] = adjacency[v, u] = 1.0
+        return cls(adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Defensive copy of the adjacency matrix."""
+        return self._adjacency.copy()
+
+    @property
+    def adjacency_view(self) -> np.ndarray:
+        """Read-only view of the adjacency matrix (no copy)."""
+        view = self._adjacency.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def number_of_nodes(self) -> int:
+        return self._adjacency.shape[0]
+
+    @property
+    def number_of_edges(self) -> int:
+        return int(self._adjacency.sum()) // 2
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node."""
+        return self._adjacency.sum(axis=1)
+
+    def degree(self, node: int) -> int:
+        """Degree of a single node."""
+        self._check_node(node)
+        return int(self._adjacency[node].sum())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_node(u)
+        self._check_node(v)
+        return bool(self._adjacency[u, v] == 1.0)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted array of the node's neighbours."""
+        self._check_node(node)
+        return np.flatnonzero(self._adjacency[node])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as (u, v) with u < v."""
+        rows, cols = np.nonzero(np.triu(self._adjacency, k=1))
+        yield from zip(rows.tolist(), cols.tolist())
+
+    def edge_set(self) -> set[Edge]:
+        """Set of (u, v) pairs with u < v."""
+        return set(self.edges())
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge (u, v); raises if it already exists or u == v."""
+        self._check_pair(u, v)
+        if self._adjacency[u, v] == 1.0:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adjacency[u, v] = self._adjacency[v, u] = 1.0
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge (u, v); raises if absent."""
+        self._check_pair(u, v)
+        if self._adjacency[u, v] == 0.0:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        self._adjacency[u, v] = self._adjacency[v, u] = 0.0
+
+    def flip_edge(self, u: int, v: int) -> None:
+        """Toggle edge (u, v): add it if absent, delete it if present."""
+        self._check_pair(u, v)
+        new_value = 1.0 - self._adjacency[u, v]
+        self._adjacency[u, v] = self._adjacency[v, u] = new_value
+
+    def copy(self) -> "Graph":
+        return Graph(self._adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> list[np.ndarray]:
+        """Connected components as sorted node arrays (BFS)."""
+        n = self.number_of_nodes
+        seen = np.zeros(n, dtype=bool)
+        components: list[np.ndarray] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            frontier = [start]
+            seen[start] = True
+            members = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in np.flatnonzero(self._adjacency[node]):
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        members.append(int(neighbor))
+                        frontier.append(int(neighbor))
+            components.append(np.array(sorted(members)))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph has a single connected component (or is empty)."""
+        if self.number_of_nodes == 0:
+            return True
+        return len(self.connected_components()) == 1
+
+    def largest_component(self) -> np.ndarray:
+        """Node array of the largest connected component."""
+        components = self.connected_components()
+        if not components:
+            return np.array([], dtype=int)
+        return max(components, key=len)
+
+    def subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``nodes`` (relabelled 0..len-1, input order)."""
+        index = np.asarray(nodes, dtype=int)
+        if len(np.unique(index)) != len(index):
+            raise ValueError("subgraph nodes must be unique")
+        return Graph(self._adjacency[np.ix_(index, index)])
+
+    def egonet(self, node: int) -> "Graph":
+        """Induced subgraph on the node and its one-hop neighbours."""
+        self._check_node(node)
+        members = np.concatenate(([node], self.neighbors(node)))
+        return self.subgraph(members)
+
+    def triangle_counts(self) -> np.ndarray:
+        """Number of triangles through each node: ``diag(A³)/2``."""
+        a = self._adjacency
+        return ((a @ a) * a).sum(axis=1) / 2.0
+
+    # ------------------------------------------------------------------ #
+    # Dunder / helpers
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adjacency.shape == other._adjacency.shape and bool(
+            np.array_equal(self._adjacency, other._adjacency)
+        )
+
+    def __hash__(self):  # graphs are mutable
+        raise TypeError("Graph is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.number_of_nodes}, m={self.number_of_edges})"
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.number_of_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.number_of_nodes})")
+
+    def _check_pair(self, u: int, v: int) -> None:
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {u}) not allowed in a simple graph")

@@ -1,0 +1,75 @@
+"""Sparse-matrix fast paths for large graphs.
+
+The paper's *full* real datasets are much larger than the ~1000-node
+samples it evaluates on (Blogcatalog alone has 88 800 nodes and 2.1M
+edges).  The dense O(n²)-memory pipeline used everywhere else is ideal at
+evaluation scale, but pre-processing the full graphs — scoring every node
+to pick the sampled subgraph's anomalies — needs sparse arithmetic.  This
+module provides scipy.sparse implementations of the two hot kernels:
+
+* egonet features ``(N, E)`` for every node, and
+* OddBall Eq. 3 scores,
+
+verified bit-for-bit against the dense implementations in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.graph import Graph
+from repro.oddball.regression import fit_power_law
+from repro.oddball.scores import score_from_features
+
+__all__ = [
+    "egonet_features_sparse",
+    "anomaly_scores_sparse",
+    "to_sparse",
+]
+
+
+def to_sparse(graph: "Graph | np.ndarray | sparse.spmatrix") -> sparse.csr_matrix:
+    """Coerce a graph/adjacency into a validated CSR matrix.
+
+    Validation mirrors :func:`repro.utils.validation.check_adjacency`:
+    square, symmetric, binary, zero diagonal.
+    """
+    if isinstance(graph, Graph):
+        matrix = sparse.csr_matrix(graph.adjacency_view)
+    elif sparse.issparse(graph):
+        matrix = graph.tocsr().astype(np.float64)
+    else:
+        matrix = sparse.csr_matrix(np.asarray(graph, dtype=np.float64))
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"adjacency must be square, got {matrix.shape}")
+    if (matrix != matrix.T).nnz != 0:
+        raise ValueError("adjacency must be symmetric")
+    if matrix.nnz and not np.all(matrix.data == 1.0):
+        raise ValueError("adjacency must be binary")
+    if matrix.diagonal().sum() != 0.0:
+        raise ValueError("adjacency must have a zero diagonal")
+    return matrix
+
+
+def egonet_features_sparse(adjacency) -> tuple[np.ndarray, np.ndarray]:
+    """(N, E) for every node using sparse arithmetic.
+
+    ``N_i = Σ_j A_ij`` and ``E_i = N_i + ½ diag(A³)``; the triangle term is
+    the row-sum of ``(A @ A) ⊙ A``, evaluated without densifying — the
+    elementwise mask keeps only entries where an edge exists, so memory is
+    O(m) not O(n²).
+    """
+    matrix = to_sparse(adjacency)
+    n_feature = np.asarray(matrix.sum(axis=1)).ravel()
+    two_paths = (matrix @ matrix).multiply(matrix)
+    triangles = np.asarray(two_paths.sum(axis=1)).ravel()
+    e_feature = n_feature + 0.5 * triangles
+    return n_feature, e_feature
+
+
+def anomaly_scores_sparse(adjacency) -> np.ndarray:
+    """OddBall Eq. 3 scores via the sparse kernels (OLS fit included)."""
+    n_feature, e_feature = egonet_features_sparse(adjacency)
+    fit = fit_power_law(n_feature, e_feature)
+    return score_from_features(n_feature, e_feature, fit)

@@ -1,0 +1,118 @@
+"""Threat-model simulation (paper §IV-A, Fig. 3).
+
+Three parties:
+
+* the **environment** holds the ground-truth graph ``G0`` and answers edge
+  queries truthfully;
+* the **defender** reconstructs an observed graph by querying node pairs and
+  then runs a GAD system on it;
+* the **attacker** sits between them and may tamper with up to ``B`` query
+  results, which is exactly a structural attack on the observed graph.
+
+The attack algorithms in :mod:`repro.attacks` operate directly on adjacency
+matrices; this module wires their edge-flip output into the query channel, so
+the examples can demonstrate the full data-collection story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graph.graph import Graph
+
+__all__ = ["Environment", "Defender", "ManInTheMiddleAttacker", "QueryRecord"]
+
+Edge = tuple[int, int]
+
+
+def _canonical(u: int, v: int) -> Edge:
+    if u == v:
+        raise ValueError(f"self-query ({u}, {u}) is not a valid pair")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass
+class QueryRecord:
+    """One defender query and what each party saw."""
+
+    pair: Edge
+    true_answer: bool
+    observed_answer: bool
+
+    @property
+    def tampered(self) -> bool:
+        return self.true_answer != self.observed_answer
+
+
+class Environment:
+    """Holds the ground-truth graph and answers pair queries truthfully."""
+
+    def __init__(self, ground_truth: Graph):
+        self._graph = ground_truth.copy()
+
+    @property
+    def number_of_nodes(self) -> int:
+        return self._graph.number_of_nodes
+
+    def query(self, u: int, v: int) -> bool:
+        """True answer to "is there an edge between u and v?"."""
+        u, v = _canonical(u, v)
+        return self._graph.has_edge(u, v)
+
+
+class ManInTheMiddleAttacker:
+    """Intercepts query results, flipping answers for a chosen set of pairs.
+
+    ``flips`` is the set of edges the structural attack decided to modify
+    (add or delete); tampering with the corresponding query answers realises
+    the poisoned graph on the defender's side.  The attacker's budget is the
+    number of distinct flipped pairs, matching constraint (4c).
+    """
+
+    def __init__(self, environment: Environment, flips: Iterable[Edge], budget: "int | None" = None):
+        self._environment = environment
+        self._flips = {_canonical(u, v) for u, v in flips}
+        if budget is not None and len(self._flips) > budget:
+            raise ValueError(
+                f"attack uses {len(self._flips)} flips, exceeding budget {budget}"
+            )
+        self.log: list[QueryRecord] = []
+
+    @property
+    def flips(self) -> set[Edge]:
+        return set(self._flips)
+
+    def relay_query(self, u: int, v: int) -> bool:
+        """Answer the defender's query, tampering when the pair is targeted."""
+        pair = _canonical(u, v)
+        truth = self._environment.query(*pair)
+        observed = (not truth) if pair in self._flips else truth
+        self.log.append(QueryRecord(pair=pair, true_answer=truth, observed_answer=observed))
+        return observed
+
+    def tamper_count(self) -> int:
+        """Number of logged queries whose answer was altered."""
+        return sum(record.tampered for record in self.log)
+
+
+@dataclass
+class Defender:
+    """Reconstructs an observed graph by querying every node pair once."""
+
+    n_nodes: int
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def collect(self, channel: "ManInTheMiddleAttacker | Environment") -> Graph:
+        """Query all pairs through ``channel`` and build the observed graph.
+
+        ``channel`` may be the raw environment (honest collection) or an
+        attacker-controlled relay (poisoned collection).
+        """
+        ask = channel.relay_query if isinstance(channel, ManInTheMiddleAttacker) else channel.query
+        graph = Graph.empty(self.n_nodes)
+        for u in range(self.n_nodes):
+            for v in range(u + 1, self.n_nodes):
+                if ask(u, v):
+                    graph.add_edge(u, v)
+        return graph

@@ -1,0 +1,32 @@
+"""ML toolkit: metrics, dimensionality reduction, statistics (sklearn substitute)."""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc_score,
+)
+from repro.ml.pca import PCA
+from repro.ml.preprocessing import StandardScaler, train_test_split_indices
+from repro.ml.stats import PermutationTestResult, histogram_density, permutation_test
+from repro.ml.tsne import TSNE
+
+__all__ = [
+    "PCA",
+    "TSNE",
+    "LogisticRegression",
+    "PermutationTestResult",
+    "StandardScaler",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "histogram_density",
+    "permutation_test",
+    "precision",
+    "recall",
+    "roc_auc_score",
+    "train_test_split_indices",
+]

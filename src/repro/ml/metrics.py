@@ -1,0 +1,96 @@
+"""Classification metrics (AUC, F1, ...) implemented from scratch.
+
+Used by the transfer-attack evaluation (Tables III and IV report AUC and F1
+of GAL/ReFeX before and after poisoning).  ROC-AUC uses the rank statistic
+(equivalent to the Mann–Whitney U) with average ranks for ties; the tests
+cross-check it against an explicit pair-counting oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "precision",
+    "recall",
+    "roc_auc_score",
+]
+
+
+def _validate_binary(y_true: np.ndarray, other: np.ndarray, other_name: str) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    other = np.asarray(other, dtype=np.float64).ravel()
+    if y_true.shape != other.shape:
+        raise ValueError(f"y_true and {other_name} must align, got {y_true.shape} vs {other.shape}")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("y_true must be binary (0/1)")
+    return y_true.astype(np.int64), other
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via average ranks (ties handled)."""
+    y_true, y_score = _validate_binary(y_true, y_score, "y_score")
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score needs both classes present")
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    sorted_scores = y_score[order]
+    # Average ranks over tied groups (1-based ranks).
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = ranks[y_true == 1].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2×2 matrix ``[[tn, fp], [fn, tp]]``."""
+    y_true, y_pred = _validate_binary(y_true, y_pred, "y_pred")
+    if not np.isin(y_pred, (0, 1)).all():
+        raise ValueError("y_pred must be binary (0/1)")
+    y_pred = y_pred.astype(np.int64)
+    tn = int(((y_true == 0) & (y_pred == 0)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    denominator = tp + fp
+    return float(tp / denominator) if denominator else 0.0
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); 0 when there are no positives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    denominator = tp + fn
+    return float(tp / denominator) if denominator else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp, fn = matrix[1, 1], matrix[0, 1], matrix[1, 0]
+    denominator = 2 * tp + fp + fn
+    return float(2 * tp / denominator) if denominator else 0.0
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return float((matrix[0, 0] + matrix[1, 1]) / matrix.sum())

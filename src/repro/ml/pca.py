@@ -1,0 +1,58 @@
+"""Principal component analysis via singular value decomposition.
+
+Used to initialise t-SNE (a common, deterministic choice) and available as a
+cheaper alternative for the Fig. 8/9 embedding visualisations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Linear projection onto the top ``n_components`` principal axes.
+
+    >>> import numpy as np
+    >>> x = np.random.default_rng(0).normal(size=(100, 5))
+    >>> z = PCA(2).fit_transform(x)
+    >>> z.shape
+    (100, 2)
+    """
+
+    def __init__(self, n_components: int = 2):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: "np.ndarray | None" = None
+        self.components_: "np.ndarray | None" = None
+        self.explained_variance_ratio_: "np.ndarray | None" = None
+
+    def fit(self, features: np.ndarray) -> "PCA":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+        if self.n_components > min(features.shape):
+            raise ValueError(
+                f"n_components={self.n_components} exceeds min(n, d)={min(features.shape)}"
+            )
+        self.mean_ = features.mean(axis=0)
+        centered = features - self.mean_
+        _, singular_values, rows = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = rows[: self.n_components]
+        variance = singular_values**2
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[: self.n_components] / total if total > 0 else np.zeros(self.n_components)
+        )
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) @ self.components_.T
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,67 @@
+"""Dataset splitting and feature scaling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["StandardScaler", "train_test_split_indices"]
+
+
+def train_test_split_indices(
+    n: int,
+    test_fraction: float = 0.3,
+    rng=None,
+    stratify: "np.ndarray | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random (train, test) index arrays.
+
+    With ``stratify`` (a label vector), each class is split with the same
+    proportion — important for the transfer attacks where anomalies are a
+    small minority.
+    """
+    if n <= 1:
+        raise ValueError(f"need at least two samples to split, got {n}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    generator = as_generator(rng)
+    if stratify is None:
+        order = generator.permutation(n)
+        n_test = max(int(round(test_fraction * n)), 1)
+        return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+    stratify = np.asarray(stratify).ravel()
+    if len(stratify) != n:
+        raise ValueError(f"stratify length {len(stratify)} != n {n}")
+    train_parts, test_parts = [], []
+    for value in np.unique(stratify):
+        members = np.flatnonzero(stratify == value)
+        members = generator.permutation(members)
+        n_test = max(int(round(test_fraction * len(members))), 1) if len(members) > 1 else 0
+        test_parts.append(members[:n_test])
+        train_parts.append(members[n_test:])
+    return np.sort(np.concatenate(train_parts)), np.sort(np.concatenate(test_parts))
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling (constant columns pass through)."""
+
+    def __init__(self):
+        self.mean_: "np.ndarray | None" = None
+        self.std_: "np.ndarray | None" = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

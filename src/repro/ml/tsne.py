@@ -1,0 +1,154 @@
+"""t-SNE (van der Maaten & Hinton 2008) from scratch.
+
+Figures 8 and 9 of the paper visualise the penultimate MLP features of GAL
+and ReFeX in 2-D with t-SNE.  This implementation follows the original
+recipe: perplexity-calibrated Gaussian affinities (binary search on the
+bandwidth), symmetrisation, early exaggeration, and momentum gradient
+descent on the Kullback-Leibler divergence with Student-t low-dimensional
+affinities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.pca import PCA
+from repro.utils.rng import as_generator
+
+__all__ = ["TSNE"]
+
+_EPS = 1e-12
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    norms = (x * x).sum(axis=1)
+    distances = norms[:, None] - 2.0 * (x @ x.T) + norms[None, :]
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float,
+                               tol: float = 1e-5, max_steps: int = 50) -> np.ndarray:
+    """Row-stochastic P(j|i) matching ``perplexity`` via bandwidth search."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    conditional = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = -np.inf, np.inf
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(max_steps):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= _EPS:
+                entropy = 0.0
+                probabilities = np.zeros_like(row)
+            else:
+                probabilities = weights / total
+                entropy = -(probabilities * np.log(probabilities + _EPS)).sum()
+            difference = entropy - target_entropy
+            if abs(difference) < tol:
+                break
+            if difference > 0:  # entropy too high -> narrow the kernel
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else 0.5 * (beta + beta_high)
+            else:
+                beta_high = beta
+                beta = beta * 0.5 if beta_low == -np.inf else 0.5 * (beta + beta_low)
+        conditional[i, np.arange(n) != i] = probabilities
+    return conditional
+
+
+class TSNE:
+    """2-D (or k-D) t-SNE embedding.
+
+    Parameters
+    ----------
+    n_components:
+        Output dimensionality (2 for the paper's scatter plots).
+    perplexity:
+        Effective number of neighbours; must satisfy ``3·perplexity < n−1``.
+    n_iter:
+        Gradient-descent iterations (first quarter runs with early
+        exaggeration 12× and momentum 0.5, then momentum 0.8).
+    learning_rate:
+        Step size of the Kullback-Leibler gradient descent.
+    init:
+        ``"pca"`` (deterministic, default) or ``"random"``.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        perplexity: float = 30.0,
+        n_iter: int = 500,
+        learning_rate: float = 200.0,
+        init: str = "pca",
+        rng=None,
+    ):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        if perplexity <= 1.0:
+            raise ValueError(f"perplexity must exceed 1, got {perplexity}")
+        if n_iter < 10:
+            raise ValueError(f"n_iter must be >= 10, got {n_iter}")
+        if init not in ("pca", "random"):
+            raise ValueError(f"init must be 'pca' or 'random', got {init!r}")
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.n_iter = n_iter
+        self.learning_rate = learning_rate
+        self.init = init
+        self.rng = rng
+        self.kl_divergence_: "float | None" = None
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Embed ``features`` (n × d) into ``n_components`` dimensions."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {features.shape}")
+        n = features.shape[0]
+        if n < 4:
+            raise ValueError("t-SNE needs at least 4 samples")
+        perplexity = min(self.perplexity, (n - 2) / 3.0)
+        generator = as_generator(self.rng)
+
+        distances = _pairwise_squared_distances(features)
+        conditional = _conditional_probabilities(distances, perplexity)
+        joint = (conditional + conditional.T) / (2.0 * n)
+        joint = np.maximum(joint, _EPS)
+
+        if self.init == "pca" and features.shape[1] >= self.n_components:
+            embedding = PCA(self.n_components).fit_transform(features)
+            scale = embedding.std(axis=0).max()
+            embedding = embedding / (scale if scale > 0 else 1.0) * 1e-2
+        else:
+            embedding = generator.normal(scale=1e-2, size=(n, self.n_components))
+
+        exaggeration_steps = self.n_iter // 4
+        velocity = np.zeros_like(embedding)
+        gains = np.ones_like(embedding)
+        for step in range(self.n_iter):
+            p_matrix = joint * 12.0 if step < exaggeration_steps else joint
+            momentum = 0.5 if step < exaggeration_steps else 0.8
+
+            low_distances = _pairwise_squared_distances(embedding)
+            student = 1.0 / (1.0 + low_distances)
+            np.fill_diagonal(student, 0.0)
+            q_matrix = np.maximum(student / max(student.sum(), _EPS), _EPS)
+
+            coefficient = (p_matrix - q_matrix) * student
+            gradient = 4.0 * (
+                np.diag(coefficient.sum(axis=1)) - coefficient
+            ) @ embedding
+
+            same_sign = np.sign(gradient) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            gains = np.maximum(gains, 0.01)
+            velocity = momentum * velocity - self.learning_rate * gains * gradient
+            embedding = embedding + velocity
+            embedding = embedding - embedding.mean(axis=0)
+
+        final_q = np.maximum(student / max(student.sum(), _EPS), _EPS)
+        self.kl_divergence_ = float((joint * np.log(joint / final_q)).sum())
+        return embedding

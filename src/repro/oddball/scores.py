@@ -1,0 +1,74 @@
+"""OddBall anomaly scores (Eq. 3) and the attack's surrogate (proxy) score.
+
+The *true* score used for every evaluation in the paper is
+
+.. math::
+
+    S_i(A) = \\frac{\\max(E_i, \\hat E_i)}{\\min(E_i, \\hat E_i)}
+             \\, \\ln(|E_i − \\hat E_i| + 1),
+    \\qquad \\hat E_i = e^{β0} N_i^{β1}.
+
+The attack never optimises this directly; it optimises the squared-residual
+surrogate ``(E_i − \\hat E_i)²`` (Section IV-B), implemented in
+:mod:`repro.oddball.surrogate`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.features import egonet_features
+from repro.oddball.regression import PowerLawFit, fit_power_law
+
+__all__ = ["anomaly_scores", "anomaly_scores_with_fit", "proxy_scores", "score_from_features"]
+
+_EPS = 1e-12
+
+
+def score_from_features(
+    n_feature: np.ndarray, e_feature: np.ndarray, fit: PowerLawFit
+) -> np.ndarray:
+    """Eq. 3 scores given features and a fitted power law.
+
+    Nodes with ``N < 1`` (isolated) receive score 0 — they have no egonet to
+    deviate with and the paper's pre-processing keeps graphs singleton-free.
+    """
+    n_feature = np.asarray(n_feature, dtype=np.float64)
+    e_feature = np.asarray(e_feature, dtype=np.float64)
+    expected = fit.predict_e(n_feature)
+    high = np.maximum(e_feature, expected)
+    low = np.minimum(e_feature, expected)
+    ratio = high / np.maximum(low, _EPS)
+    distance = np.log(np.abs(e_feature - expected) + 1.0)
+    scores = ratio * distance
+    scores[n_feature < 1.0] = 0.0
+    return scores
+
+
+def anomaly_scores_with_fit(
+    adjacency: np.ndarray, fit_kwargs: "dict | None" = None
+) -> tuple[np.ndarray, PowerLawFit]:
+    """Compute Eq. 3 scores for every node, returning the fit as well."""
+    n_feature, e_feature = egonet_features(adjacency)
+    fit = fit_power_law(n_feature, e_feature, **(fit_kwargs or {}))
+    return score_from_features(n_feature, e_feature, fit), fit
+
+
+def anomaly_scores(adjacency: np.ndarray) -> np.ndarray:
+    """Eq. 3 scores for every node (OLS fit re-estimated on this graph).
+
+    This re-estimation is what makes structural attacks *poisoning* attacks:
+    scoring a modified graph moves the regression line too.
+    """
+    scores, _ = anomaly_scores_with_fit(adjacency)
+    return scores
+
+
+def proxy_scores(adjacency: np.ndarray) -> np.ndarray:
+    """The un-normalised proxy ``ln(|E − Ê| + 1)`` (Section IV-B) per node."""
+    n_feature, e_feature = egonet_features(adjacency)
+    fit = fit_power_law(n_feature, e_feature)
+    expected = fit.predict_e(n_feature)
+    proxy = np.log(np.abs(e_feature - expected) + 1.0)
+    proxy[n_feature < 1.0] = 0.0
+    return proxy

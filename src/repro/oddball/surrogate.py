@@ -1,0 +1,132 @@
+"""The differentiable attack objective (Eq. 5a / 8a).
+
+Pipeline, entirely inside the autograd graph:
+
+    adjacency A ──> (N, E) ──> (ln N, ln E) ──> closed-form OLS β ──>
+    residuals (E_t − e^{β0} N_t^{β1}) on the target set ──> Σ residual².
+
+``ln`` of the features is guarded by clamping at ``floor`` (default 1.0):
+legitimate non-singleton nodes always have ``N ≥ 1`` and ``E ≥ N``, so the
+clamp only activates on transient singleton states the optimiser may visit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.ops import maximum
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.graph.features import egonet_features_tensor
+from repro.oddball.regression import DEFAULT_RIDGE, fit_power_law_tensor
+
+__all__ = [
+    "adjacency_gradient",
+    "log_features",
+    "surrogate_loss",
+    "surrogate_loss_numpy",
+    "target_residuals",
+]
+
+
+def log_features(adjacency: Tensor, floor: float = 1.0) -> tuple[Tensor, Tensor, Tensor, Tensor]:
+    """(N, E, ln N, ln E) from a (possibly relaxed) adjacency tensor."""
+    if floor <= 0.0:
+        raise ValueError(f"floor must be positive to keep logs finite, got {floor}")
+    n_feature, e_feature = egonet_features_tensor(adjacency)
+    floor_tensor_n = Tensor(np.full(n_feature.shape, floor))
+    floor_tensor_e = Tensor(np.full(e_feature.shape, floor))
+    log_n = maximum(n_feature, floor_tensor_n).log()
+    log_e = maximum(e_feature, floor_tensor_e).log()
+    return n_feature, e_feature, log_n, log_e
+
+
+def target_residuals(
+    adjacency: Tensor,
+    targets: Sequence[int],
+    floor: float = 1.0,
+    ridge: float = DEFAULT_RIDGE,
+) -> Tensor:
+    """Vector of residuals ``E_t − e^{β0 + β1 ln N_t}`` over the target set."""
+    targets = _validate_targets(targets, adjacency.shape[0])
+    _, e_feature, log_n, log_e = log_features(adjacency, floor=floor)
+    beta0, beta1 = fit_power_law_tensor(log_n, log_e, ridge=ridge)
+    rho = beta0 + beta1 * log_n[targets]
+    return e_feature[targets] - rho.exp()
+
+
+def surrogate_loss(
+    adjacency: Tensor,
+    targets: Sequence[int],
+    floor: float = 1.0,
+    ridge: float = DEFAULT_RIDGE,
+    weights: "Sequence[float] | None" = None,
+) -> Tensor:
+    """Scalar surrogate objective ``Σ_{t∈T} κ_t (E_t − e^{β0} N_t^{β1})²``.
+
+    ``weights`` are the per-target importances κ of Section IV-B (the paper
+    evaluates the equal-weight case κ ≡ 1, which is the default, and notes
+    the extension to unequal weights — supported here).
+    """
+    residuals = target_residuals(adjacency, targets, floor=floor, ridge=ridge)
+    squared = residuals * residuals
+    if weights is not None:
+        kappa = _validate_weights(weights, len(list(targets)))
+        squared = squared * Tensor(kappa)
+    return squared.sum()
+
+
+def surrogate_loss_numpy(
+    adjacency: np.ndarray,
+    targets: Sequence[int],
+    weights: "Sequence[float] | None" = None,
+) -> float:
+    """Non-differentiable evaluation of the surrogate (for bookkeeping)."""
+    tensor = as_tensor(np.asarray(adjacency, dtype=np.float64))
+    return float(surrogate_loss(tensor, targets, weights=weights).data)
+
+
+def adjacency_gradient(
+    adjacency: np.ndarray,
+    targets: Sequence[int],
+    floor: float = 1.0,
+    weights: "Sequence[float] | None" = None,
+) -> np.ndarray:
+    """∂(surrogate loss)/∂A, symmetrised, with zeroed diagonal.
+
+    Convenience for GradMaxSearch: evaluates the full differentiable pipeline
+    at the *discrete* current graph and returns a dense gradient matrix whose
+    (i, j) entry is the sensitivity of the loss to the pair {i, j}.
+    """
+    tensor = Tensor(np.asarray(adjacency, dtype=np.float64), requires_grad=True)
+    loss = surrogate_loss(tensor, targets, floor=floor, weights=weights)
+    loss.backward()
+    grad = tensor.grad
+    assert grad is not None
+    symmetric = grad + grad.T
+    np.fill_diagonal(symmetric, 0.0)
+    return symmetric
+
+
+def _validate_weights(weights: Sequence[float], n_targets: int) -> np.ndarray:
+    kappa = np.asarray(list(weights), dtype=np.float64)
+    if kappa.shape != (n_targets,):
+        raise ValueError(
+            f"weights must align with targets ({n_targets}), got shape {kappa.shape}"
+        )
+    if (kappa < 0).any():
+        raise ValueError("target weights must be non-negative")
+    return kappa
+
+
+def _validate_targets(targets: Sequence[int], n: int) -> np.ndarray:
+    targets = np.asarray(list(targets), dtype=np.intp)
+    if targets.size == 0:
+        raise ValueError("target set must not be empty")
+    if targets.min() < 0 or targets.max() >= n:
+        raise ValueError(f"target ids must lie in [0, {n}), got range "
+                         f"[{targets.min()}, {targets.max()}]")
+    if len(np.unique(targets)) != len(targets):
+        raise ValueError("target ids must be unique")
+    return targets

@@ -1,0 +1,38 @@
+"""Minimal logging setup shared across the library.
+
+Library code never configures the root logger; it only creates namespaced
+children under ``repro``.  ``configure()`` is an opt-in convenience for the
+examples and benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("attacks.binarized")`` → logger ``repro.attacks.binarized``.
+    Passing a name already rooted at ``repro`` keeps it unchanged.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure(level: int = logging.INFO, stream=None) -> None:
+    """Attach a stream handler to the ``repro`` logger (idempotent)."""
+    global _configured
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if _configured:
+        return
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(handler)
+    _configured = True

@@ -1,0 +1,81 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps
+experiments reproducible: a single root seed deterministically fans out into
+independent streams for dataset generation, target sampling, attack
+initialisation and model training.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(rng: "int | np.random.Generator | np.random.SeedSequence | None") -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a non-deterministic generator; an ``int`` or
+    :class:`numpy.random.SeedSequence` produces a deterministic one; an
+    existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_generators(rng: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` statistically independent generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_generator(rng)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class SeedSequenceFactory:
+    """Named, reproducible seed streams derived from one root seed.
+
+    The same ``(root_seed, name)`` pair always yields the same generator, no
+    matter in which order streams are requested.  Experiment drivers use this
+    to keep e.g. graph generation stable while varying attack seeds.
+
+    Example
+    -------
+    >>> factory = SeedSequenceFactory(7)
+    >>> g1 = factory.generator("dataset")
+    >>> g2 = SeedSequenceFactory(7).generator("dataset")
+    >>> int(g1.integers(1 << 30)) == int(g2.integers(1 << 30))
+    True
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+
+    def _seed_for(self, name: str) -> np.random.SeedSequence:
+        # Stable hash: python's hash() is salted per-process, so fold the
+        # name's bytes into the entropy explicitly.
+        name_entropy = list(name.encode("utf-8"))
+        return np.random.SeedSequence(entropy=self.root_seed, spawn_key=tuple(name_entropy))
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return the deterministic generator for stream ``name``."""
+        return np.random.default_rng(self._seed_for(name))
+
+    def seed(self, name: str) -> int:
+        """Return a deterministic 63-bit integer seed for stream ``name``."""
+        return int(self.generator(name).integers(0, 2**63 - 1))
+
+    def generators(self, names: Iterable[str]) -> dict[str, np.random.Generator]:
+        """Return a dict of generators, one per name."""
+        return {name: self.generator(name) for name in names}

@@ -1,0 +1,56 @@
+"""Serialization helpers for experiment artefacts.
+
+Experiment drivers persist their numeric series (the rows of each paper table
+and the x/y pairs of each figure) as JSON, and heavyweight arrays (adjacency
+matrices, embeddings) as ``.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(path: "str | Path", payload: Any, *, indent: int = 2) -> Path:
+    """Write ``payload`` as JSON, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=indent, cls=_NumpyEncoder) + "\n")
+    return path
+
+
+def load_json(path: "str | Path") -> Any:
+    """Read JSON written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_npz(path: "str | Path", arrays: Mapping[str, np.ndarray]) -> Path:
+    """Write named arrays to a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    return path
+
+
+def load_npz(path: "str | Path") -> dict[str, np.ndarray]:
+    """Read a ``.npz`` archive into a plain dict of arrays."""
+    with np.load(Path(path)) as data:
+        return {k: data[k] for k in data.files}

@@ -1,0 +1,47 @@
+"""Wall-clock timing helpers used by the experiment drivers."""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, TypeVar
+
+from repro.utils.logging import get_logger
+
+T = TypeVar("T")
+_log = get_logger("utils.timing")
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+        if self.label:
+            _log.debug("%s took %.3fs", self.label, self.elapsed)
+
+
+def timed(fn: Callable[..., T]) -> Callable[..., T]:
+    """Decorator logging the wall-clock duration of each call at DEBUG."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with Timer(fn.__qualname__):
+            return fn(*args, **kwargs)
+
+    return wrapper

@@ -1,0 +1,97 @@
+"""Tests for the attack framework (AttackResult, apply_flips, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult, apply_flips, validate_targets
+from repro.graph.generators import erdos_renyi
+
+
+class TestValidateTargets:
+    def test_passes_valid(self):
+        assert validate_targets([2, 0, 1], 5) == [2, 0, 1]
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_targets([], 5)
+
+    def test_duplicates(self):
+        with pytest.raises(ValueError, match="unique"):
+            validate_targets([1, 1], 5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            validate_targets([5], 5)
+        with pytest.raises(ValueError, match="range"):
+            validate_targets([-1], 5)
+
+
+class TestApplyFlips:
+    def test_add_and_delete(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        poisoned = apply_flips(adjacency, [(0, 1), (1, 2)])
+        assert poisoned[0, 1] == 0.0 and poisoned[1, 0] == 0.0
+        assert poisoned[1, 2] == 1.0 and poisoned[2, 1] == 1.0
+
+    def test_original_untouched(self):
+        adjacency = np.zeros((2, 2))
+        apply_flips(adjacency, [(0, 1)])
+        assert adjacency[0, 1] == 0.0
+
+    def test_double_flip_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            apply_flips(np.zeros((3, 3)), [(0, 1), (1, 0)])
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            apply_flips(np.zeros((3, 3)), [(1, 1)])
+
+
+class TestAttackResult:
+    def _result(self, graph):
+        return AttackResult(
+            method="test",
+            original=graph.adjacency,
+            flips_by_budget={0: [], 1: [(0, 1)], 2: [(0, 1), (2, 3)]},
+        )
+
+    def test_budgets_sorted(self, small_er_graph):
+        result = self._result(small_er_graph)
+        assert result.budgets == [0, 1, 2]
+        assert result.max_budget == 2
+
+    def test_flips_default_max(self, small_er_graph):
+        result = self._result(small_er_graph)
+        assert result.flips() == [(0, 1), (2, 3)]
+        assert result.flips(1) == [(0, 1)]
+
+    def test_unknown_budget(self, small_er_graph):
+        with pytest.raises(KeyError):
+            self._result(small_er_graph).flips(7)
+
+    def test_poisoned_graph_valid(self, small_er_graph):
+        poisoned = self._result(small_er_graph).poisoned_graph()
+        adjacency = poisoned.adjacency_view
+        assert np.array_equal(adjacency, adjacency.T)
+
+    def test_overbudget_flips_rejected(self, small_er_graph):
+        with pytest.raises(ValueError, match="budget"):
+            AttackResult(
+                method="bad",
+                original=small_er_graph.adjacency,
+                flips_by_budget={1: [(0, 1), (1, 2)]},
+            )
+
+    def test_edges_changed_fraction(self, small_er_graph):
+        result = self._result(small_er_graph)
+        expected = 2 / small_er_graph.number_of_edges
+        assert result.edges_changed_fraction() == pytest.approx(expected)
+
+    def test_score_decrease_zero_for_empty_flips(self, small_er_graph):
+        result = self._result(small_er_graph)
+        assert result.score_decrease([0, 1], budget=0) == pytest.approx(0.0)
+
+    def test_invalid_original_rejected(self):
+        with pytest.raises(ValueError):
+            AttackResult(method="bad", original=np.ones((3, 3)), flips_by_budget={0: []})

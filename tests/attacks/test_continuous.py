@@ -1,0 +1,58 @@
+"""Tests for ContinuousA."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.continuous import ContinuousA
+from repro.oddball.detector import OddBall
+
+
+@pytest.fixture()
+def attack_setup(small_ba_graph):
+    report = OddBall().analyze(small_ba_graph)
+    targets = report.top_k(3).tolist()
+    return small_ba_graph, targets
+
+
+class TestContinuousA:
+    def test_budget_respected(self, attack_setup):
+        graph, targets = attack_setup
+        result = ContinuousA(max_iter=50).attack(graph, targets, budget=5)
+        assert len(result.flips()) <= 5
+
+    def test_poisoned_graph_valid(self, attack_setup):
+        graph, targets = attack_setup
+        result = ContinuousA(max_iter=50).attack(graph, targets, budget=5)
+        poisoned = result.poisoned()
+        assert np.array_equal(poisoned, poisoned.T)
+        assert set(np.unique(poisoned)) <= {0.0, 1.0}
+        assert np.diagonal(poisoned).sum() == 0.0
+
+    def test_relaxation_moves_mass(self, attack_setup):
+        graph, targets = attack_setup
+        result = ContinuousA(max_iter=50).attack(graph, targets, budget=5)
+        assert result.metadata["fractional_mass"] > 0.0
+        assert result.metadata["iterations"] >= 1
+
+    def test_converges_early_with_loose_tol(self, attack_setup):
+        graph, targets = attack_setup
+        result = ContinuousA(max_iter=500, tol=1e9).attack(graph, targets, budget=2)
+        assert result.metadata["iterations"] <= 3
+
+    def test_flips_ranked_by_relaxed_difference(self, attack_setup):
+        """Budget-b flips are a prefix of the full ranked flip list."""
+        graph, targets = attack_setup
+        result = ContinuousA(max_iter=50).attack(graph, targets, budget=5)
+        full = result.flips(5)
+        for b in range(len(full)):
+            assert result.flips(b) == full[:b]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ContinuousA(max_iter=0)
+
+    def test_no_singletons(self, attack_setup):
+        graph, targets = attack_setup
+        result = ContinuousA(max_iter=50).attack(graph, targets, budget=10)
+        degrees = result.poisoned().sum(axis=1)
+        assert not ((degrees == 0) & (graph.degrees() > 0)).any()

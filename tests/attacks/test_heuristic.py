@@ -1,0 +1,119 @@
+"""Tests for the OddBall-specific heuristic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.heuristic import OddBallHeuristic
+from repro.attacks.random_attack import RandomAttack
+from repro.graph.anomaly import inject_near_clique, inject_near_star
+from repro.graph.generators import erdos_renyi
+from repro.oddball.detector import OddBall
+
+
+class TestOddBallHeuristic:
+    def test_budget_and_validity(self, small_ba_graph):
+        targets = OddBall().analyze(small_ba_graph).top_k(3).tolist()
+        result = OddBallHeuristic(rng=0).attack(small_ba_graph, targets, budget=6)
+        assert len(result.flips()) <= 6
+        poisoned = result.poisoned()
+        assert np.array_equal(poisoned, poisoned.T)
+        assert set(np.unique(poisoned)) <= {0.0, 1.0}
+        assert np.diagonal(poisoned).sum() == 0.0
+
+    def test_clique_target_gets_deletions(self):
+        g = erdos_renyi(80, 0.05, rng=0)
+        inject_near_clique(g, 3, clique_size=10, density=0.95, rng=1)
+        result = OddBallHeuristic(rng=0).attack(g, [3], budget=5)
+        flips = result.flips()
+        assert flips, "heuristic found no step"
+        adjacency = g.adjacency_view
+        deletions = sum(1 for u, v in flips if adjacency[u, v] == 1.0)
+        assert deletions == len(flips)  # above the line -> only deletions
+
+    def test_star_target_gets_additions(self):
+        from repro.graph.generators import barabasi_albert
+
+        # BA base: the power-law fit has beta1 > 1, so a 30-leaf star sits
+        # clearly below the line (E=103 vs expected ~115 on this seed).
+        g = barabasi_albert(80, 3, rng=0)
+        inject_near_star(g, 5, n_leaves=30, rng=1)
+        result = OddBallHeuristic(rng=0).attack(g, [5], budget=5)
+        flips = result.flips()
+        assert flips
+        adjacency = g.adjacency_view
+        additions = sum(1 for u, v in flips if adjacency[u, v] == 0.0)
+        assert additions == len(flips)  # below the line -> only additions
+        # all flips are within the star's egonet (neighbour pairs)
+        neighbors = set(g.neighbors(5).tolist())
+        for u, v in flips:
+            assert u in neighbors and v in neighbors
+
+    def test_decreases_scores_and_beats_random(self, small_ba_graph):
+        targets = OddBall().analyze(small_ba_graph).top_k(3).tolist()
+        heuristic = OddBallHeuristic(rng=0).attack(small_ba_graph, targets, budget=8)
+        random = RandomAttack(rng=0).attack(small_ba_graph, targets, budget=8)
+        assert heuristic.score_decrease(targets) > 0.0
+        assert heuristic.score_decrease(targets) > random.score_decrease(targets)
+
+    def test_stops_when_no_step_available(self):
+        from repro.graph.graph import Graph
+
+        # path graph: targets have < 2 neighbours or no flippable pair
+        path = Graph.from_edges(3, [(0, 1), (1, 2)])
+        result = OddBallHeuristic(rng=0).attack(path, [0], budget=5)
+        assert result.metadata["steps_taken"] <= 1
+
+    def test_deterministic(self, small_ba_graph):
+        targets = OddBall().analyze(small_ba_graph).top_k(2).tolist()
+        a = OddBallHeuristic(rng=4).attack(small_ba_graph, targets, budget=4)
+        b = OddBallHeuristic(rng=4).attack(small_ba_graph, targets, budget=4)
+        assert a.flips() == b.flips()
+
+
+class TestWeightedTargets:
+    """The κ-weighted objective extension (Section IV-B)."""
+
+    def test_weighted_surrogate_scales(self, small_ba_graph):
+        from repro.oddball.surrogate import surrogate_loss_numpy
+
+        targets = OddBall().analyze(small_ba_graph).top_k(2).tolist()
+        base = surrogate_loss_numpy(small_ba_graph.adjacency, targets)
+        doubled = surrogate_loss_numpy(small_ba_graph.adjacency, targets, [2.0, 2.0])
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_weight_validation(self, small_ba_graph):
+        from repro.oddball.surrogate import surrogate_loss_numpy
+
+        targets = OddBall().analyze(small_ba_graph).top_k(2).tolist()
+        with pytest.raises(ValueError):
+            surrogate_loss_numpy(small_ba_graph.adjacency, targets, [1.0])
+        with pytest.raises(ValueError):
+            surrogate_loss_numpy(small_ba_graph.adjacency, targets, [1.0, -1.0])
+
+    def test_attack_focuses_on_heavy_target(self, small_ba_graph):
+        """An extreme κ on one target skews the poison toward it."""
+        from repro.attacks.gradmax import GradMaxSearch
+        from repro.oddball.scores import anomaly_scores
+
+        report = OddBall().analyze(small_ba_graph)
+        targets = report.top_k(2).tolist()
+        heavy, light = targets[1], targets[0]
+        result = GradMaxSearch().attack(
+            small_ba_graph, targets, budget=6, target_weights=[0.001, 1000.0]
+        )
+        before = anomaly_scores(small_ba_graph.adjacency)
+        after = anomaly_scores(result.poisoned())
+        heavy_drop = before[heavy] - after[heavy]
+        light_drop = before[light] - after[light]
+        assert heavy_drop >= light_drop - 1e-6
+
+    def test_weighted_score_decrease_metric(self, small_ba_graph):
+        from repro.attacks.gradmax import GradMaxSearch
+
+        targets = OddBall().analyze(small_ba_graph).top_k(2).tolist()
+        result = GradMaxSearch().attack(small_ba_graph, targets, budget=4)
+        uniform = result.score_decrease(targets)
+        weighted = result.score_decrease(targets, weights=[1.0, 1.0])
+        assert uniform == pytest.approx(weighted)
+        with pytest.raises(ValueError):
+            result.score_decrease(targets, weights=[1.0])

@@ -1,0 +1,38 @@
+"""Tests for the random baseline attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.random_attack import RandomAttack
+
+
+class TestRandomAttack:
+    def test_budget_and_validity(self, small_er_graph):
+        result = RandomAttack(rng=0).attack(small_er_graph, [0, 1], budget=5)
+        assert len(result.flips()) <= 5
+        poisoned = result.poisoned()
+        assert np.array_equal(poisoned, poisoned.T)
+        assert set(np.unique(poisoned)) <= {0.0, 1.0}
+
+    def test_deterministic_given_seed(self, small_er_graph):
+        a = RandomAttack(rng=7).attack(small_er_graph, [0], budget=4)
+        b = RandomAttack(rng=7).attack(small_er_graph, [0], budget=4)
+        assert a.flips() == b.flips()
+
+    def test_target_biased_touches_targets(self, small_er_graph):
+        targets = [3, 5]
+        result = RandomAttack(rng=1, target_biased=True).attack(
+            small_er_graph, targets, budget=6
+        )
+        for u, v in result.flips():
+            assert u in targets or v in targets
+
+    def test_no_singletons(self, small_ba_graph):
+        result = RandomAttack(rng=2).attack(small_ba_graph, [0], budget=20)
+        degrees = result.poisoned().sum(axis=1)
+        assert not ((degrees == 0) & (small_ba_graph.degrees() > 0)).any()
+
+    def test_surrogate_recorded_per_budget(self, small_er_graph):
+        result = RandomAttack(rng=3).attack(small_er_graph, [0, 1], budget=3)
+        assert 0 in result.surrogate_by_budget
+        assert len(result.surrogate_by_budget) >= 1

@@ -1,0 +1,132 @@
+"""Tests for the nn layer library."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor
+
+
+class TestModule:
+    def test_parameter_discovery_nested(self, rng):
+        class Inner(nn.Module):
+            def __init__(self):
+                self.linear = nn.Linear(2, 3, rng=rng)
+
+        class Outer(nn.Module):
+            def __init__(self):
+                self.inner = Inner()
+                self.extra = nn.Parameter(np.zeros(4))
+                self.stack = [nn.Linear(3, 1, rng=rng)]
+
+        model = Outer()
+        params = list(model.parameters())
+        # inner (W,b) + extra + stack linear (W,b)
+        assert len(params) == 5
+
+    def test_parameters_deduplicated(self, rng):
+        shared = nn.Parameter(np.zeros(2))
+
+        class Tied(nn.Module):
+            def __init__(self):
+                self.a = shared
+                self.b = shared
+
+        assert len(list(Tied().parameters())) == 1
+
+    def test_zero_grad(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.ReLU())
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_num_parameters(self, rng):
+        layer = nn.Linear(3, 4, rng=rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        snapshot = layer.state_dict()
+        original = layer.weight.data.copy()
+        layer.weight.data += 1.0
+        layer.load_state_dict(snapshot)
+        np.testing.assert_allclose(layer.weight.data, original)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        bad = {f"param_{i}": np.zeros((5, 5)) for i in range(2)}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(3, 5, rng=rng)
+        out = layer(Tensor(np.ones((7, 3))))
+        assert out.shape == (7, 5)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 5, rng=rng, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_affine_correct(self, rng):
+        layer = nn.Linear(2, 1, rng=rng)
+        layer.weight.data = np.array([[2.0], [3.0]])
+        layer.bias.data = np.array([1.0])
+        out = layer(Tensor(np.array([[1.0, 1.0]])))
+        assert out.data[0, 0] == pytest.approx(6.0)
+
+    def test_repr(self, rng):
+        assert "Linear(2, 3" in repr(nn.Linear(2, 3, rng=rng))
+
+
+class TestSequential:
+    def test_composition(self, rng):
+        model = nn.Sequential(nn.Linear(2, 4, rng=rng), nn.ReLU(), nn.Linear(4, 1, rng=rng))
+        assert len(model) == 3
+        assert model(Tensor(np.ones((5, 2)))).shape == (5, 1)
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_activations(self):
+        x = Tensor(np.array([[-1.0, 1.0]]))
+        np.testing.assert_allclose(nn.ReLU()(x).data, [[0.0, 1.0]])
+        np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh([[-1.0, 1.0]]))
+
+
+class TestGraphConvolution:
+    def test_shapes(self, rng, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        propagation = Tensor(nn.normalized_adjacency(adjacency))
+        features = Tensor(np.ones((adjacency.shape[0], 4)))
+        layer = nn.GraphConvolution(4, 8, rng=rng)
+        assert layer(propagation, features).shape == (adjacency.shape[0], 8)
+
+    def test_normalized_adjacency_symmetric_with_self_loops(self, small_er_graph):
+        normalized = nn.normalized_adjacency(small_er_graph.adjacency)
+        np.testing.assert_allclose(normalized, normalized.T)
+        assert (np.diagonal(normalized) > 0).all()
+
+    def test_normalized_adjacency_spectrum_bounded(self, small_er_graph):
+        normalized = nn.normalized_adjacency(small_er_graph.adjacency)
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+        assert eigenvalues.min() >= -1.0 - 1e-9
+
+    def test_isolated_node_safe(self):
+        adjacency = np.zeros((3, 3))
+        normalized = nn.normalized_adjacency(adjacency)
+        assert np.isfinite(normalized).all()

@@ -1,0 +1,145 @@
+"""Tests for multi-input ops: where, maximum, concatenate, binarize_ste, ..."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+
+class TestWhere:
+    def test_values(self):
+        out = ops.where([True, False], Tensor([1.0, 2.0]), Tensor([9.0, 9.0]))
+        np.testing.assert_allclose(out.data, [1.0, 9.0])
+
+    def test_grads_gate_correctly(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        ops.where([True, False], a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestMaxMin:
+    def test_maximum_values_and_grads(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_maximum_tie_splits(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(0.5)
+
+    def test_minimum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        out = ops.minimum(a, b)
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+
+
+class TestConcatenateStack:
+    def test_concatenate_values(self):
+        out = ops.concatenate([Tensor([1.0]), Tensor([2.0, 3.0])])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_concatenate_grads_split(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (ops.concatenate([a, b]) * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0])
+
+    def test_concatenate_axis1(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 1)), requires_grad=True)
+        out = ops.concatenate([a, b], axis=1)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(b.grad, np.ones((2, 1)))
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = ops.stack([a, b])
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_outer(self):
+        u = Tensor([1.0, 2.0], requires_grad=True)
+        v = Tensor([3.0, 4.0, 5.0], requires_grad=True)
+        out = ops.outer(u, v)
+        np.testing.assert_allclose(out.data, np.outer(u.data, v.data))
+        out.sum().backward()
+        np.testing.assert_allclose(u.grad, [12.0, 12.0])
+        np.testing.assert_allclose(v.grad, [3.0, 3.0, 3.0])
+
+    def test_outer_rejects_matrices(self):
+        with pytest.raises(ValueError):
+            ops.outer(Tensor(np.ones((2, 2))), Tensor([1.0]))
+
+
+class TestSymmetricFromUpper:
+    def test_scatter_values(self):
+        rows, cols = np.triu_indices(3, k=1)
+        out = ops.symmetric_from_upper(Tensor([1.0, 2.0, 3.0]), 3, rows, cols)
+        expected = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]], dtype=float)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradient_gathers_both_triangles(self):
+        rows, cols = np.triu_indices(3, k=1)
+        v = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        out = ops.symmetric_from_upper(v, 3, rows, cols)
+        weight = np.arange(9.0).reshape(3, 3)
+        (out * Tensor(weight)).sum().backward()
+        expected = weight[rows, cols] + weight[cols, rows]
+        np.testing.assert_allclose(v.grad, expected)
+
+    def test_rejects_lower_triangle_indices(self):
+        with pytest.raises(ValueError):
+            ops.symmetric_from_upper(Tensor([1.0]), 3, np.array([2]), np.array([0]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            ops.symmetric_from_upper(Tensor([1.0, 2.0]), 3, np.array([0]), np.array([1]))
+
+
+class TestBinarizeSTE:
+    def test_forward_sign_convention(self):
+        out = ops.binarize_ste(Tensor([-0.5, 0.0, 0.5]))
+        np.testing.assert_allclose(out.data, [-1.0, 1.0, 1.0])  # binarized(0) = +1
+
+    def test_straight_through_gradient(self):
+        x = Tensor([-0.5, 0.5], requires_grad=True)
+        ops.binarize_ste(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_clipped_ste_blocks_outside(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        ops.binarize_ste(x, clip=1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_unclipped(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        ops.binarize_ste(x, clip=None).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_paper_z_mapping(self):
+        """Ż >= 0.5  ⇒  Z = −binarized(2Ż−1) = −1 (flip)."""
+        zdot = Tensor([0.0, 0.49, 0.5, 1.0])
+        z = -ops.binarize_ste(2.0 * zdot - 1.0).data
+        np.testing.assert_allclose(z, [1.0, 1.0, -1.0, -1.0])
+
+
+class TestWrappers:
+    def test_exp_log_log1p(self):
+        np.testing.assert_allclose(ops.exp([0.0]).data, [1.0])
+        np.testing.assert_allclose(ops.log([np.e]).data, [1.0])
+        np.testing.assert_allclose(ops.log1p([0.0]).data, [0.0])

@@ -1,0 +1,106 @@
+"""Tests for the optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import optim
+from repro.autograd.tensor import Tensor
+
+
+def _quadratic_loss(parameter: Tensor) -> Tensor:
+    # minimum at (1, -2)
+    target = Tensor(np.array([1.0, -2.0]))
+    difference = parameter - target
+    return (difference * difference).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.zeros(2), requires_grad=True)
+            opt = optim.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                _quadratic_loss(p).backward()
+                opt.step()
+            return float(_quadratic_loss(p).data)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        optim.SGD([p], lr=0.1).step()  # no backward happened
+        assert p.data[0] == 1.0
+
+    def test_rejects_bad_lr(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            optim.SGD([p], lr=0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_rejects_non_grad_tensor(self):
+        with pytest.raises(ValueError):
+            optim.SGD([Tensor(np.ones(2))], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0, 5.0]), requires_grad=True)
+        opt = optim.Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            _quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0], atol=1e-3)
+
+    def test_bias_correction_first_step_scale(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = optim.Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 3.0).sum().backward()
+        opt.step()
+        # First Adam step is ≈ lr * sign(grad) regardless of magnitude.
+        assert p.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+
+class TestProjectedGradientDescent:
+    def test_projects_into_box(self):
+        p = Tensor(np.array([0.05, 0.95]), requires_grad=True)
+        opt = optim.ProjectedGradientDescent([p], lr=1.0, low=0.0, high=1.0)
+        opt.zero_grad()
+        (p * Tensor(np.array([1.0, -1.0]))).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 1.0])
+
+    def test_interior_step_unaffected(self):
+        p = Tensor(np.array([0.5]), requires_grad=True)
+        opt = optim.ProjectedGradientDescent([p], lr=0.1)
+        opt.zero_grad()
+        p.sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(0.4)
+
+    def test_rejects_bad_box(self):
+        p = Tensor(np.array([0.5]), requires_grad=True)
+        with pytest.raises(ValueError):
+            optim.ProjectedGradientDescent([p], lr=0.1, low=1.0, high=0.0)

@@ -1,0 +1,328 @@
+"""Unit tests for the Tensor core: arithmetic, broadcasting, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, as_tensor, grad_enabled, no_grad, unbroadcast
+
+
+class TestConstruction:
+    def test_data_is_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_leaf_flags(self):
+        t = Tensor(1.0, requires_grad=True)
+        assert t.is_leaf and t.requires_grad and t.grad is None
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(1.0))
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_numpy_returns_copy(self):
+        t = Tensor([1.0, 2.0])
+        arr = t.numpy()
+        arr[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_as_tensor_idempotent(self):
+        t = Tensor(1.0)
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor(2.0), Tensor)
+
+
+class TestArithmetic:
+    def test_add_and_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_radd_scalar(self):
+        a = Tensor([1.0], requires_grad=True)
+        (2.0 + a).backward(np.ones(1))
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_sub_grads(self):
+        a = Tensor(5.0, requires_grad=True)
+        b = Tensor(3.0, requires_grad=True)
+        (a - b).backward()
+        assert a.grad == 1.0 and b.grad == -1.0
+
+    def test_rsub(self):
+        a = Tensor(2.0, requires_grad=True)
+        (10.0 - a).backward()
+        assert a.grad == -1.0
+
+    def test_mul_grads(self):
+        a = Tensor(3.0, requires_grad=True)
+        b = Tensor(4.0, requires_grad=True)
+        (a * b).backward()
+        assert a.grad == 4.0 and b.grad == 3.0
+
+    def test_div_grads(self):
+        a = Tensor(6.0, requires_grad=True)
+        b = Tensor(3.0, requires_grad=True)
+        (a / b).backward()
+        assert a.grad == pytest.approx(1 / 3)
+        assert b.grad == pytest.approx(-6 / 9)
+
+    def test_rtruediv(self):
+        a = Tensor(4.0, requires_grad=True)
+        (8.0 / a).backward()
+        assert a.grad == pytest.approx(-8.0 / 16.0)
+
+    def test_neg(self):
+        a = Tensor(2.0, requires_grad=True)
+        (-a).backward()
+        assert a.grad == -1.0
+
+    def test_pow_scalar(self):
+        a = Tensor(3.0, requires_grad=True)
+        (a**2).backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_pow_tensor_exponent(self):
+        a = Tensor(2.0, requires_grad=True)
+        e = Tensor(3.0, requires_grad=True)
+        (a**e).backward()
+        assert a.grad == pytest.approx(3 * 2**2)
+        assert e.grad == pytest.approx(2**3 * np.log(2.0))
+
+    def test_value_correctness(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a * b + a / b - b).data, [3 + 1 / 3 - 3, 8 + 0.5 - 4])
+
+
+class TestBroadcasting:
+    def test_unbroadcast_leading_axis(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (3,)), [4.0, 4.0, 4.0])
+
+    def test_unbroadcast_kept_axis(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (1, 3)), [[4.0, 4.0, 4.0]])
+
+    def test_unbroadcast_scalar(self):
+        assert unbroadcast(np.ones((2, 2)), ()) == 4.0
+
+    def test_bias_add_grad(self):
+        x = Tensor(np.ones((5, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [5.0, 5.0, 5.0])
+        np.testing.assert_allclose(x.grad, np.ones((5, 3)))
+
+    def test_scalar_times_matrix(self):
+        s = Tensor(2.0, requires_grad=True)
+        m = Tensor(np.arange(6.0).reshape(2, 3))
+        (s * m).sum().backward()
+        assert s.grad == pytest.approx(15.0)
+
+
+class TestMatmul:
+    def test_matrix_matrix(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        b = Tensor(np.array([[5.0, 6.0], [7.0, 8.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 2)))
+
+    def test_matrix_vector(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        v = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(a.grad, np.outer(np.ones(2), v.data))
+        np.testing.assert_allclose(v.grad, a.data.T @ np.ones(2))
+
+    def test_vector_vector(self):
+        u = Tensor([1.0, 2.0], requires_grad=True)
+        v = Tensor([3.0, 4.0], requires_grad=True)
+        (u @ v).backward()
+        np.testing.assert_allclose(u.grad, v.data)
+        np.testing.assert_allclose(v.grad, u.data)
+
+    def test_vector_matrix(self):
+        u = Tensor([1.0, 2.0], requires_grad=True)
+        m = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]), requires_grad=True)
+        (u @ m).sum().backward()
+        np.testing.assert_allclose(u.grad, [1.0, 1.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.sum(axis=0, keepdims=True)
+        assert y.shape == (1, 3)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 0.25))
+
+    def test_max_grad_single(self):
+        x = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_grad_ties_split(self):
+        x = Tensor([5.0, 5.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_flatten(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.flatten().shape == (6,)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (x.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_diagonal_grad(self):
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        x.diagonal().sum().backward()
+        np.testing.assert_allclose(x.grad, np.eye(3))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "method,value,expected_grad",
+        [
+            ("exp", 1.0, np.e),
+            ("log", 2.0, 0.5),
+            ("sqrt", 4.0, 0.25),
+            ("abs", -3.0, -1.0),
+            ("tanh", 0.0, 1.0),
+        ],
+    )
+    def test_unary_grads(self, method, value, expected_grad):
+        x = Tensor(value, requires_grad=True)
+        getattr(x, method)().backward()
+        assert x.grad == pytest.approx(expected_grad)
+
+    def test_log1p(self):
+        x = Tensor(0.0, requires_grad=True)
+        x.log1p().backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_sigmoid_stable_large_negative(self):
+        x = Tensor(-800.0)
+        assert np.isfinite(x.sigmoid().data)
+
+    def test_sigmoid_grad(self):
+        x = Tensor(0.0, requires_grad=True)
+        x.sigmoid().backward()
+        assert x.grad == pytest.approx(0.25)
+
+    def test_relu(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_clamp_grad_gates(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clamp(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+        np.testing.assert_allclose(x.clamp(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+
+class TestBackwardMachinery:
+    def test_diamond_graph_accumulates(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * 3.0
+        z = y + y  # two paths through y
+        z.backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_reused_leaf_accumulates(self):
+        x = Tensor(3.0, requires_grad=True)
+        (x * x).backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_backward_twice_accumulates_into_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        assert x.grad == pytest.approx(4.0)
+
+    def test_zero_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+        (x * 2).backward(np.ones(2))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data == x.data
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert grad_enabled()
+
+    def test_constants_do_not_join_graph(self):
+        x = Tensor(1.0)
+        y = x + 1.0
+        assert not y.requires_grad and y.is_leaf

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.graph import Graph
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_er_graph() -> Graph:
+    """Connected-ish 40-node ER graph, deterministic."""
+    return erdos_renyi(40, 0.15, rng=7)
+
+
+@pytest.fixture()
+def small_ba_graph() -> Graph:
+    """60-node BA graph (m=3), deterministic and connected."""
+    return barabasi_albert(60, 3, rng=11)
+
+
+@pytest.fixture()
+def star_graph() -> Graph:
+    """Star on 8 nodes: node 0 is the hub."""
+    return Graph.from_edges(8, [(0, i) for i in range(1, 8)])
+
+
+@pytest.fixture()
+def clique_graph() -> Graph:
+    """K5 plus a pendant path so degrees differ."""
+    edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    edges += [(4, 5), (5, 6)]
+    return Graph.from_edges(7, edges)
+
+
+@pytest.fixture()
+def triangle_graph() -> Graph:
+    """A single triangle."""
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])

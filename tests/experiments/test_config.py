@@ -1,0 +1,40 @@
+"""Tests for scale presets."""
+
+import pytest
+
+from repro.experiments.config import CI, PAPER, SMOKE, Scale
+
+
+class TestScale:
+    def test_budgets_for_distinct_sorted_positive(self):
+        budgets = CI.budgets_for(500)
+        assert budgets == sorted(set(budgets))
+        assert all(b >= 1 for b in budgets)
+
+    def test_budgets_for_tiny_graph_collapse(self):
+        budgets = CI.budgets_for(10)
+        assert budgets[0] >= 1
+
+    def test_scaled(self):
+        assert PAPER.scaled(30) == 30
+        assert CI.scaled(30) == 8
+        assert SMOKE.scaled(1) == 1  # floor at 1
+
+    def test_with_override(self):
+        modified = CI.with_(n_repeats=9)
+        assert modified.n_repeats == 9
+        assert modified.graph_scale == CI.graph_scale
+        assert CI.n_repeats != 9  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CI.n_repeats = 3
+
+    def test_paper_matches_paper_protocol(self):
+        assert PAPER.graph_scale == 1.0
+        assert PAPER.n_repeats == 5
+        assert PAPER.permutation_resamples == 100_000
+
+    def test_presets_are_scales(self):
+        for preset in (PAPER, CI, SMOKE):
+            assert isinstance(preset, Scale)

@@ -1,0 +1,55 @@
+"""Integration tests for the transfer-attack experiment drivers (slower)."""
+
+import numpy as np
+
+from repro.experiments import fig8_9_embeddings, table3_gal, table4_refex
+from repro.experiments.config import SMOKE
+
+TINY = SMOKE.with_(
+    n_repeats=1, attack_iterations=25, gal_epochs=15, mlp_epochs=40, tsne_iterations=60
+)
+
+
+class TestTable3:
+    def test_gal_rows_wellformed(self):
+        payload = table3_gal.run(
+            scale=TINY, seed=3, datasets=("bitcoin-alpha",),
+            edge_fractions=(0.0, 0.02), max_targets=5,
+        )
+        data = payload["datasets"]["bitcoin-alpha"]
+        assert data["n_targets"] >= 1
+        rows = data["rows"]
+        assert rows[0]["budget"] == 0
+        assert rows[0]["delta_b_pct"] == 0.0
+        for row in rows:
+            assert 0.0 <= row["auc"] <= 1.0
+            assert 0.0 <= row["f1"] <= 1.0
+        assert "Table III" in table3_gal.format_results(payload)
+
+
+class TestTable4:
+    def test_refex_rows_wellformed(self):
+        payload = table4_refex.run(
+            scale=TINY, seed=3,
+            budgets_by_dataset={"bitcoin-alpha": (0, 4)}, max_targets=5,
+        )
+        rows = payload["datasets"]["bitcoin-alpha"]["rows"]
+        assert [r["budget"] for r in rows] == [0, 4]
+        assert "Table IV" in table4_refex.format_results(payload)
+
+
+class TestFig89:
+    def test_embedding_panel(self):
+        payload = fig8_9_embeddings.run(
+            scale=TINY, seed=3, panels=(("refex", "bitcoin-alpha", 30),)
+        )
+        panel = payload["panels"][0]
+        clean = np.array(panel["clean_coordinates"])
+        poisoned = np.array(panel["poisoned_coordinates"])
+        assert clean.shape == poisoned.shape
+        assert clean.shape[1] == 2
+        assert np.isfinite(clean).all()
+        for probe in ("clean_probe", "poisoned_probe"):
+            value = panel[probe]
+            assert np.isnan(value["auc"]) or 0.0 <= value["auc"] <= 1.0
+        assert "Figs 8/9" in fig8_9_embeddings.format_results(payload)

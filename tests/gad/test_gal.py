@@ -1,0 +1,85 @@
+"""Tests for the GAL transfer target."""
+
+import numpy as np
+import pytest
+
+from repro.gad.gal import GAL
+from repro.oddball.detector import OddBall
+
+
+@pytest.fixture()
+def labelled_graph(small_ba_graph):
+    labels = OddBall().label_anomalies(small_ba_graph, fraction=0.15)
+    train_index = np.arange(small_ba_graph.number_of_nodes)
+    return small_ba_graph, labels, train_index
+
+
+class TestMargins:
+    def test_minority_gets_larger_margin(self, labelled_graph):
+        graph, labels, train_index = labelled_graph
+        gal = GAL(margin_constant=2.0, rng=0)
+        margins = gal._margins(labels, train_index)
+        anomaly_margin = margins[labels == 1][0]
+        benign_margin = margins[labels == 0][0]
+        assert anomaly_margin > benign_margin
+
+    def test_margin_formula(self):
+        gal = GAL(margin_constant=1.0, rng=0)
+        labels = np.array([0] * 16 + [1] * 1)
+        margins = gal._margins(labels, np.arange(17))
+        assert margins[-1] == pytest.approx(1.0)  # C / 1^(1/4)
+        assert margins[0] == pytest.approx(1.0 / 16**0.25)
+
+
+class TestTraining:
+    def test_fit_produces_embeddings(self, labelled_graph):
+        graph, labels, train_index = labelled_graph
+        gal = GAL(epochs=15, embedding_dim=8, rng=0)
+        gal.fit(graph.adjacency, labels, train_index)
+        embeddings = gal.embeddings(graph.adjacency)
+        assert embeddings.shape == (graph.number_of_nodes, 8)
+        assert np.isfinite(embeddings).all()
+
+    def test_loss_decreases(self, labelled_graph):
+        graph, labels, train_index = labelled_graph
+        gal = GAL(epochs=40, rng=0)
+        gal.fit(graph.adjacency, labels, train_index)
+        first = np.mean(gal.loss_history_[:5])
+        last = np.mean(gal.loss_history_[-5:])
+        assert last < first
+
+    def test_sampled_pairs_respect_labels(self, labelled_graph):
+        graph, labels, train_index = labelled_graph
+        gal = GAL(rng=0)
+        anchors, same, other = gal._sample_pairs(train_index, labels)
+        assert (labels[anchors] == labels[same]).all()
+        assert (labels[anchors] != labels[other]).all()
+        assert (anchors != same).all()
+
+    def test_embeddings_separate_classes(self, labelled_graph):
+        """After training, same-class similarity beats cross-class (on average,
+        for both classes — the margin loss is anchored on every node)."""
+        graph, labels, train_index = labelled_graph
+        gal = GAL(epochs=150, rng=0)
+        gal.fit(graph.adjacency, labels, train_index)
+        z = gal.embeddings(graph.adjacency)
+        pos = z[labels == 1]
+        neg = z[labels == 0]
+        across = (pos @ neg.T).mean()
+        assert (pos @ pos.T).mean() > across
+        assert (neg @ neg.T).mean() > across
+
+    def test_requires_both_classes(self, small_ba_graph):
+        labels = np.zeros(small_ba_graph.number_of_nodes, dtype=int)
+        with pytest.raises(ValueError):
+            GAL(rng=0).fit(small_ba_graph.adjacency, labels, np.arange(len(labels)))
+
+    def test_embeddings_before_fit_raises(self, small_ba_graph):
+        with pytest.raises(RuntimeError):
+            GAL(rng=0).embeddings(small_ba_graph.adjacency)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GAL(margin_constant=0.0)
+        with pytest.raises(ValueError):
+            GAL(pairs_per_node=0)

@@ -1,0 +1,66 @@
+"""Tests for the GCN encoder and structural input features."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.gad.gcn import GCNEncoder, structural_features
+
+
+class TestStructuralFeatures:
+    def test_shape_and_standardisation(self, small_er_graph):
+        features = structural_features(small_er_graph.adjacency)
+        assert features.shape == (small_er_graph.number_of_nodes, 6)
+        np.testing.assert_allclose(features.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_hub_stands_out(self, star_graph):
+        features = structural_features(star_graph.adjacency)
+        # hub (node 0) has the largest standardised degree
+        assert features[0, 0] == features[:, 0].max()
+
+    def test_clustering_in_unit_range_before_scaling(self, triangle_graph):
+        adjacency = triangle_graph.adjacency
+        degrees = adjacency.sum(axis=1)
+        triangles = ((adjacency @ adjacency) * adjacency).sum(axis=1) / 2.0
+        possible = np.maximum(degrees * (degrees - 1) / 2.0, 1.0)
+        clustering = triangles / possible
+        assert ((clustering >= 0) & (clustering <= 1)).all()
+        assert clustering[0] == pytest.approx(1.0)  # triangle node fully clustered
+
+
+class TestGCNEncoder:
+    def test_embed_shapes(self, small_er_graph, rng):
+        encoder = GCNEncoder(6, hidden_dim=16, embedding_dim=8, rng=rng)
+        embeddings = encoder.embed(small_er_graph.adjacency)
+        assert embeddings.shape == (small_er_graph.number_of_nodes, 8)
+
+    def test_custom_features(self, small_er_graph, rng):
+        encoder = GCNEncoder(3, hidden_dim=8, embedding_dim=4, rng=rng)
+        features = np.ones((small_er_graph.number_of_nodes, 3))
+        embeddings = encoder.embed(small_er_graph.adjacency, features)
+        assert embeddings.shape == (small_er_graph.number_of_nodes, 4)
+
+    def test_gradients_reach_both_layers(self, small_er_graph, rng):
+        encoder = GCNEncoder(6, hidden_dim=8, embedding_dim=4, rng=rng)
+        out = encoder.embed(small_er_graph.adjacency)
+        assert isinstance(out, Tensor)
+        out.sum().backward()
+        assert encoder.layer1.weight.grad is not None
+        assert encoder.layer2.weight.grad is not None
+
+    def test_message_passing_uses_structure(self, rng):
+        """Connected nodes influence each other's embedding; distant less so."""
+        from repro.graph.graph import Graph
+
+        path = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        encoder = GCNEncoder(4, hidden_dim=8, embedding_dim=4, rng=rng)
+        features = np.eye(4)
+        base = encoder.embed(path.adjacency, features).data
+        bumped_features = features.copy()
+        bumped_features[0, 0] += 10.0
+        bumped = encoder.embed(path.adjacency, bumped_features).data
+        shift = np.abs(bumped - base).sum(axis=1)
+        # two GCN layers: the perturbation at node 0 reaches its 2-hop
+        # neighbourhood (nodes 0..2) but cannot reach node 3
+        assert shift[0] > shift[3]
+        assert shift[3] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,75 @@
+"""Tests for the MLP classification head."""
+
+import numpy as np
+import pytest
+
+from repro.gad.mlp import MLPClassifier
+
+
+def _moons_like(rng, n=200):
+    """Two noisy concentric-ish clusters, not linearly separable."""
+    angle = rng.uniform(0, 2 * np.pi, size=n)
+    radius = np.where(np.arange(n) < n // 2, 1.0, 3.0)
+    x = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+    x += rng.normal(0, 0.2, size=x.shape)
+    y = (np.arange(n) >= n // 2).astype(int)
+    return x, y
+
+
+class TestMLPClassifier:
+    def test_learns_nonlinear_boundary(self):
+        rng = np.random.default_rng(0)
+        x, y = _moons_like(rng)
+        model = MLPClassifier(2, hidden=(16,), epochs=400, rng=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        x, y = _moons_like(rng, n=100)
+        model = MLPClassifier(2, hidden=(8,), epochs=100, rng=0).fit(x, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_penultimate_shape(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 5))
+        y = rng.integers(0, 2, size=30)
+        model = MLPClassifier(5, hidden=(12, 6), epochs=20, rng=0).fit(x, y)
+        assert model.penultimate(x).shape == (30, 6)
+
+    def test_soft_labels_bounded(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, size=40)
+        model = MLPClassifier(3, epochs=30, rng=0).fit(x, y)
+        proba = model.predict_proba(x)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_balanced_weights_sum_and_direction(self):
+        model = MLPClassifier(2, rng=0)
+        labels = np.array([1.0, 0.0, 0.0, 0.0])
+        weights = model._sample_weights(labels)
+        assert weights[0] > weights[1]  # minority up-weighted
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_uniform_weights_when_disabled(self):
+        model = MLPClassifier(2, class_weight=None, rng=0)
+        np.testing.assert_allclose(model._sample_weights(np.array([1.0, 0.0])), 1.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(2, hidden=())
+        with pytest.raises(ValueError):
+            MLPClassifier(2, class_weight="bogus")
+        model = MLPClassifier(2, rng=0)
+        with pytest.raises(ValueError):
+            model.fit(np.ones((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            model.fit(np.ones((2, 2)), np.array([0, 2]))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(50, 3))
+        y = (x[:, 0] > 0).astype(int)
+        a = MLPClassifier(3, epochs=30, rng=11).fit(x, y).predict_proba(x)
+        b = MLPClassifier(3, epochs=30, rng=11).fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,111 @@
+"""Tests for ReFeX recursive features and vertical log binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gad.refex import ReFeX, vertical_log_binning
+from repro.graph.features import egonet_features
+
+
+class TestVerticalLogBinning:
+    def test_half_in_bin_zero(self):
+        codes = vertical_log_binning(np.arange(100.0), fraction=0.5, n_bins=4)
+        assert (codes == 0).sum() == 50
+
+    def test_codes_monotone_in_value(self):
+        values = np.array([5.0, 1.0, 9.0, 3.0])
+        codes = vertical_log_binning(values, n_bins=4)
+        order = np.argsort(values)
+        assert (np.diff(codes[order]) >= 0).all()
+
+    def test_codes_bounded(self):
+        codes = vertical_log_binning(np.random.default_rng(0).normal(size=50), n_bins=3)
+        assert codes.min() >= 0 and codes.max() <= 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 50), st.integers(1, 6))
+    def test_all_bins_valid_any_input(self, n, bins):
+        rng = np.random.default_rng(n)
+        codes = vertical_log_binning(rng.normal(size=n), n_bins=bins)
+        assert ((codes >= 0) & (codes < bins)).all()
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            vertical_log_binning(np.ones(3), fraction=0.0)
+        with pytest.raises(ValueError):
+            vertical_log_binning(np.ones(3), n_bins=0)
+
+
+class TestBaseFeatures:
+    def test_columns_match_known_quantities(self, small_er_graph):
+        refex = ReFeX()
+        base = refex.base_features(small_er_graph.adjacency)
+        degrees, e_within = egonet_features(small_er_graph.adjacency)
+        np.testing.assert_allclose(base[:, 0], degrees)
+        np.testing.assert_allclose(base[:, 1], e_within)
+        assert (base[:, 2] >= 0).all()
+
+    def test_star_boundary_edges(self, star_graph):
+        """For the star hub the egonet covers everything: E_out = 0."""
+        base = ReFeX().base_features(star_graph.adjacency)
+        assert base[0, 2] == pytest.approx(0.0)
+
+    def test_path_boundary_edges(self):
+        from repro.graph.graph import Graph
+
+        path = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        base = ReFeX().base_features(path.adjacency)
+        # node 0's egonet = {0,1}: one outgoing edge (1->2)
+        assert base[0, 2] == pytest.approx(1.0)
+
+
+class TestRecursion:
+    def test_feature_count_grows_per_level(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        base = ReFeX(levels=0).recursive_features(adjacency).shape[1]
+        one = ReFeX(levels=1).recursive_features(adjacency).shape[1]
+        two = ReFeX(levels=2).recursive_features(adjacency).shape[1]
+        assert base == 3
+        assert one == 3 + 6
+        assert two == 3 + 6 + 12
+
+    def test_isolated_nodes_safe(self):
+        adjacency = np.zeros((4, 4))
+        features = ReFeX(levels=2).recursive_features(adjacency)
+        assert np.isfinite(features).all()
+
+
+class TestTransform:
+    def test_binary_output(self, small_ba_graph):
+        embedding = ReFeX(levels=1, n_bins=4).transform(small_ba_graph.adjacency)
+        assert set(np.unique(embedding)) <= {0.0, 1.0}
+        assert embedding.shape[0] == small_ba_graph.number_of_nodes
+
+    def test_one_hot_rowsum_equals_feature_count(self, small_ba_graph):
+        refex = ReFeX(levels=1, n_bins=4)
+        embedding = refex.transform(small_ba_graph.adjacency)
+        retained = len(refex.retained_)
+        np.testing.assert_allclose(embedding.sum(axis=1), retained)
+
+    def test_pruning_drops_duplicate_features(self, small_ba_graph):
+        refex = ReFeX(levels=2, n_bins=4)
+        total = refex.recursive_features(small_ba_graph.adjacency).shape[1]
+        refex.transform(small_ba_graph.adjacency)
+        assert len(refex.retained_) <= total
+
+    def test_pruning_keeps_distinct_features(self):
+        """Features with genuinely different bin codes all survive."""
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2)])
+        refex = ReFeX(levels=0, n_bins=3)
+        refex.transform(g.adjacency)
+        assert len(refex.retained_) >= 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            ReFeX(levels=-1)
+        with pytest.raises(ValueError):
+            ReFeX(prune_tolerance=-2)

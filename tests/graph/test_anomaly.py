@@ -1,0 +1,94 @@
+"""Tests for anomaly injection (near-clique / near-star planting)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.anomaly import inject_near_clique, inject_near_star, plant_anomalies
+from repro.graph.generators import erdos_renyi
+from repro.oddball.detector import OddBall
+
+
+class TestInjectNearClique:
+    def test_densifies_egonet(self):
+        g = erdos_renyi(60, 0.05, rng=0)
+        center = 0
+        before = g.egonet(center).number_of_edges
+        added = inject_near_clique(g, center, clique_size=8, density=0.9, rng=1)
+        after = g.egonet(center).number_of_edges
+        assert after > before
+        assert len(added) > 0
+
+    def test_density_target_reached(self):
+        g = erdos_renyi(60, 0.02, rng=0)
+        inject_near_clique(g, 5, clique_size=8, density=0.95, rng=1)
+        members = [5] + list(g.neighbors(5))[:8]
+        sub = g.subgraph(members[:9])
+        possible = sub.number_of_nodes * (sub.number_of_nodes - 1) / 2
+        assert sub.number_of_edges / possible > 0.6
+
+    def test_returns_valid_edges(self):
+        g = erdos_renyi(40, 0.05, rng=0)
+        added = inject_near_clique(g, 3, clique_size=6, rng=2)
+        for u, v in added:
+            assert g.has_edge(u, v)
+            assert u < v
+
+    def test_raises_anomaly_score(self):
+        g = erdos_renyi(100, 0.04, rng=0)
+        detector = OddBall()
+        before = detector.scores(g)[7]
+        inject_near_clique(g, 7, clique_size=12, density=0.95, rng=1)
+        after = detector.scores(g)[7]
+        assert after > before
+
+
+class TestInjectNearStar:
+    def test_adds_leaves(self):
+        g = erdos_renyi(50, 0.05, rng=0)
+        degree_before = g.degree(2)
+        added = inject_near_star(g, 2, n_leaves=15, rng=1)
+        assert g.degree(2) == degree_before + len(added)
+        assert len(added) == 15
+
+    def test_prefers_low_degree_leaves(self):
+        g = erdos_renyi(80, 0.1, rng=0)
+        degrees_before = g.degrees()
+        added = inject_near_star(g, 0, n_leaves=10, rng=1)
+        leaves = [v for pair in added for v in pair if v != 0]
+        median_all = np.median(degrees_before)
+        assert np.median(degrees_before[leaves]) <= median_all + 1
+
+    def test_full_graph_noop(self):
+        from repro.graph.graph import Graph
+
+        g = Graph.complete(5)
+        assert inject_near_star(g, 0, 3, rng=0) == []
+
+    def test_star_raises_anomaly_score(self):
+        g = erdos_renyi(100, 0.03, rng=0)
+        detector = OddBall()
+        inject_near_star(g, 11, n_leaves=30, rng=1)
+        report = detector.analyze(g)
+        assert report.rank_of(11) < 15
+
+
+class TestPlantAnomalies:
+    def test_centers_returned_distinct(self):
+        g = erdos_renyi(100, 0.04, rng=0)
+        planted = plant_anomalies(g, n_cliques=3, n_stars=3, rng=1)
+        centers = planted["cliques"] + planted["stars"]
+        assert len(set(centers)) == 6
+
+    def test_planted_centers_score_high(self):
+        g = erdos_renyi(150, 0.03, rng=0)
+        planted = plant_anomalies(g, n_cliques=3, n_stars=3, clique_size=12,
+                                  star_leaves=25, rng=1)
+        report = OddBall().analyze(g)
+        top30 = set(report.top_k(30).tolist())
+        hits = sum(1 for c in planted["cliques"] + planted["stars"] if c in top30)
+        assert hits >= 4  # most planted anomalies are detectable
+
+    def test_too_many_anomalies_rejected(self):
+        g = erdos_renyi(10, 0.2, rng=0)
+        with pytest.raises(ValueError):
+            plant_anomalies(g, n_cliques=6, n_stars=6)

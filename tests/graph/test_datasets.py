@@ -1,0 +1,87 @@
+"""Tests for dataset stand-ins and subgraph sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_NAMES,
+    dataset_statistics,
+    load_dataset,
+    sample_connected_subgraph,
+)
+from repro.graph.generators import erdos_renyi
+
+#: Paper Table I (nodes, edges).
+TABLE_I = {
+    "er": (1000, 9948),
+    "ba": (1000, 4975),
+    "blogcatalog": (1000, 6190),
+    "wikivote": (1012, 4860),
+    "bitcoin-alpha": (1025, 2311),
+}
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_scaled_counts_match_table1(self, name):
+        scale = 0.25
+        dataset = load_dataset(name, rng=7, scale=scale)
+        nodes_target, edges_target = TABLE_I[name]
+        assert abs(dataset.n_nodes - nodes_target * scale) <= max(2, 0.02 * nodes_target * scale)
+        # ER/BA edge counts are random/formulaic; stand-ins are trimmed to 2%.
+        tolerance = 0.10 if name in ("er", "ba") else 0.04
+        assert abs(dataset.n_edges - edges_target * scale) <= tolerance * edges_target * scale
+
+    @pytest.mark.parametrize("name", ["blogcatalog", "wikivote", "bitcoin-alpha"])
+    def test_standins_have_planted_anomalies(self, name):
+        dataset = load_dataset(name, rng=7, scale=0.2)
+        assert len(dataset.planted["cliques"]) >= 2
+        assert len(dataset.planted["stars"]) >= 2
+
+    def test_deterministic(self):
+        a = load_dataset("wikivote", rng=3, scale=0.15)
+        b = load_dataset("wikivote", rng=3, scale=0.15)
+        assert a.graph == b.graph
+
+    def test_case_and_separator_insensitive(self):
+        assert load_dataset("Bitcoin_Alpha", rng=0, scale=0.1).name == "bitcoin-alpha"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("enron")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("er", scale=0.0)
+
+    def test_statistics_payload(self):
+        dataset = load_dataset("ba", rng=0, scale=0.1)
+        stats = dataset_statistics(dataset)
+        assert stats["nodes"] == dataset.n_nodes
+        assert stats["edges"] == dataset.n_edges
+        assert stats["max_degree"] >= stats["mean_degree"]
+
+
+class TestSampleConnectedSubgraph:
+    def test_result_connected_and_sized(self):
+        g = erdos_renyi(300, 0.02, rng=0)
+        sub = sample_connected_subgraph(g, 80, rng=1)
+        assert sub.number_of_nodes <= 80
+        assert sub.is_connected()
+
+    def test_requesting_more_than_component_returns_component(self):
+        g = erdos_renyi(50, 0.1, rng=0)
+        component_size = len(g.largest_component())
+        sub = sample_connected_subgraph(g, 10_000, rng=1)
+        assert sub.number_of_nodes == component_size
+
+    def test_invalid_size(self):
+        g = erdos_renyi(20, 0.2, rng=0)
+        with pytest.raises(ValueError):
+            sample_connected_subgraph(g, 0)
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(ValueError):
+            sample_connected_subgraph(Graph.empty(0), 5)

@@ -1,0 +1,114 @@
+"""Tests for the random graph generators (networkx as statistical oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import barabasi_albert, erdos_renyi, random_regular_ish, ring_lattice
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(300, 0.05, rng=0)
+        expected = 0.05 * 300 * 299 / 2
+        assert abs(g.number_of_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(20, 0.0, rng=0).number_of_edges == 0
+        assert erdos_renyi(20, 1.0, rng=0).number_of_edges == 190
+
+    def test_deterministic_given_seed(self):
+        assert erdos_renyi(50, 0.1, rng=3) == erdos_renyi(50, 0.1, rng=3)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(50, 0.1, rng=3) != erdos_renyi(50, 0.1, rng=4)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 0.5)
+
+    def test_degree_distribution_matches_networkx(self):
+        ours = erdos_renyi(400, 0.03, rng=1).degrees()
+        theirs = np.array([d for _, d in nx.gnp_random_graph(400, 0.03, seed=1).degree()])
+        assert abs(ours.mean() - theirs.mean()) < 1.0
+        assert abs(ours.std() - theirs.std()) < 1.0
+
+
+class TestBarabasiAlbert:
+    def test_edge_count_formula(self):
+        n, m = 100, 3
+        g = barabasi_albert(n, m, rng=0)
+        # Each of the (n - m) arriving nodes adds m edges.
+        assert g.number_of_edges == m * (n - m)
+
+    def test_connected(self):
+        assert barabasi_albert(200, 2, rng=5).is_connected()
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 3, rng=2)
+        degrees = g.degrees()
+        # Hubs far above the mean are the signature of preferential attachment.
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_max_degree_comparable_to_networkx(self):
+        ours = barabasi_albert(300, 4, rng=0).degrees().max()
+        theirs = max(d for _, d in nx.barabasi_albert_graph(300, 4, seed=0).degree())
+        assert 0.3 < ours / theirs < 3.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        assert barabasi_albert(60, 2, rng=9) == barabasi_albert(60, 2, rng=9)
+
+
+class TestRingLattice:
+    def test_regular_degrees(self):
+        g = ring_lattice(10, 2)
+        assert (g.degrees() == 4).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ring_lattice(4, 2)
+        with pytest.raises(ValueError):
+            ring_lattice(10, 0)
+
+
+class TestRandomRegularIsh:
+    def test_degree_sequence_preserved(self):
+        g = random_regular_ish(30, 4, rng=0)
+        assert (g.degrees() == 4).all()
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_ish(10, 3)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 40), st.floats(0.05, 0.5))
+    def test_er_always_valid_simple_graph(self, n, p):
+        g = erdos_renyi(n, p, rng=0)
+        adjacency = g.adjacency
+        assert np.array_equal(adjacency, adjacency.T)
+        assert np.diagonal(adjacency).sum() == 0
+        assert set(np.unique(adjacency)) <= {0.0, 1.0}
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 6), st.integers(10, 50))
+    def test_ba_always_valid_and_connected(self, m, extra):
+        n = m + extra
+        g = barabasi_albert(n, m, rng=1)
+        assert g.is_connected()
+        # Every *arriving* node (id >= m) attaches to m distinct targets;
+        # seed nodes may keep lower degree.
+        assert g.degrees()[m:].min() >= m

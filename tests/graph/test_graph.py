@@ -1,0 +1,181 @@
+"""Tests for the Graph type."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph.empty(5)
+        assert g.number_of_nodes == 5
+        assert g.number_of_edges == 0
+
+    def test_empty_negative(self):
+        with pytest.raises(ValueError):
+            Graph.empty(-1)
+
+    def test_complete(self):
+        g = Graph.complete(4)
+        assert g.number_of_edges == 6
+        assert all(g.degree(i) == 3 for i in range(4))
+
+    def test_from_edges(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1) and g.has_edge(2, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_from_edges_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_from_edges_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_rejects_asymmetric(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph(adjacency)
+
+    def test_rejects_nonbinary(self):
+        adjacency = np.full((2, 2), 0.5)
+        np.fill_diagonal(adjacency, 0.0)
+        with pytest.raises(ValueError, match="binary"):
+            Graph(adjacency)
+
+    def test_rejects_self_loops(self):
+        adjacency = np.eye(3)
+        with pytest.raises(ValueError, match="diagonal"):
+            Graph(adjacency)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            Graph(np.zeros((2, 3)))
+
+    def test_constructor_copies(self):
+        adjacency = np.zeros((2, 2))
+        g = Graph(adjacency)
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        assert g.number_of_edges == 0
+
+
+class TestQueries:
+    def test_adjacency_returns_copy(self, triangle_graph):
+        a = triangle_graph.adjacency
+        a[0, 1] = 0.0
+        assert triangle_graph.has_edge(0, 1)
+
+    def test_adjacency_view_readonly(self, triangle_graph):
+        view = triangle_graph.adjacency_view
+        with pytest.raises(ValueError):
+            view[0, 1] = 0.0
+
+    def test_degrees(self, star_graph):
+        degrees = star_graph.degrees()
+        assert degrees[0] == 7
+        assert (degrees[1:] == 1).all()
+
+    def test_neighbors_sorted(self, star_graph):
+        np.testing.assert_array_equal(star_graph.neighbors(0), np.arange(1, 8))
+
+    def test_edges_upper_triangle(self, triangle_graph):
+        assert set(triangle_graph.edges()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_edge_set(self, triangle_graph):
+        assert triangle_graph.edge_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_node_bounds_checked(self, triangle_graph):
+        with pytest.raises(IndexError):
+            triangle_graph.degree(10)
+        with pytest.raises(IndexError):
+            triangle_graph.neighbors(-1)
+
+
+class TestMutation:
+    def test_add_remove_flip(self):
+        g = Graph.empty(3)
+        g.add_edge(0, 1)
+        assert g.has_edge(1, 0)
+        g.remove_edge(0, 1)
+        assert g.number_of_edges == 0
+        g.flip_edge(1, 2)
+        assert g.has_edge(1, 2)
+        g.flip_edge(1, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_add_duplicate_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.add_edge(0, 1)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError):
+            Graph.empty(3).remove_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph.empty(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            g.flip_edge(2, 2)
+
+    def test_copy_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge(0, 1)
+        assert triangle_graph.has_edge(0, 1)
+
+
+class TestStructure:
+    def test_connected_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        components = g.connected_components()
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_is_connected(self, star_graph, triangle_graph):
+        assert star_graph.is_connected()
+        assert triangle_graph.is_connected()
+        assert not Graph.empty(2).is_connected()
+        assert Graph.empty(0).is_connected()
+
+    def test_largest_component(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        np.testing.assert_array_equal(g.largest_component(), [0, 1, 2])
+
+    def test_subgraph(self, clique_graph):
+        sub = clique_graph.subgraph([0, 1, 2])
+        assert sub.number_of_nodes == 3
+        assert sub.number_of_edges == 3
+
+    def test_subgraph_duplicate_nodes(self, clique_graph):
+        with pytest.raises(ValueError):
+            clique_graph.subgraph([0, 0])
+
+    def test_egonet_star_center(self, star_graph):
+        ego = star_graph.egonet(0)
+        assert ego.number_of_nodes == 8
+        assert ego.number_of_edges == 7
+
+    def test_egonet_leaf(self, star_graph):
+        ego = star_graph.egonet(3)
+        assert ego.number_of_nodes == 2
+        assert ego.number_of_edges == 1
+
+    def test_triangle_counts(self, triangle_graph, star_graph):
+        np.testing.assert_allclose(triangle_graph.triangle_counts(), [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(star_graph.triangle_counts(), np.zeros(8))
+
+
+class TestDunder:
+    def test_equality(self, triangle_graph):
+        assert triangle_graph == triangle_graph.copy()
+        assert triangle_graph != Graph.empty(3)
+        assert triangle_graph.__eq__(42) is NotImplemented
+
+    def test_unhashable(self, triangle_graph):
+        with pytest.raises(TypeError):
+            hash(triangle_graph)
+
+    def test_repr(self, triangle_graph):
+        assert repr(triangle_graph) == "Graph(n=3, m=3)"

@@ -1,0 +1,69 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = erdos_renyi(30, 0.2, rng=0)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="test graph")
+        loaded = read_edge_list(path, n_nodes=30, relabel=False)
+        assert loaded == g
+
+    def test_header_written_as_comment(self, tmp_path):
+        g = erdos_renyi(5, 0.5, rng=0)
+        path = write_edge_list(g, tmp_path / "g.txt", header="line1\nline2")
+        content = path.read_text()
+        assert content.startswith("# line1\n# line2")
+
+
+class TestReading:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.number_of_edges == 2
+
+    def test_duplicates_and_reversed_collapse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n0 1\n")
+        assert read_edge_list(path).number_of_edges == 1
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).number_of_edges == 1
+
+    def test_extra_columns_ignored(self, tmp_path):
+        """Weighted/timestamped SNAP formats parse (Bitcoin-Alpha style)."""
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10 1407470400\n1 2 -4 1407470400\n")
+        assert read_edge_list(path).number_of_edges == 2
+
+    def test_relabel_compacts_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        g = read_edge_list(path)
+        assert g.number_of_nodes == 3
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n")
+        g = read_edge_list(path, relabel=False)
+        assert g.number_of_nodes == 6
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("justonefield\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_n_nodes_too_small(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, n_nodes=2)

@@ -1,0 +1,91 @@
+"""Tests for the sparse fast paths (dense implementations as oracle)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.features import egonet_features
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.sparse import anomaly_scores_sparse, egonet_features_sparse, to_sparse
+from repro.oddball.scores import anomaly_scores
+
+
+class TestToSparse:
+    def test_accepts_graph_dense_and_sparse(self, small_er_graph):
+        dense = small_er_graph.adjacency
+        for source in (small_er_graph, dense, sparse.csr_matrix(dense)):
+            matrix = to_sparse(source)
+            assert sparse.issparse(matrix)
+            np.testing.assert_array_equal(matrix.toarray(), dense)
+
+    def test_rejects_asymmetric(self):
+        bad = sparse.csr_matrix(np.triu(np.ones((4, 4)), k=1))
+        with pytest.raises(ValueError, match="symmetric"):
+            to_sparse(bad)
+
+    def test_rejects_weighted(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = dense[1, 0] = 0.5
+        with pytest.raises(ValueError, match="binary"):
+            to_sparse(sparse.csr_matrix(dense))
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            to_sparse(sparse.eye(3, format="csr"))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            to_sparse(sparse.csr_matrix(np.zeros((2, 3))))
+
+
+class TestSparseFeatures:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense_er(self, seed):
+        g = erdos_renyi(120, 0.05, rng=seed)
+        n_dense, e_dense = egonet_features(g.adjacency_view)
+        n_sparse, e_sparse = egonet_features_sparse(g)
+        np.testing.assert_allclose(n_sparse, n_dense)
+        np.testing.assert_allclose(e_sparse, e_dense)
+
+    def test_matches_dense_ba(self):
+        g = barabasi_albert(200, 4, rng=3)
+        n_dense, e_dense = egonet_features(g.adjacency_view)
+        n_sparse, e_sparse = egonet_features_sparse(g)
+        np.testing.assert_allclose(n_sparse, n_dense)
+        np.testing.assert_allclose(e_sparse, e_dense)
+
+    def test_empty_graph(self):
+        n, e = egonet_features_sparse(sparse.csr_matrix((5, 5)))
+        np.testing.assert_allclose(n, 0.0)
+        np.testing.assert_allclose(e, 0.0)
+
+    def test_large_sparse_graph_memory_friendly(self):
+        """A 5000-node sparse graph processes without densifying."""
+        rng = np.random.default_rng(0)
+        n = 5000
+        rows = rng.integers(0, n, size=15000)
+        cols = rng.integers(0, n, size=15000)
+        mask = rows != cols
+        rows, cols = rows[mask], cols[mask]
+        matrix = sparse.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(n, n)
+        )
+        matrix = ((matrix + matrix.T) > 0).astype(np.float64)
+        matrix.setdiag(0.0)
+        matrix.eliminate_zeros()
+        n_feature, e_feature = egonet_features_sparse(matrix)
+        assert len(n_feature) == n
+        assert (e_feature >= n_feature - 1e-9).all()
+
+
+class TestSparseScores:
+    def test_matches_dense_scores(self, small_ba_graph):
+        dense_scores = anomaly_scores(small_ba_graph.adjacency)
+        sparse_scores = anomaly_scores_sparse(small_ba_graph)
+        np.testing.assert_allclose(sparse_scores, dense_scores)
+
+    def test_top_anomaly_agrees(self):
+        g = barabasi_albert(150, 3, rng=7)
+        dense_top = int(np.argmax(anomaly_scores(g.adjacency)))
+        sparse_top = int(np.argmax(anomaly_scores_sparse(g)))
+        assert dense_top == sparse_top

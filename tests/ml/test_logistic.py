@@ -1,0 +1,56 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 2))
+        y = (x @ np.array([1.0, -2.0]) > 0).astype(int)
+        model = LogisticRegression(2, rng=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        y = rng.integers(0, 2, size=50)
+        model = LogisticRegression(3, rng=0, epochs=50).fit(x, y)
+        proba = model.predict_proba(x)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegression(2, rng=0, epochs=100).fit(x, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_l2_shrinks_weights(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 2)) * 5
+        y = (x[:, 0] > 0).astype(int)
+        free = LogisticRegression(2, l2=0.0, rng=0).fit(x, y)
+        ridge = LogisticRegression(2, l2=1.0, rng=0).fit(x, y)
+        assert np.abs(ridge.linear.weight.data).sum() < np.abs(free.linear.weight.data).sum()
+
+    def test_threshold_parameter(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegression(2, rng=0, epochs=50).fit(x, y)
+        strict = model.predict(x, threshold=0.9).sum()
+        loose = model.predict(x, threshold=0.1).sum()
+        assert strict <= loose
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(2, l2=-1.0)
+        model = LogisticRegression(2, rng=0)
+        with pytest.raises(ValueError):
+            model.fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            model.fit(np.ones(3), np.ones(3))

@@ -1,0 +1,90 @@
+"""Tests for classification metrics (brute-force oracles + properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc_score,
+)
+
+
+def _auc_bruteforce(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Pair-counting definition: P(score+ > score−) + 0.5 P(tie)."""
+    pos = y_score[y_true == 1]
+    neg = y_score[y_true == 0]
+    wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+    return wins / (len(pos) * len(neg))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    def test_nonbinary_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 2], [0.1, 0.2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 1], [0.5])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 40), st.integers(0, 1000))
+    def test_matches_bruteforce(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=n)
+        if y_true.sum() in (0, n):
+            y_true[0] = 1 - y_true[0]
+        # Quantised scores force ties to be exercised.
+        y_score = rng.integers(0, 5, size=n) / 4.0
+        ours = roc_auc_score(y_true, y_score)
+        assert ours == pytest.approx(_auc_bruteforce(y_true, y_score))
+
+
+class TestConfusionDerived:
+    def test_confusion_matrix_layout(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 1]])
+
+    def test_precision_recall_f1_oracle(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0, 0])
+        # tp=2, fp=1, fn=1
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert accuracy(y_true, y_pred) == pytest.approx(5 / 7)
+
+    def test_degenerate_no_positive_predictions(self):
+        assert precision([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_degenerate_no_positives(self):
+        assert recall([0, 0], [0, 0]) == 0.0
+
+    def test_f1_harmonic_mean_property(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        p, r = precision(y_true, y_pred), recall(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_nonbinary_prediction_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0, 3])

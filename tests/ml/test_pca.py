@@ -1,0 +1,61 @@
+"""Tests for PCA."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA
+
+
+class TestPCA:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 6))
+        z = PCA(3).fit_transform(x)
+        assert z.shape == (50, 3)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(1)
+        pca = PCA(3).fit(rng.normal(size=(80, 5)))
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_first_component_captures_dominant_axis(self):
+        rng = np.random.default_rng(2)
+        direction = np.array([3.0, 4.0]) / 5.0
+        x = rng.normal(size=(200, 1)) * 10.0 @ direction[None, :]
+        x += rng.normal(size=(200, 2)) * 0.1
+        pca = PCA(1).fit(x)
+        cosine = abs(pca.components_[0] @ direction)
+        assert cosine > 0.99
+
+    def test_explained_variance_sorted_and_bounded(self):
+        rng = np.random.default_rng(3)
+        pca = PCA(4).fit(rng.normal(size=(100, 6)) * np.array([5, 3, 2, 1, 0.5, 0.1]))
+        ratios = pca.explained_variance_ratio_
+        assert (np.diff(ratios) <= 1e-12).all()
+        assert 0.0 < ratios.sum() <= 1.0 + 1e-12
+
+    def test_transform_centers_data(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(60, 3)) + 100.0
+        z = PCA(2).fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_reconstruction_error_small_for_low_rank(self):
+        rng = np.random.default_rng(5)
+        basis = rng.normal(size=(2, 8))
+        x = rng.normal(size=(100, 2)) @ basis
+        pca = PCA(2).fit(x)
+        z = pca.transform(x)
+        reconstruction = z @ pca.components_ + pca.mean_
+        assert np.abs(reconstruction - x).max() < 1e-8
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(5).fit(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            PCA(1).fit(np.ones(4))
+        with pytest.raises(RuntimeError):
+            PCA(1).transform(np.ones((2, 2)))

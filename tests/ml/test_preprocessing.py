@@ -1,0 +1,65 @@
+"""Tests for split/scaling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import StandardScaler, train_test_split_indices
+
+
+class TestTrainTestSplit:
+    def test_partition_complete_and_disjoint(self):
+        train, test = train_test_split_indices(100, test_fraction=0.3, rng=0)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_test_fraction_respected(self):
+        _, test = train_test_split_indices(200, test_fraction=0.25, rng=1)
+        assert len(test) == 50
+
+    def test_stratified_preserves_class_ratio(self):
+        labels = np.array([1] * 20 + [0] * 180)
+        train, test = train_test_split_indices(200, 0.3, rng=2, stratify=labels)
+        assert labels[test].sum() == pytest.approx(6, abs=1)
+        assert labels[train].sum() == pytest.approx(14, abs=1)
+
+    def test_stratified_partition_complete(self):
+        labels = np.array([0, 1] * 25)
+        train, test = train_test_split_indices(50, 0.2, rng=3, stratify=labels)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_deterministic(self):
+        a = train_test_split_indices(40, rng=7)
+        b = train_test_split_indices(40, rng=7)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(1)
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, stratify=np.zeros(5))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_passthrough(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_transform_uses_fit_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        np.testing.assert_allclose(scaler.transform(np.array([[4.0]])), [[3.0]])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,78 @@
+"""Tests for the permutation test and histogram densities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.stats import histogram_density, permutation_test
+
+
+class TestPermutationTest:
+    def test_identical_samples_high_p(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        result = permutation_test(x, x.copy(), n_resamples=500, rng=1)
+        assert result.p_value > 0.5
+        assert result.statistic == pytest.approx(0.0, abs=1e-12)
+
+    def test_shifted_samples_low_p(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, 1.0, size=150)
+        y = rng.normal(2.0, 1.0, size=150)
+        result = permutation_test(x, y, n_resamples=500, rng=1)
+        assert result.p_value < 0.01
+        assert result.rejects_at(0.01)
+
+    def test_p_value_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        result = permutation_test(rng.normal(size=20), rng.normal(size=30),
+                                  n_resamples=200, rng=3)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_same_distribution_p_roughly_uniform(self):
+        """Under H0 the p-value should rarely be tiny."""
+        rng = np.random.default_rng(4)
+        small = sum(
+            permutation_test(rng.normal(size=40), rng.normal(size=40),
+                             n_resamples=200, rng=k).p_value < 0.05
+            for k in range(20)
+        )
+        assert small <= 4
+
+    def test_deterministic_given_rng(self):
+        x, y = np.arange(10.0), np.arange(10.0) + 0.5
+        a = permutation_test(x, y, n_resamples=300, rng=9)
+        b = permutation_test(x, y, n_resamples=300, rng=9)
+        assert a.p_value == b.p_value
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_test(np.array([]), np.array([1.0]))
+
+    def test_bad_resamples(self):
+        with pytest.raises(ValueError):
+            permutation_test(np.ones(3), np.ones(3), n_resamples=0)
+
+    def test_unequal_sizes_supported(self):
+        result = permutation_test(np.ones(5), np.zeros(50), n_resamples=200, rng=0)
+        assert result.p_value < 0.05
+
+
+class TestHistogramDensity:
+    def test_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        centers, density = histogram_density(rng.normal(size=1000), bins=25)
+        width = centers[1] - centers[0]
+        assert (density * width).sum() == pytest.approx(1.0)
+
+    def test_respects_range(self):
+        centers, _ = histogram_density(np.array([1.0, 2.0]), bins=4, value_range=(0.0, 4.0))
+        assert centers[0] == pytest.approx(0.5)
+        assert centers[-1] == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_density(np.array([]))
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram_density(np.ones(3), bins=0)

@@ -1,0 +1,82 @@
+"""Tests for the t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tsne import TSNE, _conditional_probabilities, _pairwise_squared_distances
+
+
+class TestHelpers:
+    def test_pairwise_distances(self):
+        x = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        d = _pairwise_squared_distances(x)
+        assert d[0, 1] == pytest.approx(25.0)
+        assert d[0, 2] == pytest.approx(1.0)
+        np.testing.assert_allclose(np.diagonal(d), 0.0)
+
+    def test_conditional_probabilities_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        d = _pairwise_squared_distances(rng.normal(size=(20, 3)))
+        p = _conditional_probabilities(d, perplexity=5.0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-6)
+        np.testing.assert_allclose(np.diagonal(p), 0.0)
+
+    def test_perplexity_calibration(self):
+        rng = np.random.default_rng(1)
+        d = _pairwise_squared_distances(rng.normal(size=(30, 4)))
+        target = 8.0
+        p = _conditional_probabilities(d, perplexity=target)
+        entropies = -(p * np.log(p + 1e-12)).sum(axis=1)
+        np.testing.assert_allclose(np.exp(entropies), target, rtol=0.05)
+
+
+class TestTSNE:
+    def test_output_shape_and_finite(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 10))
+        z = TSNE(n_iter=100, rng=0).fit_transform(x)
+        assert z.shape == (40, 2)
+        assert np.isfinite(z).all()
+
+    def test_two_blobs_stay_separated(self):
+        rng = np.random.default_rng(3)
+        blob_a = rng.normal(0.0, 0.3, size=(25, 5))
+        blob_b = rng.normal(6.0, 0.3, size=(25, 5))
+        x = np.vstack([blob_a, blob_b])
+        z = TSNE(n_iter=250, perplexity=10, rng=0).fit_transform(x)
+        center_a = z[:25].mean(axis=0)
+        center_b = z[25:].mean(axis=0)
+        spread = max(z[:25].std(), z[25:].std())
+        assert np.linalg.norm(center_a - center_b) > 2.0 * spread
+
+    def test_kl_divergence_recorded(self):
+        rng = np.random.default_rng(4)
+        model = TSNE(n_iter=60, rng=0)
+        model.fit_transform(rng.normal(size=(15, 4)))
+        assert model.kl_divergence_ is not None
+        assert np.isfinite(model.kl_divergence_)
+
+    def test_random_init(self):
+        rng = np.random.default_rng(5)
+        z = TSNE(n_iter=50, init="random", rng=0).fit_transform(rng.normal(size=(12, 3)))
+        assert z.shape == (12, 2)
+
+    def test_perplexity_capped_for_small_n(self):
+        rng = np.random.default_rng(6)
+        # would violate 3*perplexity < n-1 without the internal cap
+        z = TSNE(n_iter=50, perplexity=30, rng=0).fit_transform(rng.normal(size=(10, 3)))
+        assert z.shape == (10, 2)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            TSNE(n_components=0)
+        with pytest.raises(ValueError):
+            TSNE(perplexity=0.5)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=5)
+        with pytest.raises(ValueError):
+            TSNE(init="bogus")
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.ones(5))

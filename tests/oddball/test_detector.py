@@ -1,0 +1,86 @@
+"""Tests for the OddBall detector facade."""
+
+import numpy as np
+import pytest
+
+from repro.graph.anomaly import inject_near_star
+from repro.graph.generators import erdos_renyi
+from repro.oddball.detector import OddBall
+
+
+class TestAnalyze:
+    def test_report_fields(self, small_er_graph):
+        report = OddBall().analyze(small_er_graph)
+        n = small_er_graph.number_of_nodes
+        assert report.scores.shape == (n,)
+        assert report.n_feature.shape == (n,)
+        assert report.e_feature.shape == (n,)
+        assert np.isfinite(report.scores).all()
+
+    def test_accepts_raw_adjacency(self, small_er_graph):
+        report_graph = OddBall().analyze(small_er_graph)
+        report_matrix = OddBall().analyze(small_er_graph.adjacency)
+        np.testing.assert_allclose(report_graph.scores, report_matrix.scores)
+
+    def test_top_k_order(self, small_ba_graph):
+        report = OddBall().analyze(small_ba_graph)
+        top = report.top_k(5)
+        scores = report.scores[top]
+        assert (np.diff(scores) <= 1e-12).all()
+
+    def test_top_k_validation(self, small_er_graph):
+        report = OddBall().analyze(small_er_graph)
+        with pytest.raises(ValueError):
+            report.top_k(-1)
+        assert len(report.top_k(0)) == 0
+
+    def test_rank_of_consistent_with_top_k(self, small_ba_graph):
+        report = OddBall().analyze(small_ba_graph)
+        best = int(report.top_k(1)[0])
+        assert report.rank_of(best) == 0
+
+    def test_target_score_sum(self, small_er_graph):
+        detector = OddBall()
+        report = detector.analyze(small_er_graph)
+        targets = [0, 1, 2]
+        expected = float(report.scores[targets].sum())
+        assert detector.target_score_sum(small_er_graph, targets) == pytest.approx(expected)
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("estimator", ["ols", "huber", "ransac"])
+    def test_all_estimators_run(self, estimator, small_er_graph):
+        detector = OddBall(estimator=estimator, rng=0)
+        scores = detector.scores(small_er_graph)
+        assert np.isfinite(scores).all()
+
+    def test_planted_star_found_by_all(self):
+        g = erdos_renyi(120, 0.05, rng=0)
+        inject_near_star(g, 4, n_leaves=40, rng=1)
+        for estimator in ("ols", "huber", "ransac"):
+            report = OddBall(estimator=estimator, rng=0).analyze(g)
+            assert report.rank_of(4) < 10
+
+
+class TestLabelAnomalies:
+    def test_fraction_labels_count(self, small_er_graph):
+        labels = OddBall().label_anomalies(small_er_graph, fraction=0.1)
+        assert labels.sum() == max(int(round(0.1 * small_er_graph.number_of_nodes)), 1)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_threshold_labels(self, small_er_graph):
+        detector = OddBall()
+        scores = detector.scores(small_er_graph)
+        labels = detector.label_anomalies(small_er_graph, threshold=float(np.median(scores)))
+        assert labels.sum() >= 1
+
+    def test_exactly_one_mode_required(self, small_er_graph):
+        detector = OddBall()
+        with pytest.raises(ValueError):
+            detector.label_anomalies(small_er_graph)
+        with pytest.raises(ValueError):
+            detector.label_anomalies(small_er_graph, fraction=0.1, threshold=1.0)
+
+    def test_fraction_bounds(self, small_er_graph):
+        with pytest.raises(ValueError):
+            OddBall().label_anomalies(small_er_graph, fraction=1.5)

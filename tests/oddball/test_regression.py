@@ -1,0 +1,107 @@
+"""Tests for the power-law OLS fit (numpy oracle + differentiable version)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.tensor import Tensor
+from repro.oddball.regression import (
+    PowerLawFit,
+    fit_power_law,
+    fit_power_law_tensor,
+    predict_log_e,
+)
+
+
+def _lstsq_oracle(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    design = np.column_stack([np.ones_like(x), x])
+    beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(beta[0]), float(beta[1])
+
+
+class TestFitPowerLaw:
+    def test_matches_lstsq(self):
+        rng = np.random.default_rng(0)
+        n = rng.integers(2, 40, size=50).astype(float)
+        e = n ** 1.4 * np.exp(rng.normal(0, 0.1, size=50))
+        fit = fit_power_law(n, e, ridge=0.0)
+        b0, b1 = _lstsq_oracle(np.log(n), np.log(e))
+        assert fit.beta0 == pytest.approx(b0, abs=1e-8)
+        assert fit.beta1 == pytest.approx(b1, abs=1e-8)
+
+    def test_recovers_exact_power_law(self):
+        n = np.array([2.0, 4.0, 8.0, 16.0])
+        e = 3.0 * n**1.5
+        fit = fit_power_law(n, e, ridge=0.0)
+        assert fit.beta0 == pytest.approx(np.log(3.0))
+        assert fit.beta1 == pytest.approx(1.5)
+
+    def test_default_mask_excludes_isolated(self):
+        n = np.array([0.0, 2.0, 4.0, 8.0])
+        e = np.array([0.0, 4.0, 16.0, 64.0])
+        fit = fit_power_law(n, e, ridge=0.0)
+        assert fit.beta1 == pytest.approx(2.0)
+
+    def test_explicit_mask(self):
+        n = np.array([2.0, 4.0, 100.0])
+        e = np.array([4.0, 16.0, 1.0])  # third point is junk
+        fit = fit_power_law(n, e, mask=np.array([True, True, False]), ridge=0.0)
+        assert fit.beta1 == pytest.approx(2.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([2.0]), np.array([4.0]))
+
+    def test_misaligned_shapes(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_degenerate_identical_x_is_finite_with_ridge(self):
+        n = np.full(10, 4.0)
+        e = np.linspace(2, 8, 10)
+        fit = fit_power_law(n, e)  # default ridge
+        assert np.isfinite(fit.beta0) and np.isfinite(fit.beta1)
+
+    def test_predict_e(self):
+        fit = PowerLawFit(beta0=np.log(2.0), beta1=1.0)
+        np.testing.assert_allclose(fit.predict_e(np.array([1.0, 3.0])), [2.0, 6.0])
+
+
+class TestFitPowerLawTensor:
+    def test_matches_numpy_version(self):
+        rng = np.random.default_rng(1)
+        log_n = rng.uniform(0.5, 3.0, size=30)
+        log_e = 0.3 + 1.6 * log_n + rng.normal(0, 0.05, size=30)
+        beta0_t, beta1_t = fit_power_law_tensor(Tensor(log_n), Tensor(log_e), ridge=0.0)
+        b0, b1 = _lstsq_oracle(log_n, log_e)
+        assert float(beta0_t.data) == pytest.approx(b0, abs=1e-8)
+        assert float(beta1_t.data) == pytest.approx(b1, abs=1e-8)
+
+    def test_gradients_flow_to_both_inputs(self):
+        log_n = np.array([0.5, 1.0, 1.5, 2.0])
+        log_e = np.array([1.0, 1.8, 2.9, 4.1])
+
+        def fn(x, y):
+            beta0, beta1 = fit_power_law_tensor(x, y)
+            return beta0 * 2.0 + beta1 * 3.0
+
+        assert gradcheck(fn, [log_n, log_e])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 20))
+    def test_betas_differentiable_random(self, size):
+        rng = np.random.default_rng(size)
+        log_n = rng.uniform(0.2, 2.0, size=size)
+        log_e = rng.uniform(0.2, 4.0, size=size)
+
+        def fn(x, y):
+            beta0, beta1 = fit_power_law_tensor(x, y)
+            return (y - predict_log_e(beta0, beta1, x)) ** 2
+
+        assert gradcheck(fn, [log_n, log_e], atol=1e-3, rtol=1e-3)
+
+    def test_predict_log_e(self):
+        rho = predict_log_e(Tensor(1.0), Tensor(2.0), Tensor(np.array([0.0, 1.0])))
+        np.testing.assert_allclose(rho.data, [1.0, 3.0])

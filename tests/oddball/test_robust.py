@@ -1,0 +1,84 @@
+"""Tests for Huber and RANSAC robust estimators."""
+
+import numpy as np
+import pytest
+
+from repro.oddball.regression import fit_power_law
+from repro.oddball.robust import fit_huber, fit_ransac, fit_with_estimator
+
+
+def _contaminated_sample(rng, n_points=60, n_outliers=8):
+    """Power law E = N^1.5 with a handful of gross outliers."""
+    n = rng.uniform(2.0, 40.0, size=n_points)
+    e = n**1.5 * np.exp(rng.normal(0, 0.02, size=n_points))
+    e[:n_outliers] = n[:n_outliers] ** 1.5 * 40.0  # contaminate
+    return n, e
+
+
+class TestHuber:
+    def test_clean_data_matches_ols(self):
+        rng = np.random.default_rng(0)
+        n = rng.uniform(2.0, 30.0, size=80)
+        e = 2.0 * n**1.3
+        huber = fit_huber(n, e)
+        ols = fit_power_law(n, e, ridge=0.0)
+        assert huber.beta1 == pytest.approx(ols.beta1, abs=1e-3)
+
+    def test_more_robust_than_ols(self):
+        rng = np.random.default_rng(1)
+        n, e = _contaminated_sample(rng)
+        huber = fit_huber(n, e)
+        ols = fit_power_law(n, e, ridge=0.0)
+        assert abs(huber.beta1 - 1.5) < abs(ols.beta1 - 1.5) + 1e-9
+        assert abs(huber.beta0) < abs(ols.beta0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            fit_huber(np.array([2.0, 3.0]), np.array([2.0, 3.0]), k=0.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_huber(np.array([2.0]), np.array([2.0]))
+
+
+class TestRansac:
+    def test_ignores_outliers(self):
+        rng = np.random.default_rng(2)
+        n, e = _contaminated_sample(rng)
+        ransac = fit_ransac(n, e, rng=0)
+        assert ransac.beta1 == pytest.approx(1.5, abs=0.1)
+        assert ransac.beta0 == pytest.approx(0.0, abs=0.3)
+
+    def test_deterministic_given_rng(self):
+        rng = np.random.default_rng(3)
+        n, e = _contaminated_sample(rng)
+        a = fit_ransac(n, e, rng=42)
+        b = fit_ransac(n, e, rng=42)
+        assert a == b
+
+    def test_degenerate_fallback(self):
+        """All-identical x cannot anchor a two-point line: falls back to OLS."""
+        n = np.full(10, 4.0)
+        e = np.linspace(2.0, 12.0, 10)
+        fit = fit_ransac(n, e, rng=0)
+        assert np.isfinite(fit.beta0) and np.isfinite(fit.beta1)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["ols", "huber", "ransac"])
+    def test_known_estimators(self, name):
+        rng = np.random.default_rng(4)
+        n = rng.uniform(2.0, 20.0, size=40)
+        e = n**1.4
+        fit = fit_with_estimator(n, e, estimator=name, rng=0)
+        assert fit.beta1 == pytest.approx(1.4, abs=0.15)
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            fit_with_estimator(np.array([2.0, 3.0]), np.array([2.0, 3.0]), estimator="magic")
+
+    def test_case_insensitive(self):
+        rng = np.random.default_rng(5)
+        n = rng.uniform(2.0, 20.0, size=30)
+        fit = fit_with_estimator(n, n**1.2, estimator="HUBER")
+        assert fit.beta1 == pytest.approx(1.2, abs=0.1)

@@ -1,0 +1,88 @@
+"""Tests for the Eq. 3 anomaly scores."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.oddball.regression import PowerLawFit
+from repro.oddball.scores import (
+    anomaly_scores,
+    anomaly_scores_with_fit,
+    proxy_scores,
+    score_from_features,
+)
+
+
+class TestScoreFromFeatures:
+    def test_zero_on_the_line(self):
+        fit = PowerLawFit(beta0=0.0, beta1=1.0)  # expected E = N
+        n = np.array([2.0, 5.0])
+        e = np.array([2.0, 5.0])
+        np.testing.assert_allclose(score_from_features(n, e, fit), [0.0, 0.0])
+
+    def test_grows_with_deviation(self):
+        fit = PowerLawFit(beta0=0.0, beta1=1.0)
+        n = np.array([4.0, 4.0, 4.0])
+        e = np.array([4.0, 8.0, 16.0])
+        scores = score_from_features(n, e, fit)
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_symmetric_in_direction(self):
+        """Above-line and below-line deviations both score positive."""
+        fit = PowerLawFit(beta0=0.0, beta1=1.0)
+        n = np.array([8.0, 8.0])
+        e = np.array([16.0, 4.0])
+        scores = score_from_features(n, e, fit)
+        assert (scores > 0).all()
+
+    def test_eq3_closed_form(self):
+        fit = PowerLawFit(beta0=0.0, beta1=1.0)
+        n = np.array([4.0])
+        e = np.array([10.0])
+        expected = (10.0 / 4.0) * np.log(abs(10.0 - 4.0) + 1.0)
+        assert score_from_features(n, e, fit)[0] == pytest.approx(expected)
+
+    def test_isolated_nodes_zero(self):
+        fit = PowerLawFit(beta0=0.0, beta1=1.0)
+        scores = score_from_features(np.array([0.0, 3.0]), np.array([0.0, 3.0]), fit)
+        assert scores[0] == 0.0
+
+
+class TestAnomalyScores:
+    def test_star_hub_scores_highest(self):
+        # A big star attached to a homogeneous background.
+        g = erdos_renyi(80, 0.1, rng=0)
+        for v in range(1, 60):
+            if not g.has_edge(0, v):
+                g.add_edge(0, v)
+        scores = anomaly_scores(g.adjacency)
+        assert scores[0] == scores.max()
+
+    def test_all_scores_non_negative(self, small_ba_graph):
+        assert (anomaly_scores(small_ba_graph.adjacency) >= 0).all()
+
+    def test_fit_is_returned(self, small_er_graph):
+        scores, fit = anomaly_scores_with_fit(small_er_graph.adjacency)
+        assert len(scores) == small_er_graph.number_of_nodes
+        assert 0.5 <= fit.beta1 <= 2.5  # the paper's power-law exponent range
+
+    def test_poisoning_changes_regression(self, small_er_graph):
+        """Scoring is re-fit per graph: removing edges moves everyone's score."""
+        adjacency = small_er_graph.adjacency
+        _, fit_before = anomaly_scores_with_fit(adjacency)
+        g = Graph(adjacency)
+        edges = list(g.edges())[:10]
+        for u, v in edges:
+            if g.degree(u) > 1 and g.degree(v) > 1:
+                g.remove_edge(u, v)
+        _, fit_after = anomaly_scores_with_fit(g.adjacency)
+        assert fit_before.beta0 != fit_after.beta0
+
+    def test_proxy_scores_nonnegative_and_smaller_scale(self, small_ba_graph):
+        adjacency = small_ba_graph.adjacency
+        proxy = proxy_scores(adjacency)
+        full = anomaly_scores(adjacency)
+        assert (proxy >= 0).all()
+        # proxy omits the >=1 ratio factor, so it never exceeds the full score
+        assert (proxy <= full + 1e-9).all()

@@ -1,0 +1,100 @@
+"""Tests for the differentiable attack objective."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.oddball.surrogate import (
+    adjacency_gradient,
+    log_features,
+    surrogate_loss,
+    surrogate_loss_numpy,
+    target_residuals,
+)
+
+
+class TestLogFeatures:
+    def test_values_match_direct_computation(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        n, e, log_n, log_e = log_features(Tensor(adjacency))
+        np.testing.assert_allclose(log_n.data, np.log(np.maximum(n.data, 1.0)))
+        np.testing.assert_allclose(log_e.data, np.log(np.maximum(e.data, 1.0)))
+
+    def test_floor_guards_singletons(self):
+        adjacency = np.zeros((3, 3))
+        _, _, log_n, log_e = log_features(Tensor(adjacency), floor=1.0)
+        np.testing.assert_allclose(log_n.data, np.zeros(3))
+        np.testing.assert_allclose(log_e.data, np.zeros(3))
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            log_features(Tensor(np.zeros((2, 2))), floor=0.0)
+
+
+class TestSurrogateLoss:
+    def test_scalar_non_negative(self, small_er_graph):
+        loss = surrogate_loss(Tensor(small_er_graph.adjacency), [0, 1])
+        assert loss.data.size == 1
+        assert float(loss.data) >= 0.0
+
+    def test_matches_manual_residuals(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        targets = [2, 5, 7]
+        residuals = target_residuals(Tensor(adjacency), targets)
+        loss = surrogate_loss(Tensor(adjacency), targets)
+        assert float(loss.data) == pytest.approx(float((residuals.data**2).sum()))
+
+    def test_target_validation(self, small_er_graph):
+        adjacency = Tensor(small_er_graph.adjacency)
+        with pytest.raises(ValueError, match="empty"):
+            surrogate_loss(adjacency, [])
+        with pytest.raises(ValueError, match="unique"):
+            surrogate_loss(adjacency, [1, 1])
+        with pytest.raises(ValueError, match="range"):
+            surrogate_loss(adjacency, [1000])
+
+    def test_numpy_wrapper_matches(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        targets = [0, 3]
+        assert surrogate_loss_numpy(adjacency, targets) == pytest.approx(
+            float(surrogate_loss(Tensor(adjacency), targets).data)
+        )
+
+
+class TestAdjacencyGradient:
+    def test_symmetric_zero_diagonal(self, small_er_graph):
+        grad = adjacency_gradient(small_er_graph.adjacency, [0, 1])
+        np.testing.assert_allclose(grad, grad.T)
+        np.testing.assert_allclose(np.diagonal(grad), 0.0)
+
+    def test_matches_finite_difference_on_pair(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        targets = [0, 4]
+        grad = adjacency_gradient(adjacency, targets)
+        eps = 1e-5
+        for (i, j) in [(2, 7), (0, 9), (5, 6)]:
+            plus, minus = adjacency.copy(), adjacency.copy()
+            plus[i, j] += eps
+            plus[j, i] += eps
+            minus[i, j] -= eps
+            minus[j, i] -= eps
+            numeric = (
+                surrogate_loss_numpy(plus, targets) - surrogate_loss_numpy(minus, targets)
+            ) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_gradient_identifies_improving_flip(self, small_ba_graph):
+        """Flipping the most negative-gradient non-edge decreases the loss."""
+        from repro.oddball.detector import OddBall
+
+        adjacency = small_ba_graph.adjacency
+        targets = OddBall().analyze(small_ba_graph).top_k(2).tolist()
+        before = surrogate_loss_numpy(adjacency, targets)
+        grad = adjacency_gradient(adjacency, targets)
+        masked = np.where(adjacency == 0.0, grad, np.inf)
+        np.fill_diagonal(masked, np.inf)
+        i, j = np.unravel_index(int(np.argmin(masked)), masked.shape)
+        if masked[i, j] < 0:  # an improving addition exists
+            poisoned = adjacency.copy()
+            poisoned[i, j] = poisoned[j, i] = 1.0
+            assert surrogate_loss_numpy(poisoned, targets) < before

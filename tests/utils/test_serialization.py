@@ -1,0 +1,45 @@
+"""Tests for JSON / npz serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+
+
+class TestJson:
+    def test_roundtrip_plain(self, tmp_path):
+        payload = {"a": 1, "b": [1.5, "x"], "c": {"nested": True}}
+        path = save_json(tmp_path / "out.json", payload)
+        assert load_json(path) == payload
+
+    def test_numpy_types_encoded(self, tmp_path):
+        payload = {
+            "int": np.int64(5),
+            "float": np.float64(2.5),
+            "bool": np.bool_(True),
+            "array": np.arange(3),
+        }
+        path = save_json(tmp_path / "np.json", payload)
+        loaded = load_json(path)
+        assert loaded == {"int": 5, "float": 2.5, "bool": True, "array": [0, 1, 2]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "deep" / "dir" / "x.json", {"k": 1})
+        assert path.exists()
+
+    def test_unencodable_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "bad.json", {"f": object()})
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        arrays = {"a": np.arange(6).reshape(2, 3), "b": np.ones(4)}
+        path = save_npz(tmp_path / "arrays.npz", arrays)
+        loaded = load_npz(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+
+    def test_lists_coerced(self, tmp_path):
+        path = save_npz(tmp_path / "c.npz", {"x": [1, 2, 3]})
+        np.testing.assert_array_equal(load_npz(path)["x"], [1, 2, 3])
