@@ -1,7 +1,13 @@
-"""Structural poisoning attacks against OddBall (the paper's Section V)."""
+"""Structural poisoning attacks against OddBall (the paper's Section V).
+
+Every attack accepts a ``candidates`` argument (strategy name or
+:class:`CandidateSet`) restricting its decision variables to a pruned pair
+set — see :mod:`repro.attacks.candidates` for the strategy trade-offs.
+"""
 
 from repro.attacks.base import AttackResult, StructuralAttack, apply_flips, validate_targets
 from repro.attacks.binarized import BinarizedAttack
+from repro.attacks.candidates import CANDIDATE_STRATEGIES, CandidateSet
 from repro.attacks.constraints import (
     creates_singleton,
     filter_valid_flips,
@@ -25,6 +31,8 @@ __all__ = [
     "ATTACK_REGISTRY",
     "AttackResult",
     "BinarizedAttack",
+    "CANDIDATE_STRATEGIES",
+    "CandidateSet",
     "ContinuousA",
     "GradMaxSearch",
     "OddBallHeuristic",

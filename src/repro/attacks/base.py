@@ -4,6 +4,15 @@ A structural attack takes a clean graph, a target set ``T`` and a budget
 ``B`` and returns, for every intermediate budget ``b ≤ B``, a set of edge
 flips (Eq. 4c allows up to ``B`` modified pairs).  Keeping the whole
 budget-indexed family around is what the paper's Fig. 4 sweeps need.
+
+Every attack additionally accepts a *candidate set* restricting the pairs
+it may flip (see :mod:`repro.attacks.candidates`): ``candidates`` may be a
+strategy name (``"full"``, ``"target_incident"``, ``"two_hop"``), a
+prebuilt :class:`~repro.attacks.candidates.CandidateSet`, or ``None`` for
+the legacy full-pair behaviour.  Large graphs may be passed as scipy sparse
+matrices to the attacks that support sparse execution (GradMaxSearch with a
+candidate set); :class:`AttackResult` keeps the original in whichever
+representation it was given.
 """
 
 from __future__ import annotations
@@ -13,8 +22,11 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
+from scipy import sparse
 
+from repro.attacks.candidates import CandidateSet
 from repro.graph.graph import Graph
+from repro.graph.sparse import anomaly_scores_sparse, to_sparse
 from repro.oddball.scores import anomaly_scores
 from repro.utils.validation import check_adjacency, check_budget
 
@@ -36,9 +48,16 @@ def validate_targets(targets: Sequence[int], n: int) -> list[int]:
     return targets
 
 
-def apply_flips(adjacency: np.ndarray, flips: Sequence[Edge]) -> np.ndarray:
-    """Return a copy of ``adjacency`` with each (u, v) pair toggled."""
-    poisoned = np.array(adjacency, dtype=np.float64, copy=True)
+def apply_flips(adjacency, flips: Sequence[Edge]):
+    """Return a copy of ``adjacency`` with each (u, v) pair toggled.
+
+    Dense arrays stay dense; scipy sparse matrices are toggled through a
+    LIL scratch copy and returned as CSR.
+    """
+    if sparse.issparse(adjacency):
+        poisoned = adjacency.tolil(copy=True)
+    else:
+        poisoned = np.array(adjacency, dtype=np.float64, copy=True)
     seen: set[Edge] = set()
     for u, v in flips:
         pair = (u, v) if u < v else (v, u)
@@ -49,6 +68,9 @@ def apply_flips(adjacency: np.ndarray, flips: Sequence[Edge]) -> np.ndarray:
         seen.add(pair)
         new_value = 1.0 - poisoned[u, v]
         poisoned[u, v] = poisoned[v, u] = new_value
+    if sparse.issparse(poisoned):
+        poisoned = poisoned.tocsr()
+        poisoned.eliminate_zeros()
     return poisoned
 
 
@@ -59,16 +81,23 @@ class AttackResult:
     ``flips_by_budget[b]`` is the flip set the attack recommends when allowed
     exactly ``b`` modifications (``len(...) <= b``; an attack may decline to
     spend its whole budget if extra flips would hurt the objective).
+
+    ``original`` may be a dense adjacency array or a scipy sparse matrix;
+    derived artefacts (:meth:`poisoned`, :meth:`score_decrease`) stay in the
+    same representation so large-graph results never densify accidentally.
     """
 
     method: str
-    original: np.ndarray
+    original: "np.ndarray | sparse.spmatrix"
     flips_by_budget: dict[int, list[Edge]]
     surrogate_by_budget: dict[int, float] = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.original = check_adjacency(self.original)
+        if sparse.issparse(self.original):
+            self.original = to_sparse(self.original)
+        else:
+            self.original = check_adjacency(self.original)
         for budget, flips in self.flips_by_budget.items():
             if len(flips) > budget:
                 raise ValueError(
@@ -92,13 +121,16 @@ class AttackResult:
             raise KeyError(f"budget {budget} not evaluated; available: {self.budgets}")
         return list(self.flips_by_budget[budget])
 
-    def poisoned(self, budget: "int | None" = None) -> np.ndarray:
-        """Poisoned adjacency matrix at ``budget``."""
+    def poisoned(self, budget: "int | None" = None):
+        """Poisoned adjacency (same dense/sparse representation) at ``budget``."""
         return apply_flips(self.original, self.flips(budget))
 
     def poisoned_graph(self, budget: "int | None" = None) -> Graph:
-        """Poisoned :class:`Graph` at ``budget``."""
-        return Graph(self.poisoned(budget))
+        """Poisoned :class:`Graph` at ``budget`` (densifies a sparse result)."""
+        poisoned = self.poisoned(budget)
+        if sparse.issparse(poisoned):
+            poisoned = poisoned.toarray()
+        return Graph(poisoned)
 
     def edges_changed_fraction(self, budget: "int | None" = None) -> float:
         """Attack power ``B / |E|`` (x-axis of Fig. 4)."""
@@ -120,8 +152,11 @@ class AttackResult:
         kappa = np.ones(len(targets)) if weights is None else np.asarray(list(weights))
         if kappa.shape != (len(targets),):
             raise ValueError("weights must align with targets")
-        before = float((anomaly_scores(self.original)[targets] * kappa).sum())
-        after = float((anomaly_scores(self.poisoned(budget))[targets] * kappa).sum())
+        scorer = (
+            anomaly_scores_sparse if sparse.issparse(self.original) else anomaly_scores
+        )
+        before = float((scorer(self.original)[targets] * kappa).sum())
+        after = float((scorer(self.poisoned(budget))[targets] * kappa).sum())
         if before <= 0.0:
             return 0.0
         return (before - after) / before
@@ -133,6 +168,9 @@ class StructuralAttack(abc.ABC):
     ``target_weights`` (optional, aligned with ``targets``) are the κ
     importances of the paper's general objective; every attack treats them
     as multipliers on the per-target squared residuals.
+
+    ``candidates`` restricts the decision variables to a candidate pair set
+    (strategy name, :class:`CandidateSet` or ``None`` = legacy full-pair).
     """
 
     name: str = "structural-attack"
@@ -140,23 +178,55 @@ class StructuralAttack(abc.ABC):
     @abc.abstractmethod
     def attack(
         self,
-        graph: "Graph | np.ndarray",
+        graph: "Graph | np.ndarray | sparse.spmatrix",
         targets: Sequence[int],
         budget: int,
         target_weights: "Sequence[float] | None" = None,
+        candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
         """Poison ``graph`` to hide ``targets`` using at most ``budget`` flips."""
 
     @staticmethod
-    def _adjacency_of(graph: "Graph | np.ndarray") -> np.ndarray:
+    def _adjacency_of(graph: "Graph | np.ndarray | sparse.spmatrix") -> np.ndarray:
+        """Dense, validated adjacency (densifies sparse inputs)."""
         if isinstance(graph, Graph):
             return graph.adjacency
+        if sparse.issparse(graph):
+            return to_sparse(graph).toarray()
         return check_adjacency(np.asarray(graph, dtype=np.float64))
+
+    @staticmethod
+    def _resolve_candidates(
+        candidates: "CandidateSet | str | None",
+        graph,
+        targets: Sequence[int],
+        n: int,
+    ) -> "CandidateSet | None":
+        """Normalise the ``candidates`` argument of :meth:`attack`.
+
+        ``None`` stays ``None`` (the attack keeps its legacy full-pair code
+        path); a strategy name is built against ``graph``/``targets``; a
+        prebuilt :class:`CandidateSet` is checked for size agreement.
+        """
+        if candidates is None:
+            return None
+        if isinstance(candidates, str):
+            return CandidateSet.build(candidates, graph, targets)
+        if not isinstance(candidates, CandidateSet):
+            raise TypeError(
+                "candidates must be None, a strategy name or a CandidateSet, "
+                f"got {type(candidates).__name__}"
+            )
+        if candidates.n != n:
+            raise ValueError(
+                f"candidate set addresses {candidates.n} nodes but the graph has {n}"
+            )
+        return candidates
 
     @staticmethod
     def _prefix_result(
         method: str,
-        original: np.ndarray,
+        original,
         ordered_flips: Sequence[Edge],
         budget: int,
         surrogate_by_budget: "Mapping[int, float] | None" = None,

@@ -25,6 +25,17 @@ Implementation notes
   against the no-singleton rule) together with its surrogate loss; the
   budget-``b`` answer is the best recorded flip set of size ≤ b, falling
   back to the top-``b`` pairs ranked by final ``Ż``.
+* ``candidates`` restricts the decision variables to a
+  :class:`~repro.attacks.candidates.CandidateSet`: ``Ż`` then has one entry
+  per candidate pair instead of n(n−1)/2, shrinking both the optimiser
+  state and the per-iteration scatter (the forward surrogate remains a
+  dense evaluation).  With the ``full`` strategy the sweep is bit-for-bit
+  identical to the legacy full-pair parametrisation.
+* Candidate solutions recorded during the sweep are re-scored at
+  ``self.floor`` whenever the validity pass trims them, so every entry of
+  the per-budget argmin is measured on the same objective (Alg. 1 lines
+  16–19 compare losses across iterates — mixing floors here silently
+  corrupted the selection when ``floor != 1.0``).
 * The adversarial gradient is normalised to unit max-magnitude before the
   projected update.  The raw surrogate's gradient scale varies by orders of
   magnitude across graphs (it is quadratic in egonet edge counts), so plain
@@ -42,8 +53,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
+from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import filter_valid_flips
-from repro.autograd.ops import binarize_ste, symmetric_from_upper
+from repro.autograd.ops import apply_pair_flips, binarize_ste
 from repro.autograd.optim import ProjectedGradientDescent
 from repro.autograd.tensor import Tensor
 from repro.oddball.surrogate import surrogate_loss, surrogate_loss_numpy
@@ -141,18 +153,25 @@ class BinarizedAttack(StructuralAttack):
         targets: Sequence[int],
         budget: int,
         target_weights: "Sequence[float] | None" = None,
+        candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
         adjacency = self._adjacency_of(graph)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
 
-        rows, cols = np.triu_indices(n, k=1)
-        flip_direction = Tensor(1.0 - 2.0 * adjacency)  # +1 on non-edges, −1 on edges
-        a0_tensor = Tensor(adjacency)
-        base_loss = surrogate_loss_numpy(adjacency, targets, target_weights)
+        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        if candidate_set is None:
+            rows, cols = np.triu_indices(n, k=1)
+        else:
+            rows, cols = candidate_set.rows, candidate_set.cols
+        # +1 on non-edges, −1 on edges, per candidate pair
+        flip_direction = 1.0 - 2.0 * adjacency[rows, cols]
+        base_loss = surrogate_loss_numpy(
+            adjacency, targets, target_weights, floor=self.floor
+        )
 
-        candidates: list[_Candidate] = [
+        recorded: list[_Candidate] = [
             _Candidate(flips=(), surrogate=base_loss, lam=0.0, iteration=-1)
         ]
         final_zdot: "np.ndarray | None" = None
@@ -169,14 +188,15 @@ class BinarizedAttack(StructuralAttack):
                 # Forward pass on the DISCRETE graph (Alg. 1 lines 5-8).
                 z = binarize_ste(2.0 * zdot - 1.0)  # +1 => flip (this is −Z of Eq. 7)
                 flip_indicator = (z + 1.0) * 0.5
-                flip_matrix = symmetric_from_upper(flip_indicator, n, rows, cols)
-                poisoned = a0_tensor + flip_direction * flip_matrix
+                poisoned = apply_pair_flips(
+                    adjacency, flip_indicator, rows, cols, direction=flip_direction
+                )
                 adversarial = surrogate_loss(
                     poisoned, targets, floor=self.floor, weights=target_weights
                 )
                 # Record the iterate's discrete solution before updating.
                 self._record(
-                    candidates,
+                    recorded,
                     adjacency,
                     targets,
                     zdot.data,
@@ -205,7 +225,7 @@ class BinarizedAttack(StructuralAttack):
             final_zdot = zdot.data.copy()
 
         flips_by_budget, surrogate_by_budget = self._select(
-            candidates, adjacency, targets, budget, final_zdot, rows, cols, target_weights
+            recorded, adjacency, targets, budget, final_zdot, rows, cols, target_weights
         )
         return AttackResult(
             method=self.name,
@@ -216,14 +236,18 @@ class BinarizedAttack(StructuralAttack):
                 "lambdas": list(self.lambdas),
                 "iterations": self.iterations,
                 "lr": self.lr,
-                "candidates_recorded": len(candidates),
+                "candidates_recorded": len(recorded),
+                "candidate_strategy": (
+                    "legacy-full" if candidate_set is None else candidate_set.strategy
+                ),
+                "decision_variables": len(rows),
             },
         )
 
     # ------------------------------------------------------------------ #
     def _record(
         self,
-        candidates: list[_Candidate],
+        recorded: list[_Candidate],
         adjacency: np.ndarray,
         targets: Sequence[int],
         zdot_values: np.ndarray,
@@ -251,11 +275,16 @@ class BinarizedAttack(StructuralAttack):
         if len(valid_flips) == len(raw_flips):
             surrogate = adversarial_loss  # forward value still exact
         else:
+            # Re-score the trimmed flip set at the SAME floor the forward
+            # pass uses — mixing floors here corrupted the per-budget argmin
+            # whenever ``self.floor != 1.0``.
             poisoned = adjacency.copy()
             for u, v in valid_flips:
                 poisoned[u, v] = poisoned[v, u] = 1.0 - poisoned[u, v]
-            surrogate = surrogate_loss_numpy(poisoned, targets, target_weights)
-        candidates.append(
+            surrogate = surrogate_loss_numpy(
+                poisoned, targets, target_weights, floor=self.floor
+            )
+        recorded.append(
             _Candidate(
                 flips=tuple(valid_flips), surrogate=surrogate, lam=lam, iteration=iteration
             )
@@ -263,7 +292,7 @@ class BinarizedAttack(StructuralAttack):
 
     def _select(
         self,
-        candidates: list[_Candidate],
+        recorded: list[_Candidate],
         adjacency: np.ndarray,
         targets: Sequence[int],
         budget: int,
@@ -276,7 +305,7 @@ class BinarizedAttack(StructuralAttack):
         flips_by_budget: dict[int, list[Edge]] = {}
         surrogate_by_budget: dict[int, float] = {}
         for b in range(budget + 1):
-            eligible = [c for c in candidates if c.size <= b]
+            eligible = [c for c in recorded if c.size <= b]
             best = min(eligible, key=lambda c: (c.surrogate, c.size))
             chosen = list(best.flips)
             if not chosen and b > 0 and final_zdot is not None:
@@ -289,7 +318,9 @@ class BinarizedAttack(StructuralAttack):
                     poisoned = adjacency.copy()
                     for u, v in chosen:
                         poisoned[u, v] = poisoned[v, u] = 1.0 - poisoned[u, v]
-                    candidate_loss = surrogate_loss_numpy(poisoned, targets, target_weights)
+                    candidate_loss = surrogate_loss_numpy(
+                        poisoned, targets, target_weights, floor=self.floor
+                    )
                     if candidate_loss >= best.surrogate:
                         chosen = list(best.flips)
                     else:

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
+from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import filter_valid_flips
 from repro.autograd.ops import symmetric_from_upper
 from repro.autograd.optim import ProjectedGradientDescent
@@ -63,14 +64,26 @@ class ContinuousA(StructuralAttack):
         targets: Sequence[int],
         budget: int,
         target_weights: "Sequence[float] | None" = None,
+        candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
         adjacency = self._adjacency_of(graph)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
 
-        rows, cols = np.triu_indices(n, k=1)
+        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        if candidate_set is None:
+            rows, cols = np.triu_indices(n, k=1)
+        else:
+            rows, cols = candidate_set.rows, candidate_set.cols
         a0_vector = adjacency[rows, cols]
+        # Non-candidate entries stay frozen at their clean values: the relaxed
+        # variables are scattered ON TOP of the clean graph with the candidate
+        # positions blanked (for the full pair set this base is all-zero and
+        # the computation reduces exactly to the legacy parametrisation).
+        frozen_base = adjacency.copy()
+        frozen_base[rows, cols] = frozen_base[cols, rows] = 0.0
+        frozen_tensor = Tensor(frozen_base)
         relaxed = Tensor(a0_vector.copy(), requires_grad=True, name="relaxed_adjacency")
         optimizer = ProjectedGradientDescent([relaxed], lr=self.lr, low=0.0, high=1.0)
 
@@ -78,13 +91,18 @@ class ContinuousA(StructuralAttack):
         iterations_run = 0
         for iteration in range(self.max_iter):
             optimizer.zero_grad()
-            matrix = symmetric_from_upper(relaxed, n, rows, cols)
+            matrix = frozen_tensor + symmetric_from_upper(relaxed, n, rows, cols)
             loss = surrogate_loss(matrix, targets, floor=self.floor, weights=target_weights)
             loss.backward()
             optimizer.step()
             iterations_run = iteration + 1
             current_loss = float(loss.data)
-            if abs(previous_loss - current_loss) <= self.tol * max(abs(previous_loss), 1.0):
+            # Guard the sentinel: ``inf <= inf`` is true, so comparing against
+            # the initial ∞ tripped "convergence" on the very first iteration
+            # (and left final_relaxed_loss = inf in the metadata).
+            if np.isfinite(previous_loss) and abs(previous_loss - current_loss) <= (
+                self.tol * max(abs(previous_loss), 1.0)
+            ):
                 _log.debug("converged after %d iterations", iterations_run)
                 break
             previous_loss = current_loss
@@ -94,11 +112,15 @@ class ContinuousA(StructuralAttack):
         candidates = [(int(rows[k]), int(cols[k])) for k in order if difference[k] > 0.0]
         ordered_flips = filter_valid_flips(adjacency, candidates, limit=budget)
 
-        surrogate_by_budget = {0: surrogate_loss_numpy(adjacency, targets, target_weights)}
+        surrogate_by_budget = {
+            0: surrogate_loss_numpy(adjacency, targets, target_weights, floor=self.floor)
+        }
         scratch = adjacency.copy()
         for b, (u, v) in enumerate(ordered_flips, start=1):
             scratch[u, v] = scratch[v, u] = 1.0 - scratch[u, v]
-            surrogate_by_budget[b] = surrogate_loss_numpy(scratch, targets, target_weights)
+            surrogate_by_budget[b] = surrogate_loss_numpy(
+                scratch, targets, target_weights, floor=self.floor
+            )
 
         return self._prefix_result(
             self.name,
@@ -110,5 +132,9 @@ class ContinuousA(StructuralAttack):
                 "iterations": iterations_run,
                 "final_relaxed_loss": previous_loss,
                 "fractional_mass": float(difference.sum()),
+                "candidate_strategy": (
+                    "legacy-full" if candidate_set is None else candidate_set.strategy
+                ),
+                "decision_variables": len(rows),
             },
         )

@@ -26,14 +26,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
+from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import creates_singleton
 from repro.graph.features import egonet_features
 from repro.oddball.regression import fit_power_law
 from repro.oddball.surrogate import surrogate_loss_numpy
+from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_budget
 
 __all__ = ["OddBallHeuristic"]
+
+_log = get_logger("attacks.heuristic")
 
 Edge = tuple[int, int]
 
@@ -50,6 +54,14 @@ class OddBallHeuristic(StructuralAttack):
 
     name = "oddball-heuristic"
 
+    #: Every flip this heuristic makes is between two *neighbours* of a
+    #: target — by construction such pairs never touch the target itself,
+    #: so the ``target_incident`` candidate strategy filters out essentially
+    #: all of them (only pairs whose endpoint happens to be another target
+    #: survive).  Use ``two_hop`` (which contains all neighbour pairs) or a
+    #: custom set when restricting this attack; a warning is logged when a
+    #: restriction leaves the heuristic with nothing to flip.
+
     def __init__(self, rng=None):
         self.rng = rng
 
@@ -59,12 +71,21 @@ class OddBallHeuristic(StructuralAttack):
         targets: Sequence[int],
         budget: int,
         target_weights: "Sequence[float] | None" = None,
+        candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
         adjacency = self._adjacency_of(graph)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
         generator = as_generator(self.rng)
+        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        # the heuristic only ever flips neighbour pairs of a target, so a
+        # full candidate set imposes no restriction — skip membership tests
+        allowed = (
+            None
+            if candidate_set is None or candidate_set.is_full
+            else candidate_set.pair_set()
+        )
 
         current = adjacency.copy()
         modified = np.zeros((n, n), dtype=bool)
@@ -72,8 +93,16 @@ class OddBallHeuristic(StructuralAttack):
         surrogate_by_budget = {0: surrogate_loss_numpy(adjacency, targets, target_weights)}
 
         for _ in range(budget):
-            flip = self._best_step(current, targets, modified, generator)
+            flip = self._best_step(current, targets, modified, generator, allowed)
             if flip is None:
+                if not ordered_flips and allowed is not None:
+                    _log.warning(
+                        "candidate restriction (%s, %d pairs) excludes every "
+                        "neighbour-pair flip the heuristic can make; use "
+                        "'two_hop' or a custom set instead",
+                        candidate_set.strategy,
+                        len(candidate_set),
+                    )
                 break
             u, v = flip
             current[u, v] = current[v, u] = 1.0 - current[u, v]
@@ -89,7 +118,12 @@ class OddBallHeuristic(StructuralAttack):
             ordered_flips,
             budget,
             surrogate_by_budget=surrogate_by_budget,
-            metadata={"steps_taken": len(ordered_flips)},
+            metadata={
+                "steps_taken": len(ordered_flips),
+                "candidate_strategy": (
+                    "legacy-full" if candidate_set is None else candidate_set.strategy
+                ),
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -99,6 +133,7 @@ class OddBallHeuristic(StructuralAttack):
         targets: Sequence[int],
         modified: np.ndarray,
         generator: np.random.Generator,
+        allowed: "frozenset[Edge] | None" = None,
     ) -> "Edge | None":
         """One heuristic flip: fix the worst-residual target's egonet."""
         n_feature, e_feature = egonet_features(adjacency)
@@ -118,6 +153,12 @@ class OddBallHeuristic(StructuralAttack):
                 for b in neighbors[i + 1 :]
             ]
             generator.shuffle(pairs)
+            if allowed is not None:
+                pairs = [
+                    (u, v)
+                    for u, v in pairs
+                    if ((u, v) if u < v else (v, u)) in allowed
+                ]
             if residuals[target] > 0:  # near-clique: delete a neighbour edge
                 for u, v in pairs:
                     if adjacency[u, v] == 1.0 and not modified[u, v] and not creates_singleton(

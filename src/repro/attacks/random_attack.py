@@ -12,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
+from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import filter_valid_flips
 from repro.oddball.surrogate import surrogate_loss_numpy
 from repro.utils.rng import as_generator
@@ -25,7 +26,9 @@ class RandomAttack(StructuralAttack):
 
     ``target_biased=True`` restricts flips to pairs incident to a target
     node — a slightly stronger baseline matching what a naive attacker with
-    knowledge of the target set would do.
+    knowledge of the target set would do.  It is exactly equivalent to
+    passing ``candidates="target_incident"``; an explicit ``candidates``
+    argument takes precedence over the flag.
     """
 
     name = "random"
@@ -40,6 +43,7 @@ class RandomAttack(StructuralAttack):
         targets: Sequence[int],
         budget: int,
         target_weights: "Sequence[float] | None" = None,
+        candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
         adjacency = self._adjacency_of(graph)
         n = adjacency.shape[0]
@@ -47,20 +51,14 @@ class RandomAttack(StructuralAttack):
         budget = check_budget(budget)
         generator = as_generator(self.rng)
 
-        if self.target_biased:
-            pairs = [
-                (min(t, v), max(t, v))
-                for t in targets
-                for v in range(n)
-                if v != t
-            ]
-            pairs = sorted(set(pairs))
-        else:
-            rows, cols = np.triu_indices(n, k=1)
-            pairs = list(zip(rows.tolist(), cols.tolist()))
+        if candidates is None:
+            candidates = "target_incident" if self.target_biased else "full"
+        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        assert candidate_set is not None
+        pairs = candidate_set.pairs()
         order = generator.permutation(len(pairs))
-        candidates = [pairs[i] for i in order]
-        ordered_flips = filter_valid_flips(adjacency, candidates, limit=budget)
+        shuffled = [pairs[i] for i in order]
+        ordered_flips = filter_valid_flips(adjacency, shuffled, limit=budget)
 
         surrogate_by_budget = {0: surrogate_loss_numpy(adjacency, targets, target_weights)}
         scratch = adjacency.copy()
@@ -74,5 +72,9 @@ class RandomAttack(StructuralAttack):
             ordered_flips,
             budget,
             surrogate_by_budget=surrogate_by_budget,
-            metadata={"target_biased": self.target_biased},
+            metadata={
+                "target_biased": self.target_biased,
+                "candidate_strategy": candidate_set.strategy,
+                "candidate_count": len(candidate_set),
+            },
         )

@@ -15,6 +15,7 @@ import numpy as np
 from repro.autograd.tensor import Tensor, _make, as_tensor, unbroadcast
 
 __all__ = [
+    "apply_pair_flips",
     "binarize_ste",
     "concatenate",
     "exp",
@@ -168,6 +169,53 @@ def symmetric_from_upper(values, n: int, rows: np.ndarray, cols: np.ndarray) -> 
         return ((values, g[rows, cols] + g[cols, rows]),)
 
     return _make(out_data, (values,), backward)
+
+
+def apply_pair_flips(
+    base: np.ndarray,
+    flip_values,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    direction: "np.ndarray | None" = None,
+) -> Tensor:
+    """Toggle candidate pairs of a constant adjacency: ``A0 + (1−2A0) ⊙ F``.
+
+    ``base`` is the clean adjacency (a constant — no gradient flows to it)
+    and ``flip_values`` the differentiable per-pair flip indicator ``F`` on
+    the canonical candidate positions ``(rows, cols)``.  ``direction`` is
+    the precomputed per-pair ``1 − 2·A0[rows, cols]`` (recomputed when
+    omitted).
+
+    Fusing the scatter, elementwise multiply and add avoids materialising
+    two dense n×n intermediates per optimisation step — the hot loop of
+    BinarizedAttack — while remaining bit-identical to the unfused
+    ``base + direction ⊙ symmetric_from_upper(F)`` composition (forward and
+    backward use the same per-entry expressions).
+    """
+    base = np.asarray(base, dtype=np.float64)
+    flip_values = as_tensor(flip_values)
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if flip_values.ndim != 1 or len(rows) != len(cols) or len(rows) != flip_values.size:
+        raise ValueError(
+            f"expected 1-D flip values aligned with index arrays, got "
+            f"{flip_values.shape}, {rows.shape}, {cols.shape}"
+        )
+    if rows.size and (rows.min() < 0 or np.any(rows >= cols)):
+        raise ValueError(
+            "indices must address the strict upper triangle (0 <= rows < cols)"
+        )
+    if direction is None:
+        direction = 1.0 - 2.0 * base[rows, cols]
+    out_data = base.copy()
+    toggled = base[rows, cols] + direction * flip_values.data
+    out_data[rows, cols] = toggled
+    out_data[cols, rows] = toggled
+
+    def backward(g):
+        return ((flip_values, g[rows, cols] * direction + g[cols, rows] * direction),)
+
+    return _make(out_data, (flip_values,), backward)
 
 
 def binarize_ste(x, clip: "float | None" = 1.0) -> Tensor:

@@ -16,6 +16,7 @@ from repro.graph.features import (
 )
 from repro.graph.generators import barabasi_albert, erdos_renyi, ring_lattice
 from repro.graph.graph import Graph
+from repro.graph.incremental import IncrementalEgonetFeatures
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.sparse import anomaly_scores_sparse, egonet_features_sparse, to_sparse
 from repro.graph.threatmodel import Defender, Environment, ManInTheMiddleAttacker
@@ -26,6 +27,7 @@ __all__ = [
     "Defender",
     "Environment",
     "Graph",
+    "IncrementalEgonetFeatures",
     "ManInTheMiddleAttacker",
     "anomaly_scores_sparse",
     "barabasi_albert",

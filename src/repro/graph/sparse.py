@@ -38,9 +38,14 @@ def to_sparse(graph: "Graph | np.ndarray | sparse.spmatrix") -> sparse.csr_matri
     if isinstance(graph, Graph):
         matrix = sparse.csr_matrix(graph.adjacency_view)
     elif sparse.issparse(graph):
-        matrix = graph.tocsr().astype(np.float64)
+        matrix = graph.tocsr().astype(np.float64)  # astype copies, so
+        # eliminate_zeros below never mutates the caller's matrix
     else:
         matrix = sparse.csr_matrix(np.asarray(graph, dtype=np.float64))
+    # CSR matrices may carry stored explicit zeros (e.g. after ``setdiag(0)``
+    # or arithmetic); they are valid zero entries, so drop them before the
+    # binary-values check instead of rejecting the matrix.
+    matrix.eliminate_zeros()
     if matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"adjacency must be square, got {matrix.shape}")
     if (matrix != matrix.T).nnz != 0:

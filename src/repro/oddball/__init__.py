@@ -17,8 +17,10 @@ from repro.oddball.scores import (
 )
 from repro.oddball.surrogate import (
     adjacency_gradient,
+    feature_gradients,
     log_features,
     surrogate_loss,
+    surrogate_loss_from_features,
     surrogate_loss_numpy,
     target_residuals,
 )
@@ -31,6 +33,7 @@ __all__ = [
     "adjacency_gradient",
     "anomaly_scores",
     "anomaly_scores_with_fit",
+    "feature_gradients",
     "fit_huber",
     "fit_power_law",
     "fit_power_law_tensor",
@@ -42,6 +45,7 @@ __all__ = [
     "score_from_features",
     "svd_purify",
     "surrogate_loss",
+    "surrogate_loss_from_features",
     "surrogate_loss_numpy",
     "target_residuals",
 ]

@@ -23,24 +23,54 @@ __all__ = ["DetectionReport", "OddBall"]
 
 @dataclass(frozen=True)
 class DetectionReport:
-    """Everything OddBall computed for one graph."""
+    """Everything OddBall computed for one graph.
+
+    The score ordering backing :meth:`top_k` and :meth:`rank_of` is computed
+    lazily on first use and cached — callers that look up many ranks (the
+    Fig. 5 case study walks every target at every budget) previously paid a
+    fresh O(n log n) ``argsort`` per call.
+    """
 
     scores: np.ndarray
     n_feature: np.ndarray
     e_feature: np.ndarray
     fit: PowerLawFit
 
+    @property
+    def _order(self) -> np.ndarray:
+        """Node ids sorted by descending score (stable ties), cached."""
+        cached = self.__dict__.get("_order_cache")
+        if cached is None:
+            cached = np.argsort(-self.scores, kind="stable")
+            cached.flags.writeable = False
+            object.__setattr__(self, "_order_cache", cached)
+        return cached
+
+    @property
+    def _ranks(self) -> np.ndarray:
+        """Inverse permutation of :attr:`_order` (node id -> rank), cached."""
+        cached = self.__dict__.get("_ranks_cache")
+        if cached is None:
+            order = self._order
+            cached = np.empty_like(order)
+            cached[order] = np.arange(len(order))
+            cached.flags.writeable = False
+            object.__setattr__(self, "_ranks_cache", cached)
+        return cached
+
     def top_k(self, k: int) -> np.ndarray:
         """Node ids of the k highest scores (descending, stable ties)."""
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        order = np.argsort(-self.scores, kind="stable")
-        return order[:k]
+        return self._order[:k].copy()
 
     def rank_of(self, node: int) -> int:
         """Zero-based rank of ``node`` (0 = most anomalous)."""
-        order = np.argsort(-self.scores, kind="stable")
-        return int(np.flatnonzero(order == node)[0])
+        if not 0 <= node < len(self.scores):
+            raise IndexError(
+                f"node {node} out of range for {len(self.scores)} scored nodes"
+            )
+        return int(self._ranks[node])
 
 
 class OddBall:

@@ -8,11 +8,24 @@ Pipeline, entirely inside the autograd graph:
 ``ln`` of the features is guarded by clamping at ``floor`` (default 1.0):
 legitimate non-singleton nodes always have ``N ≥ 1`` and ``E ≥ N``, so the
 clamp only activates on transient singleton states the optimiser may visit.
+
+Two evaluation paths are provided:
+
+* the **dense autograd path** (:func:`surrogate_loss`,
+  :func:`adjacency_gradient` without ``candidates``) differentiates through
+  the full ``(A @ A) ⊙ A`` egonet computation — exact but O(n³) per call;
+* the **feature-space path** (:func:`surrogate_loss_from_features`,
+  :func:`feature_gradients`, :func:`adjacency_gradient` *with*
+  ``candidates``) works from precomputed ``(N, E)`` features — e.g. those
+  maintained by :class:`repro.graph.incremental.IncrementalEgonetFeatures` —
+  and scatters ∂loss/∂A only onto the requested candidate pairs using the
+  closed-form chain rule, at O(m + |C|·deg) per call.  The two paths agree
+  to floating-point round-off (verified in the tests).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -23,8 +36,10 @@ from repro.oddball.regression import DEFAULT_RIDGE, fit_power_law_tensor
 
 __all__ = [
     "adjacency_gradient",
+    "feature_gradients",
     "log_features",
     "surrogate_loss",
+    "surrogate_loss_from_features",
     "surrogate_loss_numpy",
     "target_residuals",
 ]
@@ -68,11 +83,15 @@ def surrogate_loss(
     ``weights`` are the per-target importances κ of Section IV-B (the paper
     evaluates the equal-weight case κ ≡ 1, which is the default, and notes
     the extension to unequal weights — supported here).
+
+    ``targets`` may be any iterable, including a one-shot generator: it is
+    normalised to an index array once at entry and never consumed twice.
     """
+    targets = _validate_targets(targets, adjacency.shape[0])
     residuals = target_residuals(adjacency, targets, floor=floor, ridge=ridge)
     squared = residuals * residuals
     if weights is not None:
-        kappa = _validate_weights(weights, len(list(targets)))
+        kappa = _validate_weights(weights, len(targets))
         squared = squared * Tensor(kappa)
     return squared.sum()
 
@@ -81,32 +100,281 @@ def surrogate_loss_numpy(
     adjacency: np.ndarray,
     targets: Sequence[int],
     weights: "Sequence[float] | None" = None,
+    floor: float = 1.0,
+    ridge: float = DEFAULT_RIDGE,
 ) -> float:
-    """Non-differentiable evaluation of the surrogate (for bookkeeping)."""
+    """Non-differentiable evaluation of the surrogate (for bookkeeping).
+
+    ``floor`` must match the floor the caller optimises with — the attacks
+    plumb their own ``floor`` through so candidate solutions are compared on
+    the same objective they were produced by.
+    """
     tensor = as_tensor(np.asarray(adjacency, dtype=np.float64))
-    return float(surrogate_loss(tensor, targets, weights=weights).data)
+    return float(
+        surrogate_loss(tensor, targets, floor=floor, ridge=ridge, weights=weights).data
+    )
+
+
+def surrogate_loss_from_features(
+    n_feature: np.ndarray,
+    e_feature: np.ndarray,
+    targets: Sequence[int],
+    floor: float = 1.0,
+    ridge: float = DEFAULT_RIDGE,
+    weights: "Sequence[float] | None" = None,
+) -> float:
+    """Surrogate loss from precomputed egonet features, in O(n).
+
+    Mirrors the tensor pipeline operation-for-operation so that, fed the
+    exact integer-valued features maintained by the incremental engine, it
+    returns bit-identical losses to :func:`surrogate_loss_numpy` on the
+    materialised graph.
+    """
+    if floor <= 0.0:
+        raise ValueError(f"floor must be positive to keep logs finite, got {floor}")
+    n_feature = np.asarray(n_feature, dtype=np.float64)
+    e_feature = np.asarray(e_feature, dtype=np.float64)
+    targets = _validate_targets(targets, n_feature.shape[0])
+    log_n = np.log(np.maximum(n_feature, floor))
+    log_e = np.log(np.maximum(e_feature, floor))
+    fit = _fit_power_law_numpy(log_n, log_e, ridge)
+    rho = fit.beta0 + fit.beta1 * log_n[targets]
+    residuals = e_feature[targets] - np.exp(rho)
+    squared = residuals * residuals
+    if weights is not None:
+        squared = squared * _validate_weights(weights, len(targets))
+    return float(squared.sum())
+
+
+def feature_gradients(
+    n_feature: np.ndarray,
+    e_feature: np.ndarray,
+    targets: Sequence[int],
+    floor: float = 1.0,
+    ridge: float = DEFAULT_RIDGE,
+    weights: "Sequence[float] | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form ``(∂L/∂N, ∂L/∂E)`` of the surrogate loss, in O(n).
+
+    Differentiates the whole pipeline — log clamp, closed-form OLS β,
+    residuals — with the same tie-splitting convention as the autograd
+    ``maximum`` (gradient halves exactly at the clamp floor), so the result
+    matches the autograd path to round-off.
+    """
+    if floor <= 0.0:
+        raise ValueError(f"floor must be positive to keep logs finite, got {floor}")
+    n_feature = np.asarray(n_feature, dtype=np.float64)
+    e_feature = np.asarray(e_feature, dtype=np.float64)
+    targets = _validate_targets(targets, n_feature.shape[0])
+    kappa = (
+        np.ones(len(targets))
+        if weights is None
+        else _validate_weights(weights, len(targets))
+    )
+    n = n_feature.shape[0]
+    clamped_n = np.maximum(n_feature, floor)
+    clamped_e = np.maximum(e_feature, floor)
+    x = np.log(clamped_n)
+    y = np.log(clamped_e)
+
+    fit = _fit_power_law_numpy(x, y, ridge)
+    sum_x, sum_xy, sum_y = fit.sum_x, fit.sum_xy, fit.sum_y
+    a_term, c_term, det = fit.a_term, fit.c_term, fit.det
+    num0, num1 = fit.num0, fit.num1
+    beta0, beta1 = fit.beta0, fit.beta1
+
+    rho = beta0 + beta1 * x[targets]
+    exp_rho = np.exp(rho)
+    residuals = e_feature[targets] - exp_rho
+
+    d_residual = 2.0 * kappa * residuals
+    d_rho = -d_residual * exp_rho
+    d_beta0 = d_rho.sum()
+    d_beta1 = (d_rho * x[targets]).sum()
+
+    # β is a quotient of the feature sums; det depends on Sx and Sxx.
+    det_sq = det * det
+    d_sum_y = d_beta0 * (a_term / det) + d_beta1 * (-sum_x / det)
+    d_sum_xy = d_beta0 * (-sum_x / det) + d_beta1 * (c_term / det)
+    d_sum_x = (
+        d_beta0 * (-sum_xy * det + 2.0 * sum_x * num0) / det_sq
+        + d_beta1 * (-sum_y * det + 2.0 * sum_x * num1) / det_sq
+    )
+    d_sum_xx = (
+        d_beta0 * (sum_y * det - num0 * c_term) / det_sq
+        + d_beta1 * (-num1 * c_term) / det_sq
+    )
+
+    d_x = np.full(n, d_sum_x) + 2.0 * x * d_sum_xx + y * d_sum_xy
+    d_y = np.full(n, d_sum_y) + x * d_sum_xy
+    d_x[targets] += d_rho * beta1
+
+    def clamp_chain(feature: np.ndarray, clamped: np.ndarray) -> np.ndarray:
+        wins = (feature > floor).astype(np.float64)
+        tie = (feature == floor).astype(np.float64) * 0.5
+        return (wins + tie) / clamped
+
+    d_n = d_x * clamp_chain(n_feature, clamped_n)
+    d_e = d_y * clamp_chain(e_feature, clamped_e)
+    d_e[targets] += d_residual
+    return d_n, d_e
 
 
 def adjacency_gradient(
-    adjacency: np.ndarray,
+    adjacency,
     targets: Sequence[int],
     floor: float = 1.0,
     weights: "Sequence[float] | None" = None,
+    candidates=None,
+    features: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ridge: float = DEFAULT_RIDGE,
 ) -> np.ndarray:
-    """∂(surrogate loss)/∂A, symmetrised, with zeroed diagonal.
+    """∂(surrogate loss)/∂A — dense matrix, or scattered onto candidates.
 
-    Convenience for GradMaxSearch: evaluates the full differentiable pipeline
-    at the *discrete* current graph and returns a dense gradient matrix whose
-    (i, j) entry is the sensitivity of the loss to the pair {i, j}.
+    Without ``candidates`` this evaluates the full differentiable pipeline
+    at the *discrete* current graph and returns a dense, symmetrised
+    gradient matrix with zeroed diagonal, as the seed implementation did.
+
+    With ``candidates`` — a :class:`repro.attacks.candidates.CandidateSet`
+    or a ``(rows, cols)`` pair of canonical index arrays — the gradient is
+    computed sparsely: the closed-form per-feature gradients are scattered
+    only onto the requested pairs via
+
+        ``g_{uv} = ∂L/∂N_u + ∂L/∂N_v + (∂L/∂E_u + ∂L/∂E_v)(1 + c_{uv})
+        + Σ_{w ∈ Γ(u) ∩ Γ(v)} ∂L/∂E_w``
+
+    (``c_{uv}`` = common-neighbour count), returning a 1-D vector aligned
+    with the candidate pairs that equals the dense matrix's entries at those
+    positions.  ``adjacency`` may then be a scipy sparse matrix, and
+    ``features`` may supply precomputed ``(N, E)`` (e.g. from the
+    incremental engine) to skip the O(m) feature pass.
     """
-    tensor = Tensor(np.asarray(adjacency, dtype=np.float64), requires_grad=True)
-    loss = surrogate_loss(tensor, targets, floor=floor, weights=weights)
-    loss.backward()
-    grad = tensor.grad
-    assert grad is not None
-    symmetric = grad + grad.T
-    np.fill_diagonal(symmetric, 0.0)
-    return symmetric
+    if candidates is None:
+        tensor = Tensor(np.asarray(adjacency, dtype=np.float64), requires_grad=True)
+        loss = surrogate_loss(tensor, targets, floor=floor, weights=weights, ridge=ridge)
+        loss.backward()
+        grad = tensor.grad
+        assert grad is not None
+        symmetric = grad + grad.T
+        np.fill_diagonal(symmetric, 0.0)
+        return symmetric
+
+    from repro.graph.sparse import egonet_features_sparse, to_sparse
+
+    rows, cols = _candidate_arrays(candidates)
+    csr = to_sparse(adjacency)
+    if features is None:
+        n_feature, e_feature = egonet_features_sparse(csr)
+    else:
+        n_feature, e_feature = features
+    d_n, d_e = feature_gradients(
+        n_feature, e_feature, targets, floor=floor, ridge=ridge, weights=weights
+    )
+    return _scatter_pair_gradient(csr, d_n, d_e, rows, cols)
+
+
+def _candidate_arrays(candidates) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise a CandidateSet-like object or (rows, cols) pair."""
+    if hasattr(candidates, "rows") and hasattr(candidates, "cols"):
+        rows, cols = candidates.rows, candidates.cols
+    else:
+        rows, cols = candidates
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise ValueError(
+            f"candidate rows/cols must be aligned 1-D arrays, got {rows.shape}, {cols.shape}"
+        )
+    if rows.size and (rows.min() < 0 or np.any(rows >= cols)):
+        raise ValueError("candidate pairs must be canonical (0 <= u < v)")
+    return rows, cols
+
+
+def _scatter_pair_gradient(
+    csr, d_n: np.ndarray, d_e: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Evaluate the pair gradient at each candidate, grouping by hub endpoint.
+
+    Pairs are grouped by their more-frequent endpoint; each group costs one
+    O(m) sparse mat-vec, so target-incident candidate sets need only |T|
+    passes over the edge list.
+    """
+    gradient = d_n[rows] + d_n[cols] + d_e[rows] + d_e[cols]
+    if rows.size == 0:
+        return gradient
+    n = csr.shape[0]
+    occurrences = np.bincount(rows, minlength=n) + np.bincount(cols, minlength=n)
+    by_row = occurrences[rows] >= occurrences[cols]
+    keys = np.where(by_row, rows, cols)
+    others = np.where(by_row, cols, rows)
+    # One stable sort groups the pairs by hub; walking the group boundaries
+    # keeps the whole scatter at O(|C| log |C| + U·m) instead of re-scanning
+    # all |C| pairs once per hub.
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    for group in np.split(order, boundaries):
+        hub = int(keys[group[0]])
+        hub_row = np.zeros(n)
+        start, stop = csr.indptr[hub], csr.indptr[hub + 1]
+        hub_row[csr.indices[start:stop]] = csr.data[start:stop]
+        common_counts = csr @ hub_row
+        common_weighted = csr @ (hub_row * d_e)
+        partners = others[group]
+        gradient[group] += (
+            (d_e[hub] + d_e[partners]) * common_counts[partners]
+            + common_weighted[partners]
+        )
+    return gradient
+
+
+class _OLSFit(NamedTuple):
+    """Closed-form ridge OLS with the intermediates the chain rule needs."""
+
+    beta0: float
+    beta1: float
+    sum_x: float
+    sum_xx: float
+    sum_y: float
+    sum_xy: float
+    a_term: float  # sum_xx + ridge
+    c_term: float  # count + ridge
+    det: float
+    num0: float  # beta0 numerator
+    num1: float  # beta1 numerator
+
+
+def _fit_power_law_numpy(log_n: np.ndarray, log_e: np.ndarray, ridge: float) -> _OLSFit:
+    """Numpy mirror of :func:`fit_power_law_tensor` (same operation order).
+
+    This is the single numpy copy of the closed-form fit: both the feature-
+    space loss and :func:`feature_gradients` consume it, so the bit-for-bit
+    agreement with the autograd path has exactly two expressions to keep in
+    sync (this one and ``fit_power_law_tensor``), not three.
+    """
+    count = float(log_n.size)
+    sum_x = log_n.sum()
+    sum_xx = (log_n * log_n).sum()
+    sum_y = log_e.sum()
+    sum_xy = (log_n * log_e).sum()
+    a_term = sum_xx + ridge
+    c_term = count + ridge
+    det = a_term * c_term - sum_x * sum_x
+    num0 = a_term * sum_y - sum_x * sum_xy
+    num1 = sum_xy * c_term - sum_x * sum_y
+    return _OLSFit(
+        beta0=num0 / det,
+        beta1=num1 / det,
+        sum_x=sum_x,
+        sum_xx=sum_xx,
+        sum_y=sum_y,
+        sum_xy=sum_xy,
+        a_term=a_term,
+        c_term=c_term,
+        det=det,
+        num0=num0,
+        num1=num1,
+    )
 
 
 def _validate_weights(weights: Sequence[float], n_targets: int) -> np.ndarray:

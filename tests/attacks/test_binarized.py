@@ -105,3 +105,33 @@ class TestAttackQuality:
         harsh = BinarizedAttack(iterations=60, lambdas=(0.9,)).attack(graph, targets, 10)
         mild = BinarizedAttack(iterations=60, lambdas=(0.01,)).attack(graph, targets, 10)
         assert len(harsh.flips()) <= len(mild.flips()) + 1
+
+
+class TestFloorConsistency:
+    """Regression: `_record`/`_select` re-scored trimmed flip sets at a
+    hard-coded floor of 1.0 while forward losses used ``self.floor``,
+    corrupting the per-budget argmin whenever ``floor != 1.0``."""
+
+    @pytest.mark.parametrize("floor", [2.0, 0.5])
+    def test_recorded_losses_reproducible_at_attack_floor(self, attack_setup, floor):
+        from repro.oddball.surrogate import surrogate_loss_numpy
+
+        graph, targets = attack_setup
+        attack = fast_attack(floor=floor)
+        result = attack.attack(graph, targets, budget=5)
+        for budget, loss in result.surrogate_by_budget.items():
+            reproduced = surrogate_loss_numpy(
+                result.poisoned(budget), targets, floor=floor
+            )
+            assert loss == pytest.approx(reproduced, rel=1e-12), (
+                f"budget {budget}: recorded loss mixes floors"
+            )
+
+    def test_base_loss_seeded_at_attack_floor(self, attack_setup):
+        from repro.oddball.surrogate import surrogate_loss_numpy
+
+        graph, targets = attack_setup
+        result = fast_attack(floor=2.0, iterations=5).attack(graph, targets, budget=3)
+        assert result.surrogate_by_budget[0] == surrogate_loss_numpy(
+            graph.adjacency, targets, floor=2.0
+        )

@@ -1,0 +1,146 @@
+"""Tests for the CandidateSet abstraction."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.attacks.candidates import CANDIDATE_STRATEGIES, CandidateSet
+from repro.graph.graph import Graph
+
+
+class TestFull:
+    def test_matches_triu_order(self):
+        candidate_set = CandidateSet.full(6)
+        rows, cols = np.triu_indices(6, k=1)
+        np.testing.assert_array_equal(candidate_set.rows, rows)
+        np.testing.assert_array_equal(candidate_set.cols, cols)
+        assert candidate_set.is_full
+        assert candidate_set.density == 1.0
+        assert len(candidate_set) == 15
+
+    def test_trivial_sizes(self):
+        assert len(CandidateSet.full(0)) == 0
+        assert len(CandidateSet.full(1)) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CandidateSet.full(-1)
+
+
+class TestTargetIncident:
+    def test_every_pair_touches_a_target(self):
+        candidate_set = CandidateSet.target_incident(8, [2, 5])
+        for u, v in candidate_set.pairs():
+            assert u in (2, 5) or v in (2, 5)
+
+    def test_size_formula(self):
+        n, t = 10, 3
+        candidate_set = CandidateSet.target_incident(n, [0, 4, 7])
+        assert len(candidate_set) == t * (n - 1) - t * (t - 1) // 2
+
+    def test_sorted_canonical_unique(self):
+        candidate_set = CandidateSet.target_incident(7, [6, 1])
+        pairs = candidate_set.pairs()
+        assert pairs == sorted(set(pairs))
+        assert all(u < v for u, v in pairs)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            CandidateSet.target_incident(5, [])
+
+    def test_out_of_range_targets_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            CandidateSet.target_incident(5, [5])
+
+
+class TestTwoHop:
+    def test_covers_the_distance_two_ball(self):
+        # Path graph 0-1-2-3-4-5; target 0 reaches {0, 1, 2} within 2 hops.
+        graph = Graph.from_edges(6, [(i, i + 1) for i in range(5)])
+        candidate_set = CandidateSet.two_hop(graph, [0])
+        assert set(candidate_set.pairs()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_superset_of_target_incident_restricted_to_ball(self, small_ba_graph):
+        targets = [0, 7]
+        two_hop = CandidateSet.two_hop(small_ba_graph, targets)
+        ball = {u for pair in two_hop.pairs() for u in pair}
+        incident = CandidateSet.target_incident(small_ba_graph.number_of_nodes, targets)
+        in_ball_incident = {
+            pair for pair in incident.pairs() if pair[0] in ball and pair[1] in ball
+        }
+        assert in_ball_incident <= set(two_hop.pairs())
+
+    def test_accepts_sparse_adjacency(self, small_er_graph):
+        dense_set = CandidateSet.two_hop(small_er_graph, [3])
+        sparse_set = CandidateSet.two_hop(
+            sparse.csr_matrix(small_er_graph.adjacency), [3]
+        )
+        assert dense_set.pairs() == sparse_set.pairs()
+
+
+class TestBuild:
+    @pytest.mark.parametrize("strategy", CANDIDATE_STRATEGIES)
+    def test_dispatch(self, small_er_graph, strategy):
+        candidate_set = CandidateSet.build(strategy, small_er_graph, [0, 1])
+        assert candidate_set.strategy == strategy
+        assert candidate_set.n == small_er_graph.number_of_nodes
+        assert len(candidate_set) > 0
+
+    def test_unknown_strategy(self, small_er_graph):
+        with pytest.raises(ValueError, match="unknown candidate strategy"):
+            CandidateSet.build("everything", small_er_graph, [0])
+
+    def test_targets_required_except_full(self, small_er_graph):
+        assert CandidateSet.build("full", small_er_graph).is_full
+        with pytest.raises(ValueError, match="requires a target set"):
+            CandidateSet.build("target_incident", small_er_graph)
+
+    def test_strategies_nest(self, small_ba_graph):
+        """target_incident ⊆ full; both restrict what the attack may flip."""
+        targets = [1, 4]
+        full = CandidateSet.build("full", small_ba_graph, targets)
+        incident = CandidateSet.build("target_incident", small_ba_graph, targets)
+        assert set(incident.pairs()) <= set(full.pairs())
+        assert len(incident) < len(full)
+
+
+class TestFromPairsAndValidation:
+    def test_canonicalises_and_deduplicates(self):
+        candidate_set = CandidateSet.from_pairs(5, [(3, 1), (1, 3), (0, 4)])
+        assert candidate_set.pairs() == [(0, 4), (1, 3)]
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            CandidateSet.from_pairs(5, [(2, 2)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            CandidateSet.from_pairs(3, [(0, 3)])
+
+    def test_rejects_non_canonical_arrays(self):
+        with pytest.raises(ValueError, match="canonical"):
+            CandidateSet(n=4, rows=np.array([2]), cols=np.array([1]))
+
+    def test_rejects_unsorted_arrays(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CandidateSet(n=4, rows=np.array([0, 0]), cols=np.array([2, 1]))
+
+    def test_membership(self):
+        candidate_set = CandidateSet.from_pairs(5, [(1, 2)])
+        assert (1, 2) in candidate_set
+        assert (2, 1) in candidate_set  # canonicalised lookup
+        assert (0, 1) not in candidate_set
+
+
+class TestSparseExplicitZeros:
+    def test_two_hop_ignores_stored_zeros(self):
+        """Stored explicit zeros are valid zero entries (see to_sparse) and
+        must not be treated as neighbours when building the two-hop ball."""
+        # path graph 0-1-2 plus an explicit stored zero at (0, 3)
+        data = np.array([1.0, 1.0, 1.0, 1.0, 0.0, 0.0])
+        rows = np.array([0, 1, 1, 2, 0, 3])
+        cols = np.array([1, 0, 2, 1, 3, 0])
+        matrix = sparse.csr_matrix((data, (rows, cols)), shape=(5, 5))
+        assert matrix.nnz == 6
+        candidate_set = CandidateSet.two_hop(matrix, [0])
+        assert set(candidate_set.pairs()) == {(0, 1), (0, 2), (1, 2)}

@@ -117,3 +117,27 @@ class TestWeightedTargets:
         assert uniform == pytest.approx(weighted)
         with pytest.raises(ValueError):
             result.score_decrease(targets, weights=[1.0])
+
+
+class TestCandidateRestriction:
+    def test_target_incident_warns_and_declines(self, small_ba_graph, caplog):
+        """The heuristic only flips neighbour pairs, which a single-target
+        ``target_incident`` set excludes entirely — it must decline with a
+        warning rather than silently pretend to attack."""
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.attacks.heuristic"):
+            result = OddBallHeuristic(rng=0).attack(
+                small_ba_graph, [0], budget=4, candidates="target_incident"
+            )
+        assert result.flips() == []
+        assert any("candidate restriction" in r.message for r in caplog.records)
+
+    def test_two_hop_keeps_the_heuristic_effective(self, small_ba_graph):
+        from repro.oddball.detector import OddBall
+
+        targets = OddBall().analyze(small_ba_graph).top_k(2).tolist()
+        restricted = OddBallHeuristic(rng=0).attack(
+            small_ba_graph, targets, budget=4, candidates="two_hop"
+        )
+        assert restricted.flips()

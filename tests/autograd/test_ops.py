@@ -143,3 +143,69 @@ class TestWrappers:
         np.testing.assert_allclose(ops.exp([0.0]).data, [1.0])
         np.testing.assert_allclose(ops.log([np.e]).data, [1.0])
         np.testing.assert_allclose(ops.log1p([0.0]).data, [0.0])
+
+
+class TestApplyPairFlips:
+    def _base(self):
+        base = np.zeros((3, 3))
+        base[0, 1] = base[1, 0] = 1.0
+        return base
+
+    def test_forward_toggles_pairs(self):
+        base = self._base()
+        rows, cols = np.array([0, 1]), np.array([1, 2])
+        out = ops.apply_pair_flips(base, Tensor([1.0, 1.0]), rows, cols)
+        expected = np.array([[0, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_matches_unfused_composition(self):
+        base = self._base()
+        rows, cols = np.triu_indices(3, k=1)
+        values = Tensor([0.25, 1.0, 0.0], requires_grad=True)
+        direction = 1.0 - 2.0 * base[rows, cols]
+        fused = ops.apply_pair_flips(base, values, rows, cols)
+        unfused = (
+            Tensor(base)
+            + Tensor(1.0 - 2.0 * base) * ops.symmetric_from_upper(values, 3, rows, cols)
+        )
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+    def test_gradient_matches_unfused_composition(self):
+        base = self._base()
+        rows, cols = np.triu_indices(3, k=1)
+        weight = np.arange(9.0).reshape(3, 3)
+
+        v1 = Tensor([0.25, 1.0, 0.5], requires_grad=True)
+        (ops.apply_pair_flips(base, v1, rows, cols) * Tensor(weight)).sum().backward()
+
+        v2 = Tensor([0.25, 1.0, 0.5], requires_grad=True)
+        unfused = Tensor(base) + Tensor(1.0 - 2.0 * base) * ops.symmetric_from_upper(
+            v2, 3, rows, cols
+        )
+        (unfused * Tensor(weight)).sum().backward()
+
+        np.testing.assert_array_equal(v1.grad, v2.grad)
+
+    def test_off_candidate_entries_untouched(self):
+        base = self._base()
+        out = ops.apply_pair_flips(base, Tensor([1.0]), np.array([1]), np.array([2]))
+        assert out.data[0, 1] == base[0, 1]
+        assert out.data[1, 0] == base[1, 0]
+
+    def test_rejects_lower_triangle_indices(self):
+        with pytest.raises(ValueError):
+            ops.apply_pair_flips(
+                np.zeros((3, 3)), Tensor([1.0]), np.array([2]), np.array([0])
+            )
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            ops.apply_pair_flips(
+                np.zeros((3, 3)), Tensor([1.0, 2.0]), np.array([0]), np.array([1])
+            )
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            ops.apply_pair_flips(
+                np.zeros((3, 3)), Tensor([1.0]), np.array([-1]), np.array([2])
+            )

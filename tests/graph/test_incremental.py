@@ -1,0 +1,118 @@
+"""Tests for the incremental egonet-feature engine (dense oracle)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.features import egonet_features
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.incremental import IncrementalEgonetFeatures
+
+
+def _assert_matches_dense(engine, adjacency):
+    n_ref, e_ref = egonet_features(adjacency)
+    np.testing.assert_array_equal(engine.n_feature, n_ref)
+    np.testing.assert_array_equal(engine.e_feature, e_ref)
+
+
+class TestInitialisation:
+    def test_matches_dense_features(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        _assert_matches_dense(engine, small_ba_graph.adjacency)
+
+    def test_accepts_dense_and_sparse(self, small_er_graph):
+        dense = small_er_graph.adjacency
+        for source in (dense, sparse.csr_matrix(dense)):
+            engine = IncrementalEgonetFeatures(source)
+            _assert_matches_dense(engine, dense)
+
+    def test_rejects_invalid_adjacency(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            IncrementalEgonetFeatures(np.triu(np.ones((4, 4)), k=1))
+
+
+class TestFlip:
+    def test_random_flip_sequence_stays_exact(self):
+        """Bit-for-bit agreement with a fresh recompute after every flip."""
+        rng = np.random.default_rng(0)
+        graph = erdos_renyi(30, 0.2, rng=1)
+        engine = IncrementalEgonetFeatures(graph)
+        dense = graph.adjacency
+        for _ in range(40):
+            u, v = rng.integers(0, 30, size=2)
+            if u == v:
+                continue
+            engine.flip(u, v)
+            dense[u, v] = dense[v, u] = 1.0 - dense[u, v]
+            _assert_matches_dense(engine, dense)
+
+    def test_add_then_delete_roundtrip(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        before = engine.features()
+        engine.flip(0, 1)
+        engine.flip(0, 1)
+        after = engine.features()
+        np.testing.assert_array_equal(before[0], after[0])
+        np.testing.assert_array_equal(before[1], after[1])
+
+    def test_flip_bookkeeping(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(5, 2)
+        engine.flip(1, 3)
+        assert engine.flips == [(2, 5), (1, 3)]
+
+    def test_rejects_diagonal(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        with pytest.raises(ValueError, match="diagonal"):
+            engine.flip(3, 3)
+
+    def test_rejects_out_of_range(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.flip(0, small_ba_graph.number_of_nodes)
+
+
+class TestStructureQueries:
+    def test_edge_and_degree_queries(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        engine = IncrementalEgonetFeatures(small_er_graph)
+        for u in range(10):
+            assert engine.degree(u) == int(adjacency[u].sum())
+            for v in range(10):
+                if u != v:
+                    assert engine.is_edge(u, v) == bool(adjacency[u, v])
+
+    def test_common_neighbors(self, small_ba_graph):
+        adjacency = small_ba_graph.adjacency
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        squared = adjacency @ adjacency
+        for u, v in [(0, 1), (2, 9), (4, 17)]:
+            assert len(engine.common_neighbors(u, v)) == int(squared[u, v])
+
+    def test_edge_values_vector(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        engine = IncrementalEgonetFeatures(small_er_graph)
+        rows, cols = np.triu_indices(adjacency.shape[0], k=1)
+        np.testing.assert_array_equal(
+            engine.edge_values(rows, cols), adjacency[rows, cols]
+        )
+
+
+class TestMaterialisation:
+    def test_csr_tracks_flips(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        dense = small_ba_graph.adjacency
+        engine.flip(0, 1)
+        dense[0, 1] = dense[1, 0] = 1.0 - dense[0, 1]
+        engine.flip(10, 30)
+        dense[10, 30] = dense[30, 10] = 1.0 - dense[10, 30]
+        np.testing.assert_array_equal(engine.to_dense(), dense)
+        rebuilt = engine.adjacency_csr()
+        assert sparse.issparse(rebuilt)
+        assert rebuilt is engine.adjacency_csr()  # cached until the next flip
+
+    def test_large_graph_never_densified(self):
+        graph = barabasi_albert(400, 2, rng=5)
+        engine = IncrementalEgonetFeatures(sparse.csr_matrix(graph.adjacency))
+        engine.flip(0, 399)
+        assert engine.adjacency_csr().nnz == int(graph.adjacency.sum()) + 2

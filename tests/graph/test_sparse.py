@@ -89,3 +89,37 @@ class TestSparseScores:
         dense_top = int(np.argmax(anomaly_scores(g.adjacency)))
         sparse_top = int(np.argmax(anomaly_scores_sparse(g)))
         assert dense_top == sparse_top
+
+
+class TestExplicitZeros:
+    """Regression: CSR matrices carrying stored explicit zeros are valid
+    binary adjacencies and must not be rejected."""
+
+    def test_setdiag_zero_artifact_accepted(self, small_er_graph):
+        dense = small_er_graph.adjacency
+        matrix = sparse.csr_matrix(dense)
+        matrix.setdiag(0.0)  # stores explicit zeros on the diagonal
+        assert matrix.nnz > int(dense.sum())  # explicit zeros really present
+        cleaned = to_sparse(matrix)
+        np.testing.assert_array_equal(cleaned.toarray(), dense)
+        assert cleaned.nnz == int(dense.sum())
+
+    def test_stored_zero_entries_accepted(self):
+        # build a CSR whose data array carries literal 0.0 entries
+        data = np.array([1.0, 0.0, 0.0, 1.0])
+        rows = np.array([0, 2, 3, 1])
+        cols = np.array([1, 3, 2, 0])
+        matrix = sparse.csr_matrix((data, (rows, cols)), shape=(4, 4))
+        assert matrix.nnz == 4  # explicit zeros stored
+        cleaned = to_sparse(matrix)
+        assert cleaned.nnz == 2
+        expected = np.zeros((4, 4))
+        expected[0, 1] = expected[1, 0] = 1.0
+        np.testing.assert_array_equal(cleaned.toarray(), expected)
+
+    def test_caller_matrix_not_mutated(self, small_er_graph):
+        matrix = sparse.csr_matrix(small_er_graph.adjacency)
+        matrix.setdiag(0.0)
+        nnz_before = matrix.nnz
+        to_sparse(matrix)
+        assert matrix.nnz == nnz_before

@@ -84,3 +84,76 @@ class TestLabelAnomalies:
     def test_fraction_bounds(self, small_er_graph):
         with pytest.raises(ValueError):
             OddBall().label_anomalies(small_er_graph, fraction=1.5)
+
+
+class TestReportOrderingCache:
+    """top_k/rank_of are backed by a lazily-cached argsort (regression for
+    the per-call re-sort) — repeated calls and ties must stay consistent."""
+
+    def test_repeated_calls_identical(self, small_ba_graph):
+        report = OddBall().analyze(small_ba_graph)
+        first = report.top_k(10)
+        second = report.top_k(10)
+        np.testing.assert_array_equal(first, second)
+        assert [report.rank_of(i) for i in range(5)] == [
+            report.rank_of(i) for i in range(5)
+        ]
+
+    def test_argsort_runs_once(self, small_ba_graph, monkeypatch):
+        report = OddBall().analyze(small_ba_graph)
+        calls = []
+        original = np.argsort
+
+        def counting_argsort(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(np, "argsort", counting_argsort)
+        report.top_k(3)
+        report.rank_of(0)
+        report.top_k(7)
+        report.rank_of(4)
+        assert len(calls) == 1
+
+    def test_ties_resolve_stably_by_node_id(self):
+        from repro.oddball.detector import DetectionReport
+        from repro.oddball.regression import PowerLawFit
+
+        scores = np.array([1.0, 3.0, 3.0, 0.5, 3.0])
+        report = DetectionReport(
+            scores=scores,
+            n_feature=np.ones(5),
+            e_feature=np.ones(5),
+            fit=PowerLawFit(beta0=0.0, beta1=1.0),
+        )
+        np.testing.assert_array_equal(report.top_k(5), [1, 2, 4, 0, 3])
+        assert report.rank_of(1) == 0
+        assert report.rank_of(2) == 1
+        assert report.rank_of(4) == 2
+        assert report.rank_of(0) == 3
+        assert report.rank_of(3) == 4
+
+    def test_rank_of_matches_top_k_for_every_node(self, small_er_graph):
+        report = OddBall().analyze(small_er_graph)
+        order = report.top_k(len(report.scores))
+        for rank, node in enumerate(order.tolist()):
+            assert report.rank_of(node) == rank
+
+    def test_top_k_result_is_writable_copy(self, small_ba_graph):
+        report = OddBall().analyze(small_ba_graph)
+        first = report.top_k(3)
+        first[0] = -1  # mutating the caller's copy must not corrupt the cache
+        np.testing.assert_array_equal(report.top_k(3), report.top_k(3))
+        assert report.top_k(3)[0] != -1
+
+
+class TestRankOfBounds:
+    def test_negative_node_rejected(self, small_er_graph):
+        report = OddBall().analyze(small_er_graph)
+        with pytest.raises(IndexError, match="out of range"):
+            report.rank_of(-1)
+
+    def test_too_large_node_rejected(self, small_er_graph):
+        report = OddBall().analyze(small_er_graph)
+        with pytest.raises(IndexError, match="out of range"):
+            report.rank_of(len(report.scores))

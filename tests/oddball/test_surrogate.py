@@ -98,3 +98,161 @@ class TestAdjacencyGradient:
             poisoned = adjacency.copy()
             poisoned[i, j] = poisoned[j, i] = 1.0
             assert surrogate_loss_numpy(poisoned, targets) < before
+
+
+class TestTargetsConsumedOnce:
+    """Regression: ``targets`` used to be consumed twice, so a one-shot
+    generator exhausted in ``target_residuals`` left the weight validation
+    seeing zero targets."""
+
+    def test_generator_targets_with_weights(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        expected = surrogate_loss_numpy(adjacency, [2, 5, 7], weights=[1.0, 2.0, 0.5])
+        got = surrogate_loss_numpy(
+            adjacency, (t for t in [2, 5, 7]), weights=[1.0, 2.0, 0.5]
+        )
+        assert got == expected
+
+    def test_generator_targets_tensor_path(self, small_er_graph):
+        tensor = Tensor(small_er_graph.adjacency)
+        expected = float(surrogate_loss(tensor, [2, 5], weights=[1.0, 3.0]).data)
+        got = float(
+            surrogate_loss(tensor, iter([2, 5]), weights=[1.0, 3.0]).data
+        )
+        assert got == expected
+
+    def test_generator_targets_gradient_path(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        expected = adjacency_gradient(adjacency, [1, 4], weights=[2.0, 1.0])
+        got = adjacency_gradient(adjacency, iter([1, 4]), weights=[2.0, 1.0])
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestSurrogateLossNumpyFloor:
+    """Regression: the numpy evaluation hard-coded ``floor=1.0``."""
+
+    def test_floor_is_plumbed_through(self):
+        # a graph with a degree-1 node so the clamp actually bites
+        adjacency = np.zeros((5, 5))
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]:
+            adjacency[u, v] = adjacency[v, u] = 1.0
+        adjacency[3, 4] = adjacency[4, 3] = 1.0  # node 4 has degree 1
+        targets = [0, 4]
+        # floor=2.0 clamps the degree-1 node's features (N=1 < 2)
+        at_two = surrogate_loss_numpy(adjacency, targets, floor=2.0)
+        at_one = surrogate_loss_numpy(adjacency, targets, floor=1.0)
+        assert at_two != at_one
+        expected = float(
+            surrogate_loss(Tensor(adjacency), targets, floor=2.0).data
+        )
+        assert at_two == expected
+
+
+class TestFeaturePath:
+    def test_loss_from_features_matches_dense(self, small_ba_graph):
+        from repro.graph.features import egonet_features
+        from repro.oddball.surrogate import surrogate_loss_from_features
+
+        adjacency = small_ba_graph.adjacency
+        targets = [0, 7, 13]
+        n_feature, e_feature = egonet_features(adjacency)
+        for floor in (1.0, 0.5):
+            for weights in (None, [1.0, 2.0, 0.5]):
+                got = surrogate_loss_from_features(
+                    n_feature, e_feature, targets, floor=floor, weights=weights
+                )
+                expected = surrogate_loss_numpy(
+                    adjacency, targets, weights, floor=floor
+                )
+                assert got == expected  # bit-for-bit, not approx
+
+    def test_feature_gradients_match_autograd(self, small_ba_graph):
+        """(∂L/∂N, ∂L/∂E) composed into pair gradients equals autograd."""
+        from repro.oddball.surrogate import adjacency_gradient
+
+        adjacency = small_ba_graph.adjacency
+        n = adjacency.shape[0]
+        targets = [0, 7]
+        rows, cols = np.triu_indices(n, k=1)
+        for floor in (1.0, 0.5):
+            dense = adjacency_gradient(adjacency, targets, floor=floor)
+            scattered = adjacency_gradient(
+                adjacency, targets, floor=floor, candidates=(rows, cols)
+            )
+            np.testing.assert_allclose(
+                scattered, dense[rows, cols], rtol=1e-9, atol=1e-12
+            )
+
+
+class TestCandidateGradient:
+    def test_subset_matches_dense_entries(self, small_er_graph):
+        from repro.attacks.candidates import CandidateSet
+
+        adjacency = small_er_graph.adjacency
+        targets = [3, 9]
+        candidate_set = CandidateSet.target_incident(adjacency.shape[0], targets)
+        dense = adjacency_gradient(adjacency, targets)
+        scattered = adjacency_gradient(adjacency, targets, candidates=candidate_set)
+        np.testing.assert_allclose(
+            scattered,
+            dense[candidate_set.rows, candidate_set.cols],
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_weighted_subset_matches_dense_entries(self, small_er_graph):
+        adjacency = small_er_graph.adjacency
+        targets = [3, 9]
+        weights = [2.0, 0.25]
+        rows = np.array([0, 1, 5])
+        cols = np.array([4, 2, 30])
+        dense = adjacency_gradient(adjacency, targets, weights=weights)
+        scattered = adjacency_gradient(
+            adjacency, targets, weights=weights, candidates=(rows, cols)
+        )
+        np.testing.assert_allclose(scattered, dense[rows, cols], rtol=1e-9, atol=1e-12)
+
+    def test_sparse_adjacency_and_precomputed_features(self, small_ba_graph):
+        from scipy import sparse
+
+        from repro.graph.features import egonet_features
+
+        adjacency = small_ba_graph.adjacency
+        targets = [0, 5]
+        rows = np.array([0, 3])
+        cols = np.array([12, 40])
+        features = egonet_features(adjacency)
+        from_sparse = adjacency_gradient(
+            sparse.csr_matrix(adjacency),
+            targets,
+            candidates=(rows, cols),
+            features=features,
+        )
+        from_dense = adjacency_gradient(adjacency, targets, candidates=(rows, cols))
+        np.testing.assert_allclose(from_sparse, from_dense, rtol=1e-12)
+
+    def test_empty_candidates(self, small_er_graph):
+        out = adjacency_gradient(
+            small_er_graph.adjacency,
+            [0],
+            candidates=(np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)),
+        )
+        assert out.shape == (0,)
+
+    def test_non_canonical_candidates_rejected(self, small_er_graph):
+        with pytest.raises(ValueError, match="canonical"):
+            adjacency_gradient(
+                small_er_graph.adjacency,
+                [0],
+                candidates=(np.array([3]), np.array([1])),
+            )
+
+
+class TestNegativeCandidateIndices:
+    def test_negative_row_rejected(self, small_er_graph):
+        with pytest.raises(ValueError, match="canonical"):
+            adjacency_gradient(
+                small_er_graph.adjacency,
+                [0],
+                candidates=(np.array([-3]), np.array([2])),
+            )
