@@ -10,9 +10,11 @@ it may flip (see :mod:`repro.attacks.candidates`): ``candidates`` may be a
 strategy name (``"full"``, ``"target_incident"``, ``"two_hop"``), a
 prebuilt :class:`~repro.attacks.candidates.CandidateSet`, or ``None`` for
 the legacy full-pair behaviour.  Large graphs may be passed as scipy sparse
-matrices to the attacks that support sparse execution (GradMaxSearch with a
-candidate set); :class:`AttackResult` keeps the original in whichever
-representation it was given.
+matrices to every engine-backed attack (GradMaxSearch, BinarizedAttack,
+ContinuousA — see the ``backend`` parameter and
+:mod:`repro.oddball.surrogate`); sparse inputs stay sparse end to end:
+:class:`AttackResult` keeps the original in whichever representation it was
+given and derives poisoned graphs/scores in the same one.
 """
 
 from __future__ import annotations
@@ -126,7 +128,13 @@ class AttackResult:
         return apply_flips(self.original, self.flips(budget))
 
     def poisoned_graph(self, budget: "int | None" = None) -> Graph:
-        """Poisoned :class:`Graph` at ``budget`` (densifies a sparse result)."""
+        """Poisoned :class:`Graph` at ``budget``.
+
+        :class:`Graph` is dense-backed, so this is the one place a sparse
+        result is *explicitly* densified — every other derived artefact
+        (:meth:`poisoned`, :meth:`score_decrease`) stays sparse.  Prefer
+        :meth:`poisoned` on large graphs.
+        """
         poisoned = self.poisoned(budget)
         if sparse.issparse(poisoned):
             poisoned = poisoned.toarray()
@@ -187,12 +195,24 @@ class StructuralAttack(abc.ABC):
         """Poison ``graph`` to hide ``targets`` using at most ``budget`` flips."""
 
     @staticmethod
-    def _adjacency_of(graph: "Graph | np.ndarray | sparse.spmatrix") -> np.ndarray:
-        """Dense, validated adjacency (densifies sparse inputs)."""
+    def _adjacency_of(
+        graph: "Graph | np.ndarray | sparse.spmatrix", allow_sparse: bool = False
+    ) -> "np.ndarray | sparse.csr_matrix":
+        """Validated adjacency in the cheapest usable representation.
+
+        With ``allow_sparse`` a scipy sparse input stays a validated CSR —
+        the sparse-engine attacks thread it straight into the
+        :class:`~repro.oddball.surrogate.SparseSurrogateEngine` and into
+        :class:`AttackResult`, so large graphs are never densified.
+        Without it (attacks whose algorithms genuinely index dense
+        matrices) sparse inputs are densified, which is only sensible at
+        small n.
+        """
         if isinstance(graph, Graph):
             return graph.adjacency
         if sparse.issparse(graph):
-            return to_sparse(graph).toarray()
+            csr = to_sparse(graph)
+            return csr if allow_sparse else csr.toarray()
         return check_adjacency(np.asarray(graph, dtype=np.float64))
 
     @staticmethod

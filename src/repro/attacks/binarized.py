@@ -16,10 +16,23 @@ strength against sparsity.
 
 Implementation notes
 --------------------
-* Instead of Eq. 6's ``A = (A0 − ½) ⊙ Z + ½`` (which would corrupt the
-  diagonal when ``Z`` is scattered with a zero diagonal) we use the exactly
-  equivalent off-diagonal form ``A = A0 + (1 − 2·A0) ⊙ F`` with the flip
-  indicator ``F = (1 − Z)/2 ∈ {0, 1}``.
+* The PGD loop runs through a
+  :class:`~repro.oddball.surrogate.SurrogateEngine`.  ``backend="dense"``
+  replays the historical autograd pipeline bit-for-bit (instead of Eq. 6's
+  ``A = (A0 − ½) ⊙ Z + ½``, which would corrupt the diagonal when ``Z`` is
+  scattered with a zero diagonal, it uses the exactly equivalent
+  off-diagonal form ``A = A0 + (1 − 2·A0) ⊙ F`` with the flip indicator
+  ``F = (1 − Z)/2 ∈ {0, 1}``).  ``backend="sparse"`` evaluates each
+  discrete iterate by applying its flip set to incrementally-maintained
+  egonet features, scoring in O(n), scattering the closed-form
+  straight-through gradient onto the candidate pairs only, and rolling the
+  flips back — O(Σ deg + n + |C|) per iteration instead of O(n³), which is
+  what makes the attack feasible on sparse 10k+-node graphs.  The whole
+  λ-sweep reuses ONE engine instance; no adjacency is ever rebuilt between
+  iterates.  ``backend="auto"`` (default) picks dense below
+  :data:`~repro.oddball.surrogate.AUTO_SPARSE_NODE_THRESHOLD` nodes and
+  sparse above it or for scipy-sparse inputs (which then stay sparse
+  end-to-end, including in the :class:`AttackResult`).
 * Alg. 1 lines 16–19 ("pick out Ż = min L satisfying ΣZ = −b"): during the
   optimisation we record every iterate's discrete flip set (validated
   against the no-singleton rule) together with its surrogate loss; the
@@ -28,9 +41,8 @@ Implementation notes
 * ``candidates`` restricts the decision variables to a
   :class:`~repro.attacks.candidates.CandidateSet`: ``Ż`` then has one entry
   per candidate pair instead of n(n−1)/2, shrinking both the optimiser
-  state and the per-iteration scatter (the forward surrogate remains a
-  dense evaluation).  With the ``full`` strategy the sweep is bit-for-bit
-  identical to the legacy full-pair parametrisation.
+  state and the per-iteration scatter.  With the ``full`` strategy the
+  sweep is bit-for-bit identical to the legacy full-pair parametrisation.
 * Candidate solutions recorded during the sweep are re-scored at
   ``self.floor`` whenever the validity pass trims them, so every entry of
   the per-budget argmin is measured on the same objective (Alg. 1 lines
@@ -54,11 +66,8 @@ import numpy as np
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
-from repro.attacks.constraints import filter_valid_flips
-from repro.autograd.ops import apply_pair_flips, binarize_ste
-from repro.autograd.optim import ProjectedGradientDescent
-from repro.autograd.tensor import Tensor
-from repro.oddball.surrogate import surrogate_loss, surrogate_loss_numpy
+from repro.attacks.constraints import filter_valid_flips_engine
+from repro.oddball.surrogate import SurrogateEngine, resolve_backend, validate_backend
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_budget
 
@@ -107,6 +116,10 @@ class BinarizedAttack(StructuralAttack):
     normalize_gradient:
         Rescale the adversarial gradient to unit max-magnitude each step
         (see the module docstring); disable to run textbook Alg. 1 PGD.
+    backend:
+        Surrogate engine backend: ``"dense"`` (exact historical autograd
+        path), ``"sparse"`` (incremental features + rollback, for large or
+        scipy-sparse graphs) or ``"auto"`` (pick by input size/type).
 
     Example
     -------
@@ -130,6 +143,7 @@ class BinarizedAttack(StructuralAttack):
         floor: float = 1.0,
         init: float = 0.0,
         normalize_gradient: bool = True,
+        backend: str = "auto",
     ):
         if not lambdas:
             raise ValueError("lambda sweep must not be empty")
@@ -145,6 +159,7 @@ class BinarizedAttack(StructuralAttack):
         self.floor = floor
         self.init = init
         self.normalize_gradient = normalize_gradient
+        self.backend = validate_backend(backend)
 
     # ------------------------------------------------------------------ #
     def attack(
@@ -155,7 +170,8 @@ class BinarizedAttack(StructuralAttack):
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
-        adjacency = self._adjacency_of(graph)
+        backend = resolve_backend(self.backend, graph)
+        adjacency = self._adjacency_of(graph, allow_sparse=(backend == "sparse"))
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
@@ -165,11 +181,15 @@ class BinarizedAttack(StructuralAttack):
             rows, cols = np.triu_indices(n, k=1)
         else:
             rows, cols = candidate_set.rows, candidate_set.cols
-        # +1 on non-edges, −1 on edges, per candidate pair
-        flip_direction = 1.0 - 2.0 * adjacency[rows, cols]
-        base_loss = surrogate_loss_numpy(
-            adjacency, targets, target_weights, floor=self.floor
+        engine = SurrogateEngine.create(
+            adjacency,
+            targets,
+            (rows, cols),
+            backend=backend,
+            floor=self.floor,
+            weights=target_weights,
         )
+        base_loss = engine.current_loss()
 
         recorded: list[_Candidate] = [
             _Candidate(flips=(), surrogate=base_loss, lam=0.0, iteration=-1)
@@ -177,55 +197,38 @@ class BinarizedAttack(StructuralAttack):
         final_zdot: "np.ndarray | None" = None
 
         for lam in self.lambdas:
-            zdot = Tensor(
-                np.full(len(rows), self.init, dtype=np.float64),
-                requires_grad=True,
-                name="zdot",
-            )
-            optimizer = ProjectedGradientDescent([zdot], lr=self.lr, low=0.0, high=1.0)
+            zdot = np.full(len(rows), self.init, dtype=np.float64)
             for iteration in range(self.iterations):
-                optimizer.zero_grad()
-                # Forward pass on the DISCRETE graph (Alg. 1 lines 5-8).
-                z = binarize_ste(2.0 * zdot - 1.0)  # +1 => flip (this is −Z of Eq. 7)
-                flip_indicator = (z + 1.0) * 0.5
-                poisoned = apply_pair_flips(
-                    adjacency, flip_indicator, rows, cols, direction=flip_direction
-                )
-                adversarial = surrogate_loss(
-                    poisoned, targets, floor=self.floor, weights=target_weights
-                )
+                # Forward on the DISCRETE graph + straight-through backward
+                # (Alg. 1 lines 5-11), delegated to the engine.
+                adversarial, gradient, flip_mask = engine.binarized_step(zdot)
                 # Record the iterate's discrete solution before updating.
                 self._record(
                     recorded,
-                    adjacency,
-                    targets,
-                    zdot.data,
-                    flip_indicator.data,
+                    engine,
+                    zdot,
+                    flip_mask,
                     rows,
                     cols,
-                    float(adversarial.data),
+                    adversarial,
                     lam,
                     iteration,
                     budget,
-                    target_weights,
                 )
-                # Backward pass + projected update (Alg. 1 lines 9-12).  The
-                # LASSO term contributes its exact subgradient +λ (Ż >= 0 in
-                # the box), added after the optional normalisation so that λ
-                # is calibrated against relative gradient magnitudes.
-                adversarial.backward()
-                grad = zdot.grad
-                assert grad is not None
+                # Projected update (Alg. 1 line 12).  The LASSO term
+                # contributes its exact subgradient +λ (Ż >= 0 in the box),
+                # added after the optional normalisation so that λ is
+                # calibrated against relative gradient magnitudes.
                 if self.normalize_gradient:
-                    scale = float(np.max(np.abs(grad)))
+                    scale = float(np.max(np.abs(gradient)))
                     if scale > 0.0:
-                        grad = grad / scale
-                zdot.grad = grad + lam
-                optimizer.step()
-            final_zdot = zdot.data.copy()
+                        gradient = gradient / scale
+                gradient = gradient + lam
+                zdot = np.clip(zdot - self.lr * gradient, 0.0, 1.0)
+            final_zdot = zdot.copy()
 
         flips_by_budget, surrogate_by_budget = self._select(
-            recorded, adjacency, targets, budget, final_zdot, rows, cols, target_weights
+            recorded, engine, budget, final_zdot, rows, cols
         )
         return AttackResult(
             method=self.name,
@@ -241,6 +244,7 @@ class BinarizedAttack(StructuralAttack):
                     "legacy-full" if candidate_set is None else candidate_set.strategy
                 ),
                 "decision_variables": len(rows),
+                "backend": engine.backend,
             },
         )
 
@@ -248,20 +252,18 @@ class BinarizedAttack(StructuralAttack):
     def _record(
         self,
         recorded: list[_Candidate],
-        adjacency: np.ndarray,
-        targets: Sequence[int],
+        engine: SurrogateEngine,
         zdot_values: np.ndarray,
-        flip_indicator: np.ndarray,
+        flip_mask: np.ndarray,
         rows: np.ndarray,
         cols: np.ndarray,
         adversarial_loss: float,
         lam: float,
         iteration: int,
         budget: int,
-        target_weights: "Sequence[float] | None" = None,
     ) -> None:
         """Validate and store the current iterate's discrete flip set."""
-        flipped = np.flatnonzero(flip_indicator > 0.5)
+        flipped = np.flatnonzero(flip_mask)
         if len(flipped) == 0 or len(flipped) > 4 * max(budget, 1):
             # Empty solutions are pre-seeded; grossly over-budget iterates
             # cannot win for any b <= budget, skip the bookkeeping cost.
@@ -269,7 +271,7 @@ class BinarizedAttack(StructuralAttack):
         # Most-confident-first ordering for the validity pass.
         order = flipped[np.argsort(-zdot_values[flipped], kind="stable")]
         raw_flips = [(int(rows[k]), int(cols[k])) for k in order]
-        valid_flips = filter_valid_flips(adjacency, raw_flips, limit=budget)
+        valid_flips = filter_valid_flips_engine(engine, raw_flips, limit=budget)
         if not valid_flips:
             return
         if len(valid_flips) == len(raw_flips):
@@ -278,12 +280,7 @@ class BinarizedAttack(StructuralAttack):
             # Re-score the trimmed flip set at the SAME floor the forward
             # pass uses — mixing floors here corrupted the per-budget argmin
             # whenever ``self.floor != 1.0``.
-            poisoned = adjacency.copy()
-            for u, v in valid_flips:
-                poisoned[u, v] = poisoned[v, u] = 1.0 - poisoned[u, v]
-            surrogate = surrogate_loss_numpy(
-                poisoned, targets, target_weights, floor=self.floor
-            )
+            surrogate = engine.score_flips(valid_flips)
         recorded.append(
             _Candidate(
                 flips=tuple(valid_flips), surrogate=surrogate, lam=lam, iteration=iteration
@@ -293,13 +290,11 @@ class BinarizedAttack(StructuralAttack):
     def _select(
         self,
         recorded: list[_Candidate],
-        adjacency: np.ndarray,
-        targets: Sequence[int],
+        engine: SurrogateEngine,
         budget: int,
         final_zdot: "np.ndarray | None",
         rows: np.ndarray,
         cols: np.ndarray,
-        target_weights: "Sequence[float] | None" = None,
     ) -> tuple[dict[int, list[Edge]], dict[int, float]]:
         """Per-budget best recorded solution (Alg. 1 lines 16-19)."""
         flips_by_budget: dict[int, list[Edge]] = {}
@@ -313,14 +308,9 @@ class BinarizedAttack(StructuralAttack):
                 # iterate produced a usable flip set).
                 order = np.argsort(-final_zdot, kind="stable")[: 4 * b]
                 ranked = [(int(rows[k]), int(cols[k])) for k in order if final_zdot[k] > 0.0]
-                chosen = filter_valid_flips(adjacency, ranked, limit=b)
+                chosen = filter_valid_flips_engine(engine, ranked, limit=b)
                 if chosen:
-                    poisoned = adjacency.copy()
-                    for u, v in chosen:
-                        poisoned[u, v] = poisoned[v, u] = 1.0 - poisoned[u, v]
-                    candidate_loss = surrogate_loss_numpy(
-                        poisoned, targets, target_weights, floor=self.floor
-                    )
+                    candidate_loss = engine.score_flips(chosen)
                     if candidate_loss >= best.surrogate:
                         chosen = list(best.flips)
                     else:

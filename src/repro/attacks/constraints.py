@@ -21,6 +21,7 @@ import numpy as np
 __all__ = [
     "creates_singleton",
     "filter_valid_flips",
+    "filter_valid_flips_engine",
     "sign_valid_mask",
     "no_singleton_mask",
 ]
@@ -88,4 +89,42 @@ def filter_valid_flips(
         scratch[pair[0], pair[1]] = scratch[pair[1], pair[0]] = new_value
         taken.add(pair)
         accepted.append(pair)
+    return accepted
+
+
+def filter_valid_flips_engine(
+    engine,
+    candidates: Iterable[Edge],
+    limit: "int | None" = None,
+    forbidden: "Sequence[Edge] | None" = None,
+) -> list[Edge]:
+    """:func:`filter_valid_flips` against a live surrogate engine.
+
+    Same greedy semantics, but the scratch state is the engine's own graph:
+    accepted flips are pushed transiently (so later validity checks see
+    them) and every one is rolled back before returning.  This is how the
+    sparse backend validates flip sets without a dense scratch copy — each
+    probe costs O(deg), and the engine ends in exactly the state it
+    started in.
+    """
+    taken: set[Edge] = {tuple(sorted(pair)) for pair in (forbidden or [])}
+    accepted: list[Edge] = []
+    for u, v in candidates:
+        if limit is not None and len(accepted) >= limit:
+            break
+        if u == v:
+            continue
+        pair = (u, v) if u < v else (v, u)
+        if pair in taken:
+            continue
+        # `creates_singleton` semantics: deletions are unsafe when either
+        # endpoint has degree <= 1 in the *current* (partially flipped) state.
+        if engine.is_edge(*pair) and (
+            engine.degree(pair[0]) <= 1.0 or engine.degree(pair[1]) <= 1.0
+        ):
+            continue
+        engine.push_flip(*pair)
+        taken.add(pair)
+        accepted.append(pair)
+    engine.pop_flips(len(accepted))
     return accepted

@@ -8,6 +8,14 @@ attack flips the ``B`` pairs with the largest ``|A0 − Ã*|``.
 The paper uses this method to demonstrate that ignoring discreteness during
 optimisation yields erratic attacks — the rounding step can map a good
 fractional solution to an arbitrarily bad discrete one.
+
+The PGD loop runs through a
+:class:`~repro.oddball.surrogate.SurrogateEngine`: the dense backend replays
+the historical autograd pipeline (frozen non-candidate entries + symmetric
+scatter of the relaxed variables) bit-for-bit, while the sparse backend
+evaluates the fractional graph as ``A0 + Δ`` in CSR form — weighted egonet
+features plus the closed-form gradient scattered onto the candidate pairs —
+so the relaxation also runs on graphs the dense path cannot hold in memory.
 """
 
 from __future__ import annotations
@@ -18,11 +26,8 @@ import numpy as np
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
-from repro.attacks.constraints import filter_valid_flips
-from repro.autograd.ops import symmetric_from_upper
-from repro.autograd.optim import ProjectedGradientDescent
-from repro.autograd.tensor import Tensor
-from repro.oddball.surrogate import surrogate_loss, surrogate_loss_numpy
+from repro.attacks.constraints import filter_valid_flips_engine
+from repro.oddball.surrogate import SurrogateEngine, resolve_backend, validate_backend
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_budget
 
@@ -45,18 +50,22 @@ class ContinuousA(StructuralAttack):
     floor:
         Log-clamp floor inside the surrogate; the relaxed graph can have
         fractional degrees, so this defaults lower than the discrete methods.
+    backend:
+        Surrogate engine backend (``"auto"``/``"dense"``/``"sparse"``, see
+        :mod:`repro.oddball.surrogate`).
     """
 
     name = "continuousa"
 
     def __init__(self, lr: float = 0.01, max_iter: int = 200, tol: float = 1e-6,
-                 floor: float = 0.5):
+                 floor: float = 0.5, backend: str = "auto"):
         if max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {max_iter}")
         self.lr = lr
         self.max_iter = max_iter
         self.tol = tol
         self.floor = floor
+        self.backend = validate_backend(backend)
 
     def attack(
         self,
@@ -66,7 +75,8 @@ class ContinuousA(StructuralAttack):
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
-        adjacency = self._adjacency_of(graph)
+        backend = resolve_backend(self.backend, graph)
+        adjacency = self._adjacency_of(graph, allow_sparse=(backend == "sparse"))
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
@@ -76,27 +86,23 @@ class ContinuousA(StructuralAttack):
             rows, cols = np.triu_indices(n, k=1)
         else:
             rows, cols = candidate_set.rows, candidate_set.cols
-        a0_vector = adjacency[rows, cols]
-        # Non-candidate entries stay frozen at their clean values: the relaxed
-        # variables are scattered ON TOP of the clean graph with the candidate
-        # positions blanked (for the full pair set this base is all-zero and
-        # the computation reduces exactly to the legacy parametrisation).
-        frozen_base = adjacency.copy()
-        frozen_base[rows, cols] = frozen_base[cols, rows] = 0.0
-        frozen_tensor = Tensor(frozen_base)
-        relaxed = Tensor(a0_vector.copy(), requires_grad=True, name="relaxed_adjacency")
-        optimizer = ProjectedGradientDescent([relaxed], lr=self.lr, low=0.0, high=1.0)
+        engine = SurrogateEngine.create(
+            adjacency,
+            targets,
+            (rows, cols),
+            backend=backend,
+            floor=self.floor,
+            weights=target_weights,
+        )
+        a0_vector = engine.edge_values
+        relaxed = a0_vector.copy()
 
         previous_loss = np.inf
         iterations_run = 0
         for iteration in range(self.max_iter):
-            optimizer.zero_grad()
-            matrix = frozen_tensor + symmetric_from_upper(relaxed, n, rows, cols)
-            loss = surrogate_loss(matrix, targets, floor=self.floor, weights=target_weights)
-            loss.backward()
-            optimizer.step()
+            current_loss, gradient = engine.relaxed_step(relaxed)
+            relaxed = np.clip(relaxed - self.lr * gradient, 0.0, 1.0)
             iterations_run = iteration + 1
-            current_loss = float(loss.data)
             # Guard the sentinel: ``inf <= inf`` is true, so comparing against
             # the initial ∞ tripped "convergence" on the very first iteration
             # (and left final_relaxed_loss = inf in the metadata).
@@ -107,20 +113,14 @@ class ContinuousA(StructuralAttack):
                 break
             previous_loss = current_loss
 
-        difference = np.abs(relaxed.data - a0_vector)
+        difference = np.abs(relaxed - a0_vector)
         order = np.argsort(-difference, kind="stable")
-        candidates = [(int(rows[k]), int(cols[k])) for k in order if difference[k] > 0.0]
-        ordered_flips = filter_valid_flips(adjacency, candidates, limit=budget)
+        ranked = [(int(rows[k]), int(cols[k])) for k in order if difference[k] > 0.0]
+        ordered_flips = filter_valid_flips_engine(engine, ranked, limit=budget)
 
-        surrogate_by_budget = {
-            0: surrogate_loss_numpy(adjacency, targets, target_weights, floor=self.floor)
-        }
-        scratch = adjacency.copy()
-        for b, (u, v) in enumerate(ordered_flips, start=1):
-            scratch[u, v] = scratch[v, u] = 1.0 - scratch[u, v]
-            surrogate_by_budget[b] = surrogate_loss_numpy(
-                scratch, targets, target_weights, floor=self.floor
-            )
+        surrogate_by_budget = {0: engine.current_loss()}
+        for b, loss in enumerate(engine.score_prefixes(ordered_flips), start=1):
+            surrogate_by_budget[b] = loss
 
         return self._prefix_result(
             self.name,
@@ -136,5 +136,6 @@ class ContinuousA(StructuralAttack):
                     "legacy-full" if candidate_set is None else candidate_set.strategy
                 ),
                 "decision_variables": len(rows),
+                "backend": engine.backend,
             },
         )

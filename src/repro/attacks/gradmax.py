@@ -7,22 +7,22 @@ modification nor create a singleton, the pair with the largest absolute
 gradient is flipped.  This is the standard greedy baseline most prior
 structural attacks use.
 
-Two execution engines back the greedy loop:
+Two execution paths back the greedy loop:
 
-* the **dense engine** (``candidates=None``) — the seed implementation:
-  a full autograd backward pass over all ``n²`` entries per step, O(n³)
-  work, exact;
-* the **candidate engine** (any ``candidates``) — decision variables are
-  restricted to a :class:`~repro.attacks.candidates.CandidateSet`, egonet
-  features are maintained incrementally at O(deg) per flip
-  (:class:`~repro.graph.incremental.IncrementalEgonetFeatures`) and the
-  gradient is scattered onto candidate pairs only
-  (:func:`~repro.oddball.surrogate.adjacency_gradient` with
-  ``candidates``), so one greedy step costs O(m + |C|) instead of O(n³).
-  With the ``full`` strategy the engine reproduces the dense path's flips
-  bit-for-bit (equivalence-tested); with ``target_incident``/``two_hop``
-  it prunes the search Nettack-style.  Sparse adjacency inputs are
-  supported and never densified by this engine.
+* the **legacy dense loop** (``candidates=None`` with a dense-resolved
+  backend) — the seed implementation: a full autograd backward pass over
+  all ``n²`` entries per step, O(n³) work, exact;
+* the **engine loop** (any ``candidates``, any sparse-resolved backend) —
+  the greedy search runs through the shared
+  :class:`~repro.oddball.surrogate.SurrogateEngine`.  With the sparse
+  backend, egonet features are maintained incrementally at O(deg) per flip
+  and the gradient is scattered onto candidate pairs only, so one greedy
+  step costs O(m + |C|) instead of O(n³); with the dense backend the engine
+  gathers the full autograd gradient at the candidate pairs (the reference
+  the parity suite checks against).  With the ``full`` strategy the engine
+  reproduces the dense path's flips bit-for-bit (equivalence-tested); with
+  ``target_incident``/``two_hop`` it prunes the search Nettack-style.
+  Sparse adjacency inputs are supported and never densified by this path.
 """
 
 from __future__ import annotations
@@ -30,16 +30,16 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-from scipy import sparse
 
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import no_singleton_mask, sign_valid_mask
-from repro.graph.incremental import IncrementalEgonetFeatures
 from repro.oddball.surrogate import (
+    SurrogateEngine,
     adjacency_gradient,
-    surrogate_loss_from_features,
+    resolve_backend,
     surrogate_loss_numpy,
+    validate_backend,
 )
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_budget
@@ -58,6 +58,11 @@ class GradMaxSearch(StructuralAttack):
         Clamp floor for the log-features inside the surrogate (see
         :mod:`repro.oddball.surrogate`); used consistently for both the
         gradients and the per-budget surrogate bookkeeping.
+    backend:
+        Surrogate engine backend.  ``"auto"`` keeps the historical
+        behaviour: the legacy dense loop for small dense inputs without
+        ``candidates``, the sparse-incremental engine whenever a candidate
+        set is given, the graph is scipy-sparse, or it is large.
 
     Example
     -------
@@ -76,8 +81,9 @@ class GradMaxSearch(StructuralAttack):
 
     name = "gradmaxsearch"
 
-    def __init__(self, floor: float = 1.0):
+    def __init__(self, floor: float = 1.0, backend: str = "auto"):
         self.floor = floor
+        self.backend = validate_backend(backend)
 
     def attack(
         self,
@@ -87,10 +93,28 @@ class GradMaxSearch(StructuralAttack):
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
-        if candidates is not None:
-            return self._attack_candidates(
-                graph, targets, budget, target_weights, candidates
-            )
+        # A candidate set always means the pruned engine; otherwise fall
+        # back to the backend rule (sparse/large inputs get the engine over
+        # the full pair set, small dense inputs keep the legacy dense loop).
+        if candidates is not None and self.backend == "auto":
+            backend = "sparse"
+        else:
+            backend = resolve_backend(self.backend, graph)
+        if candidates is None and backend == "dense":
+            return self._attack_dense(graph, targets, budget, target_weights)
+        return self._attack_engine(
+            graph, targets, budget, target_weights, candidates, backend
+        )
+
+    # ------------------------------------------------------------------ #
+    def _attack_dense(
+        self,
+        graph,
+        targets: Sequence[int],
+        budget: int,
+        target_weights: "Sequence[float] | None",
+    ) -> AttackResult:
+        """Legacy full-matrix loop (the seed implementation, kept as oracle)."""
         adjacency = self._adjacency_of(graph)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
@@ -137,50 +161,49 @@ class GradMaxSearch(StructuralAttack):
         )
 
     # ------------------------------------------------------------------ #
-    def _attack_candidates(
+    def _attack_engine(
         self,
         graph,
         targets: Sequence[int],
         budget: int,
         target_weights: "Sequence[float] | None",
-        candidates: "CandidateSet | str",
+        candidates: "CandidateSet | str | None",
+        backend: str,
     ) -> AttackResult:
-        """Candidate-set engine: incremental features + scattered gradients."""
-        engine = IncrementalEgonetFeatures(graph)
-        n = engine.n
+        """Greedy loop through the shared surrogate engine."""
+        adjacency = self._adjacency_of(graph, allow_sparse=True)
+        n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
-        candidate_set = self._resolve_candidates(candidates, graph, targets, n)
-        assert candidate_set is not None
+        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        if candidate_set is None:
+            candidate_set = CandidateSet.full(n)
         rows, cols = candidate_set.rows, candidate_set.cols
 
+        engine = SurrogateEngine.create(
+            adjacency,
+            targets,
+            candidate_set,
+            backend=backend,
+            floor=self.floor,
+            weights=target_weights,
+        )
         ordered_flips: list[tuple[int, int]] = []
-        surrogate_by_budget = {
-            0: surrogate_loss_from_features(
-                *engine.features(), targets, floor=self.floor, weights=target_weights
-            )
-        }
+        surrogate_by_budget = {0: engine.current_loss()}
         modified = np.zeros(len(candidate_set), dtype=bool)
         # A pair's adjacency value only changes when the pair itself flips,
         # and flipped pairs leave the pool through ``modified`` — so the
         # per-pair edge values can be computed once instead of per step.
-        edge_values = engine.edge_values(rows, cols)
+        edge_values = engine.edge_values
 
         for step in range(budget):
-            n_feature, e_feature = engine.features()
-            gradient = adjacency_gradient(
-                engine.adjacency_csr(),
-                targets,
-                floor=self.floor,
-                weights=target_weights,
-                candidates=candidate_set,
-                features=(n_feature, e_feature),
-            )
+            gradient = engine.candidate_gradient()
+            degrees = engine.degrees()
             sign_valid = ((edge_values == 0.0) & (gradient < 0.0)) | (
                 (edge_values == 1.0) & (gradient > 0.0)
             )
             unsafe_delete = (edge_values == 1.0) & (
-                (n_feature[rows] <= 1.0) | (n_feature[cols] <= 1.0)
+                (degrees[rows] <= 1.0) | (degrees[cols] <= 1.0)
             )
             valid = sign_valid & ~unsafe_delete & ~modified
             if not valid.any():
@@ -189,23 +212,21 @@ class GradMaxSearch(StructuralAttack):
             magnitude = np.where(valid, np.abs(gradient), -np.inf)
             k = int(np.argmax(magnitude))
             u, v = int(rows[k]), int(cols[k])
-            engine.flip(u, v)
+            engine.apply_flip(u, v)
             modified[k] = True
             ordered_flips.append((u, v))
-            surrogate_by_budget[len(ordered_flips)] = surrogate_loss_from_features(
-                *engine.features(), targets, floor=self.floor, weights=target_weights
-            )
+            surrogate_by_budget[len(ordered_flips)] = engine.current_loss()
 
-        original = graph if sparse.issparse(graph) else self._adjacency_of(graph)
         return self._prefix_result(
             self.name,
-            original,
+            adjacency,
             ordered_flips,
             budget,
             surrogate_by_budget=surrogate_by_budget,
             metadata={
                 "steps_taken": len(ordered_flips),
                 "engine": "candidates",
+                "backend": engine.backend,
                 "candidate_strategy": candidate_set.strategy,
                 "candidate_count": len(candidate_set),
             },

@@ -177,14 +177,17 @@ def apply_pair_flips(
     rows: np.ndarray,
     cols: np.ndarray,
     direction: "np.ndarray | None" = None,
+    base_values: "np.ndarray | None" = None,
 ) -> Tensor:
     """Toggle candidate pairs of a constant adjacency: ``A0 + (1−2A0) ⊙ F``.
 
     ``base`` is the clean adjacency (a constant — no gradient flows to it)
     and ``flip_values`` the differentiable per-pair flip indicator ``F`` on
     the canonical candidate positions ``(rows, cols)``.  ``direction`` is
-    the precomputed per-pair ``1 − 2·A0[rows, cols]`` (recomputed when
-    omitted).
+    the precomputed per-pair ``1 − 2·A0[rows, cols]`` and ``base_values``
+    the precomputed ``A0[rows, cols]`` (both recomputed when omitted —
+    passing them saves one fancy-index gather per call, which matters in
+    BinarizedAttack's per-iteration hot loop where ``base`` never changes).
 
     Fusing the scatter, elementwise multiply and add avoids materialising
     two dense n×n intermediates per optimisation step — the hot loop of
@@ -205,10 +208,12 @@ def apply_pair_flips(
         raise ValueError(
             "indices must address the strict upper triangle (0 <= rows < cols)"
         )
+    if base_values is None:
+        base_values = base[rows, cols]
     if direction is None:
-        direction = 1.0 - 2.0 * base[rows, cols]
+        direction = 1.0 - 2.0 * base_values
     out_data = base.copy()
-    toggled = base[rows, cols] + direction * flip_values.data
+    toggled = base_values + direction * flip_values.data
     out_data[rows, cols] = toggled
     out_data[cols, rows] = toggled
 

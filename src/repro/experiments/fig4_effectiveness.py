@@ -44,8 +44,20 @@ def run(
     scale: Scale = CI,
     seed: int = 7,
     panels=PANELS,
+    backend: str = "auto",
+    candidates: "str | None" = None,
 ) -> dict:
-    """Sweep every panel; returns per-panel series (mean over repeats)."""
+    """Sweep every panel; returns per-panel series (mean over repeats).
+
+    ``backend`` picks the surrogate engine for every attack (see
+    :func:`repro.experiments.common.attack_suite`) and ``candidates`` an
+    optional candidate-pair strategy (``"target_incident"``/``"two_hop"``;
+    ``None`` keeps the exact legacy full-pair decision variables).  At
+    large n both matter: the sparse engine removes the O(n³) forward, and a
+    pruned candidate set removes the O(n²) decision-variable arrays — the
+    combination is what lets the sweep run at scales the dense pipeline
+    cannot hold in memory.
+    """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
     results = []
@@ -59,13 +71,15 @@ def run(
         report = detector.analyze(graph)
 
         per_method: dict[str, list[list[float]]] = {
-            name: [] for name in attack_suite(scale)
+            name: [] for name in attack_suite(scale, backend)
         }
         for repeat in range(scale.n_repeats):
             rng = seeds.generator(f"targets-{dataset_name}-{paper_targets}-{repeat}")
             targets = sample_targets(report, n_targets, rng)
-            for method_name, attack in attack_suite(scale).items():
-                result = attack.attack(graph, targets, budgets[-1])
+            for method_name, attack in attack_suite(scale, backend).items():
+                result = attack.attack(
+                    graph, targets, budgets[-1], candidates=candidates
+                )
                 taus = tau_for_budgets(adjacency, result, targets, budgets)
                 per_method[method_name].append(taus)
                 _log.info(
@@ -91,7 +105,13 @@ def run(
                 },
             }
         )
-    return {"scale": scale.name, "seed": seed, "panels": results}
+    return {
+        "scale": scale.name,
+        "seed": seed,
+        "backend": backend,
+        "candidates": candidates,
+        "panels": results,
+    }
 
 
 def format_results(payload: dict) -> str:

@@ -40,8 +40,22 @@ def _classify_case(adds: int, deletes: int) -> str:
     return "no-op"
 
 
-def run(scale: Scale = CI, seed: int = 7, dataset: str = "wikivote", n_cases: int = 3) -> dict:
-    """Attack the ``n_cases`` top anomalies one at a time, logging the rewiring."""
+def run(
+    scale: Scale = CI,
+    seed: int = 7,
+    dataset: str = "wikivote",
+    n_cases: int = 3,
+    backend: str = "auto",
+    candidates: "str | None" = None,
+) -> dict:
+    """Attack the ``n_cases`` top anomalies one at a time, logging the rewiring.
+
+    ``backend`` selects BinarizedAttack's surrogate engine and
+    ``candidates`` an optional pair-pruning strategy, so the case studies
+    can be reproduced on full-size graphs (``backend="sparse"`` together
+    with ``candidates="target_incident"`` keeps both the forward pass and
+    the decision variables sub-quadratic).
+    """
     seeds = SeedSequenceFactory(seed)
     ds = load_experiment_graph(dataset, scale, seeds)
     graph = ds.graph
@@ -61,11 +75,11 @@ def run(scale: Scale = CI, seed: int = 7, dataset: str = "wikivote", n_cases: in
                 break
     chosen = chosen[:n_cases]
 
-    attack = BinarizedAttack(iterations=scale.attack_iterations)
+    attack = BinarizedAttack(iterations=scale.attack_iterations, backend=backend)
     budget = max(scale.scaled(10), 4)
     cases = []
     for node in chosen:
-        result = attack.attack(graph, [node], budget)
+        result = attack.attack(graph, [node], budget, candidates=candidates)
         flips = result.flips()
         adds = sum(1 for u, v in flips if graph.adjacency_view[u, v] == 0.0)
         deletes = len(flips) - adds
@@ -85,7 +99,7 @@ def run(scale: Scale = CI, seed: int = 7, dataset: str = "wikivote", n_cases: in
             }
         )
     return {"scale": scale.name, "seed": seed, "dataset": dataset, "budget": budget,
-            "cases": cases}
+            "backend": backend, "candidates": candidates, "cases": cases}
 
 
 def format_results(payload: dict) -> str:

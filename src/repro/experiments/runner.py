@@ -2,16 +2,30 @@
 
 Usage::
 
+    python -m repro.experiments.runner --list
     python -m repro.experiments.runner --experiment fig4 --scale ci
+    python -m repro.experiments.runner --experiment fig4 --backend sparse
     python -m repro.experiments.runner --all --scale paper --output results/
 
 Each driver returns a JSON-serialisable payload and a formatted text block;
 the runner prints the text and optionally persists the payload.
+
+``--backend {auto,dense,sparse}`` selects the surrogate engine for the
+attack-driven figures (fig4, fig5) and ``--candidates
+{target_incident,two_hop}`` optionally prunes their decision variables.
+At large n use both: the sparse engine removes the O(n³) forward pass and
+the candidate strategy removes the O(n²) pair arrays — e.g.::
+
+    python -m repro.experiments.runner -e fig4 --backend sparse \
+        --candidates target_incident
+
+Drivers that do not run attacks ignore both flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 from pathlib import Path
 from typing import Callable
 
@@ -49,13 +63,28 @@ _SCALES = {"paper": PAPER, "ci": CI, "smoke": SMOKE}
 
 
 def run_experiment(
-    name: str, scale: Scale = CI, seed: int = 7, output_dir: "Path | None" = None
+    name: str,
+    scale: Scale = CI,
+    seed: int = 7,
+    output_dir: "Path | None" = None,
+    backend: str = "auto",
+    candidates: "str | None" = None,
 ) -> tuple[dict, str]:
-    """Run one experiment; returns (payload, formatted text)."""
+    """Run one experiment; returns (payload, formatted text).
+
+    ``backend`` and ``candidates`` are forwarded to drivers that accept
+    them (the attack-driven figures); the rest run unchanged.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
     run_fn, format_fn = EXPERIMENTS[name]
-    payload = run_fn(scale=scale, seed=seed)
+    parameters = inspect.signature(run_fn).parameters
+    kwargs = {}
+    if "backend" in parameters:
+        kwargs["backend"] = backend
+    if "candidates" in parameters:
+        kwargs["candidates"] = candidates
+    payload = run_fn(scale=scale, seed=seed, **kwargs)
     text = format_fn(payload)
     if output_dir is not None:
         save_json(Path(output_dir) / f"{name}_{scale.name}.json", payload)
@@ -63,21 +92,50 @@ def run_experiment(
     return payload, text
 
 
+def _list_experiments() -> str:
+    """One line per experiment: name, whether it takes --backend, summary."""
+    lines = []
+    for name in sorted(EXPERIMENTS):
+        run_fn, _ = EXPERIMENTS[name]
+        doc = (inspect.getdoc(inspect.getmodule(run_fn)) or "").splitlines()
+        summary = doc[0].strip() if doc else ""
+        backend_aware = "backend" in inspect.signature(run_fn).parameters
+        flag = " [--backend]" if backend_aware else ""
+        lines.append(f"{name:<8}{flag:<12} {summary}")
+    return "\n".join(lines)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiment", "-e", choices=sorted(EXPERIMENTS), default=None)
     parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
     parser.add_argument("--scale", choices=sorted(_SCALES), default="ci")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--backend", choices=["auto", "dense", "sparse"], default="auto",
+                        help="surrogate engine for the attack-driven figures")
+    parser.add_argument("--candidates", choices=["full", "target_incident", "two_hop"],
+                        default=None,
+                        help="candidate-pair strategy for the attack-driven "
+                             "figures (default: legacy full-pair variables)")
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON/text dumps")
     args = parser.parse_args(argv)
 
+    if args.list:
+        print(_list_experiments())
+        return 0
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
     if names == [None]:
-        parser.error("provide --experiment NAME or --all")
+        parser.error("provide --experiment NAME, --all or --list")
     for name in names:
         _, text = run_experiment(
-            name, scale=_SCALES[args.scale], seed=args.seed, output_dir=args.output
+            name,
+            scale=_SCALES[args.scale],
+            seed=args.seed,
+            output_dir=args.output,
+            backend=args.backend,
+            candidates=args.candidates,
         )
         print(text)
         print()

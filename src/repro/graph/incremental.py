@@ -25,6 +25,15 @@ kernels in :mod:`repro.graph.sparse`, so building the engine is O(m) — the
 dense matrix is never materialised.  Features are integer-valued and every
 update adds integers, so the maintained arrays stay *exactly* equal to a
 fresh recomputation (the equivalence tests assert bit-for-bit agreement).
+
+Because a flip is an involution with integer deltas, :meth:`rollback` undoes
+the last ``k`` flips *exactly* (flip → score → unflip costs O(deg) per flip
+and returns the features to bit-identical state).  This is the primitive the
+sparse :class:`~repro.oddball.surrogate.SurrogateEngine` backend builds its
+transient evaluations on: BinarizedAttack's PGD loop applies an iterate's
+flip set, scores it, and rolls it back thousands of times per λ-sweep.  The
+materialised CSR is cached per graph *version*, so rolling back to a state
+whose CSR was already built (e.g. the clean graph) costs nothing.
 """
 
 from __future__ import annotations
@@ -71,8 +80,17 @@ class IncrementalEgonetFeatures:
         n_feature, e_feature = egonet_features_sparse(csr)
         self._n_feature = np.asarray(n_feature, dtype=np.float64)
         self._e_feature = np.asarray(e_feature, dtype=np.float64)
-        self._csr_cache: "sparse.csr_matrix | None" = csr
         self._flips: list[Edge] = []
+        # Monotone state version: every flip advances it, every rollback
+        # restores the pre-flip value.  Because rollback really does return
+        # the graph to that earlier state, a version uniquely identifies the
+        # structure along the flip/rollback path — which makes it a safe
+        # cache key for the materialised CSR.
+        self._version = 0
+        self._version_counter = 1
+        self._prev_versions: list[int] = []
+        self._csr_cache: "sparse.csr_matrix | None" = csr
+        self._csr_version = 0
 
     # ------------------------------------------------------------------ #
     # Feature access
@@ -133,6 +151,33 @@ class IncrementalEgonetFeatures:
             raise ValueError(f"cannot flip the diagonal pair ({u}, {u})")
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"pair ({u}, {v}) out of range for n={self.n}")
+        self._toggle(u, v)
+        self._flips.append((u, v) if u < v else (v, u))
+        self._prev_versions.append(self._version)
+        self._version = self._version_counter
+        self._version_counter += 1
+
+    def rollback(self, count: int = 1) -> None:
+        """Undo the last ``count`` flips exactly (reverse order, O(deg) each).
+
+        Toggling is an involution with integer deltas, so rolling back
+        returns ``(N, E)`` and the neighbour sets to *bit-identical* state.
+        The state version is restored too, so a CSR cached before the flips
+        (e.g. the clean graph's) becomes valid again without a rebuild.
+        """
+        if count < 0:
+            raise ValueError(f"rollback count must be non-negative, got {count}")
+        if count > len(self._flips):
+            raise ValueError(
+                f"cannot roll back {count} flips, only {len(self._flips)} applied"
+            )
+        for _ in range(count):
+            u, v = self._flips.pop()
+            self._toggle(u, v)
+            self._version = self._prev_versions.pop()
+
+    def _toggle(self, u: int, v: int) -> None:
+        """The O(deg) feature/neighbour update shared by flip and rollback."""
         delta = -1.0 if v in self._neighbors[u] else 1.0
         common = self.common_neighbors(u, v)
         self._n_feature[u] += delta
@@ -147,15 +192,17 @@ class IncrementalEgonetFeatures:
         else:
             self._neighbors[u].discard(v)
             self._neighbors[v].discard(u)
-        self._flips.append((u, v) if u < v else (v, u))
-        self._csr_cache = None
 
     # ------------------------------------------------------------------ #
     # Materialisation
     # ------------------------------------------------------------------ #
     def adjacency_csr(self) -> sparse.csr_matrix:
-        """Current adjacency as CSR (rebuilt lazily after flips, O(m))."""
-        if self._csr_cache is None:
+        """Current adjacency as CSR (rebuilt lazily after flips, O(m)).
+
+        The result is cached per state *version*: flip → rollback sequences
+        that return to a previously materialised state reuse its CSR.
+        """
+        if self._csr_cache is None or self._csr_version != self._version:
             indptr = np.zeros(self.n + 1, dtype=np.intp)
             degrees = np.fromiter(
                 (len(s) for s in self._neighbors), dtype=np.intp, count=self.n
@@ -168,6 +215,7 @@ class IncrementalEgonetFeatures:
             self._csr_cache = sparse.csr_matrix(
                 (data, indices, indptr), shape=(self.n, self.n)
             )
+            self._csr_version = self._version
         return self._csr_cache
 
     def to_dense(self) -> np.ndarray:

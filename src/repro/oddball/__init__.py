@@ -16,9 +16,15 @@ from repro.oddball.scores import (
     score_from_features,
 )
 from repro.oddball.surrogate import (
+    AUTO_SPARSE_NODE_THRESHOLD,
+    SURROGATE_BACKENDS,
+    DenseSurrogateEngine,
+    SparseSurrogateEngine,
+    SurrogateEngine,
     adjacency_gradient,
     feature_gradients,
     log_features,
+    resolve_backend,
     surrogate_loss,
     surrogate_loss_from_features,
     surrogate_loss_numpy,
@@ -26,10 +32,15 @@ from repro.oddball.surrogate import (
 )
 
 __all__ = [
+    "AUTO_SPARSE_NODE_THRESHOLD",
     "DEFAULT_RIDGE",
+    "DenseSurrogateEngine",
     "DetectionReport",
     "OddBall",
     "PowerLawFit",
+    "SURROGATE_BACKENDS",
+    "SparseSurrogateEngine",
+    "SurrogateEngine",
     "adjacency_gradient",
     "anomaly_scores",
     "anomaly_scores_with_fit",
@@ -42,6 +53,7 @@ __all__ = [
     "log_features",
     "proxy_scores",
     "purified_scores",
+    "resolve_backend",
     "score_from_features",
     "svd_purify",
     "surrogate_loss",

@@ -21,28 +21,74 @@ Two evaluation paths are provided:
   and scatters ∂loss/∂A only onto the requested candidate pairs using the
   closed-form chain rule, at O(m + |C|·deg) per call.  The two paths agree
   to floating-point round-off (verified in the tests).
+
+Surrogate engines
+-----------------
+
+:class:`SurrogateEngine` packages the two paths behind one stateful
+interface the attacks drive their optimisation loops through.  Two
+interchangeable backends exist:
+
+* :class:`DenseSurrogateEngine` (``backend="dense"``) replays the exact
+  autograd op sequence the attacks historically used — it is the
+  *reference* implementation, bit-for-bit identical to the pre-engine
+  behaviour, but O(n³) per forward and O(n²) in memory;
+* :class:`SparseSurrogateEngine` (``backend="sparse"``) never materialises
+  a dense matrix: it maintains ``(N, E)`` with
+  :class:`~repro.graph.incremental.IncrementalEgonetFeatures`, evaluates
+  each discrete iterate by *applying* its flip set (O(deg) per flip),
+  scoring from features (O(n)) and *rolling the flips back*, and produces
+  the straight-through gradient by scattering the closed-form per-pair
+  derivatives onto the candidate set only.  BinarizedAttack's whole λ-sweep
+  runs on one engine instance at O(Σ deg + n + |C|) per PGD iteration,
+  which is what makes the attack feasible on 10k+-node graphs.
+
+``backend="auto"`` (the default everywhere) picks the sparse backend for
+scipy-sparse inputs and for graphs with at least
+:data:`AUTO_SPARSE_NODE_THRESHOLD` nodes, and the dense reference backend
+otherwise — so small dense call sites keep their historical bit-for-bit
+behaviour while large or sparse inputs transparently get the O(m) path.
+The backends agree to floating-point round-off (loss values are
+bit-identical; gradients differ only in summation order — see the
+engine-parity suite in ``tests/oddball/test_engine.py``).
 """
 
 from __future__ import annotations
 
+import abc
 from typing import NamedTuple, Sequence
 
 import numpy as np
+from scipy import sparse as _sparse
 
-from repro.autograd.ops import maximum
+from repro.autograd.ops import apply_pair_flips, binarize_ste, maximum, symmetric_from_upper
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.graph.features import egonet_features_tensor
 from repro.oddball.regression import DEFAULT_RIDGE, fit_power_law_tensor
 
 __all__ = [
+    "AUTO_SPARSE_NODE_THRESHOLD",
+    "DenseSurrogateEngine",
+    "SURROGATE_BACKENDS",
+    "SparseSurrogateEngine",
+    "SurrogateEngine",
     "adjacency_gradient",
     "feature_gradients",
     "log_features",
+    "resolve_backend",
     "surrogate_loss",
     "surrogate_loss_from_features",
     "surrogate_loss_numpy",
     "target_residuals",
+    "validate_backend",
 ]
+
+#: Recognised values of the ``backend`` argument threaded through the attacks.
+SURROGATE_BACKENDS = ("auto", "dense", "sparse")
+
+#: ``backend="auto"`` switches to the sparse-incremental engine at this many
+#: nodes (dense inputs below it keep the bit-for-bit dense reference path).
+AUTO_SPARSE_NODE_THRESHOLD = 1500
 
 
 def log_features(adjacency: Tensor, floor: float = 1.0) -> tuple[Tensor, Tensor, Tensor, Tensor]:
@@ -108,7 +154,19 @@ def surrogate_loss_numpy(
     ``floor`` must match the floor the caller optimises with — the attacks
     plumb their own ``floor`` through so candidate solutions are compared on
     the same objective they were produced by.
+
+    ``adjacency`` may be a scipy sparse matrix: it is evaluated natively
+    through the sparse feature kernels (``np.asarray`` on a sparse matrix
+    would silently wrap it in a 0-d object array instead of densifying,
+    which used to crash deep inside the tensor pipeline).
     """
+    if _sparse.issparse(adjacency):
+        from repro.graph.sparse import egonet_features_sparse
+
+        n_feature, e_feature = egonet_features_sparse(adjacency)
+        return surrogate_loss_from_features(
+            n_feature, e_feature, targets, floor=floor, ridge=ridge, weights=weights
+        )
     tensor = as_tensor(np.asarray(adjacency, dtype=np.float64))
     return float(
         surrogate_loss(tensor, targets, floor=floor, ridge=ridge, weights=weights).data
@@ -291,13 +349,25 @@ def _candidate_arrays(candidates) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _scatter_pair_gradient(
-    csr, d_n: np.ndarray, d_e: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    csr,
+    d_n: np.ndarray,
+    d_e: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    delta: "Sequence[tuple[int, int, float]]" = (),
 ) -> np.ndarray:
     """Evaluate the pair gradient at each candidate, grouping by hub endpoint.
 
     Pairs are grouped by their more-frequent endpoint; each group costs one
     O(m) sparse mat-vec, so target-incident candidate sets need only |T|
     passes over the edge list.
+
+    ``delta`` is an optional overlay of symmetric perturbations: each
+    ``(u, v, d)`` entry means the evaluated adjacency is ``csr`` with
+    ``A[u, v] = A[v, u] = csr[u, v] + d``.  The sparse engine uses it to
+    evaluate the gradient at a transiently-flipped graph without rebuilding
+    the CSR — the overlay is folded into the hub rows and mat-vec results
+    in O(|delta|) extra work per hub.
     """
     gradient = d_n[rows] + d_n[cols] + d_e[rows] + d_e[cols]
     if rows.size == 0:
@@ -318,8 +388,20 @@ def _scatter_pair_gradient(
         hub_row = np.zeros(n)
         start, stop = csr.indptr[hub], csr.indptr[hub + 1]
         hub_row[csr.indices[start:stop]] = csr.data[start:stop]
+        for u, v, d in delta:
+            if u == hub:
+                hub_row[v] += d
+            elif v == hub:
+                hub_row[u] += d
         common_counts = csr @ hub_row
         common_weighted = csr @ (hub_row * d_e)
+        # Fold the Δ part of (csr + Δ) @ x into the mat-vec results:
+        # (Δ x)[u] = d·x[v] and (Δ x)[v] = d·x[u] for each overlay entry.
+        for u, v, d in delta:
+            common_counts[u] += d * hub_row[v]
+            common_counts[v] += d * hub_row[u]
+            common_weighted[u] += d * hub_row[v] * d_e[v]
+            common_weighted[v] += d * hub_row[u] * d_e[u]
         partners = others[group]
         gradient[group] += (
             (d_e[hub] + d_e[partners]) * common_counts[partners]
@@ -398,3 +480,476 @@ def _validate_targets(targets: Sequence[int], n: int) -> np.ndarray:
     if len(np.unique(targets)) != len(targets):
         raise ValueError("target ids must be unique")
     return targets
+
+
+# --------------------------------------------------------------------- #
+# Surrogate engines
+# --------------------------------------------------------------------- #
+
+
+def validate_backend(backend: str) -> str:
+    """Check a ``backend`` argument (shared by every attack constructor)."""
+    if backend not in SURROGATE_BACKENDS:
+        raise ValueError(
+            f"unknown surrogate backend {backend!r}; choose from {SURROGATE_BACKENDS}"
+        )
+    return backend
+
+
+def resolve_backend(backend: str, graph) -> str:
+    """Resolve a ``backend`` argument to ``"dense"`` or ``"sparse"``.
+
+    ``"auto"`` picks ``"sparse"`` for scipy-sparse inputs and for graphs
+    with at least :data:`AUTO_SPARSE_NODE_THRESHOLD` nodes; everything else
+    keeps the bit-for-bit dense reference path.  ``graph`` may be a dense
+    array, a scipy sparse matrix, or any object exposing ``shape`` or
+    ``number_of_nodes``.
+    """
+    validate_backend(backend)
+    if backend != "auto":
+        return backend
+    if _sparse.issparse(graph):
+        return "sparse"
+    if hasattr(graph, "shape"):
+        n = int(graph.shape[0])
+    else:
+        n = int(graph.number_of_nodes)
+    return "sparse" if n >= AUTO_SPARSE_NODE_THRESHOLD else "dense"
+
+
+class SurrogateEngine(abc.ABC):
+    """Stateful surrogate evaluator the attacks drive their loops through.
+
+    An engine owns one clean graph, one target set and one candidate-pair
+    set, and answers every question the attacks' optimisation loops ask:
+
+    * :meth:`current_loss` — the surrogate at the current graph;
+    * :meth:`binarized_step` — BinarizedAttack's discrete forward +
+      straight-through backward for one PGD iterate;
+    * :meth:`relaxed_step` — ContinuousA's fractional forward/backward;
+    * :meth:`candidate_gradient` — GradMaxSearch's per-pair gradient;
+    * :meth:`push_flip` / :meth:`pop_flips` / :meth:`apply_flip` — transient
+      (score-and-rollback) versus permanent graph mutation;
+    * :meth:`score_flips` / :meth:`score_prefixes` — transient re-scoring of
+      recorded flip sets, used by the λ-sweep bookkeeping.
+
+    One engine instance serves a whole attack run: BinarizedAttack's λ-sweep
+    rolls each iterate's flips back between steps instead of rebuilding
+    adjacencies.  Construct through :meth:`create`, which resolves the
+    ``auto`` backend rule.
+    """
+
+    backend: str = "abstract"
+
+    def __init__(
+        self,
+        n: int,
+        targets: Sequence[int],
+        candidates=None,
+        floor: float = 1.0,
+        ridge: float = DEFAULT_RIDGE,
+        weights: "Sequence[float] | None" = None,
+    ):
+        if floor <= 0.0:
+            raise ValueError(f"floor must be positive to keep logs finite, got {floor}")
+        self.n = int(n)
+        if candidates is None:
+            rows, cols = np.triu_indices(self.n, k=1)
+            self.rows = rows.astype(np.intp)
+            self.cols = cols.astype(np.intp)
+        else:
+            self.rows, self.cols = _candidate_arrays(candidates)
+        if self.rows.size and self.cols.max() >= self.n:
+            raise ValueError(f"candidate pair indices out of range [0, {self.n})")
+        self._targets = _validate_targets(targets, self.n)
+        self.floor = float(floor)
+        self.ridge = float(ridge)
+        self._weights = weights
+        self._edge_values = self._pair_values(self.rows, self.cols)
+        #: per-pair ``1 − 2·A0`` — +1 on non-edges (add), −1 on edges (delete)
+        self.flip_direction = 1.0 - 2.0 * self._edge_values
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls,
+        graph,
+        targets: Sequence[int],
+        candidates=None,
+        *,
+        backend: str = "auto",
+        floor: float = 1.0,
+        ridge: float = DEFAULT_RIDGE,
+        weights: "Sequence[float] | None" = None,
+    ) -> "SurrogateEngine":
+        """Build the backend picked by :func:`resolve_backend`.
+
+        ``graph`` may be a :class:`~repro.graph.graph.Graph`, dense array or
+        scipy sparse matrix; ``candidates`` a
+        :class:`~repro.attacks.candidates.CandidateSet`, a ``(rows, cols)``
+        pair of canonical index arrays, or ``None`` for every upper-triangle
+        pair.
+        """
+        resolved = resolve_backend(backend, graph)
+        engine_cls = DenseSurrogateEngine if resolved == "dense" else SparseSurrogateEngine
+        return engine_cls(
+            graph, targets, candidates, floor=floor, ridge=ridge, weights=weights
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_values(self) -> np.ndarray:
+        """Adjacency values at the candidate pairs, as of construction."""
+        return self._edge_values.copy()
+
+    @property
+    def targets(self) -> np.ndarray:
+        return self._targets.copy()
+
+    # ------------------------------------------------------------------ #
+    # Backend-specific primitives
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _pair_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Current adjacency values at the given canonical pairs."""
+
+    @abc.abstractmethod
+    def current_loss(self) -> float:
+        """Surrogate loss of the current graph (matches
+        :func:`surrogate_loss_numpy` on the materialised adjacency)."""
+
+    @abc.abstractmethod
+    def binarized_step(
+        self, zdot_values: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """One BinarizedAttack iterate: ``(loss, ∂loss/∂Ż, flip mask)``.
+
+        The forward pass evaluates the surrogate on the **discrete** graph
+        obtained by flipping every candidate pair with ``Ż >= 0.5``; the
+        gradient flows back to ``Ż`` through the straight-through estimator
+        (identity inside the box).  Evaluated relative to the engine's
+        construction-time graph — do not mix with :meth:`apply_flip`.
+        """
+
+    @abc.abstractmethod
+    def relaxed_step(self, values: np.ndarray) -> tuple[float, np.ndarray]:
+        """ContinuousA iterate: loss and gradient at the *fractional* graph
+        whose candidate-pair entries are replaced by ``values``."""
+
+    @abc.abstractmethod
+    def candidate_gradient(self) -> np.ndarray:
+        """∂(surrogate)/∂A of the current graph, at the candidate pairs."""
+
+    @abc.abstractmethod
+    def degrees(self) -> np.ndarray:
+        """Current per-node degree vector."""
+
+    @abc.abstractmethod
+    def is_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of the current graph."""
+
+    @abc.abstractmethod
+    def degree(self, u: int) -> float:
+        """Current degree of node ``u``."""
+
+    @abc.abstractmethod
+    def push_flip(self, u: int, v: int) -> None:
+        """Apply one transient flip (undone by :meth:`pop_flips`)."""
+
+    @abc.abstractmethod
+    def pop_flips(self, count: int) -> None:
+        """Undo the last ``count`` transient flips exactly."""
+
+    @abc.abstractmethod
+    def apply_flip(self, u: int, v: int) -> None:
+        """Permanently flip ``{u, v}`` (greedy attacks advance this way)."""
+
+    # ------------------------------------------------------------------ #
+    # Shared transient scoring
+    # ------------------------------------------------------------------ #
+    def score_flips(self, flips: "Sequence[tuple[int, int]]") -> float:
+        """Loss of the current graph with ``flips`` applied (then undone)."""
+        count = 0
+        for u, v in flips:
+            self.push_flip(u, v)
+            count += 1
+        loss = self.current_loss()
+        self.pop_flips(count)
+        return loss
+
+    def score_prefixes(self, flips: "Sequence[tuple[int, int]]") -> list[float]:
+        """Loss after each prefix of ``flips`` (all undone on return)."""
+        losses: list[float] = []
+        count = 0
+        for u, v in flips:
+            self.push_flip(u, v)
+            count += 1
+            losses.append(self.current_loss())
+        self.pop_flips(count)
+        return losses
+
+
+class DenseSurrogateEngine(SurrogateEngine):
+    """Reference backend: the full dense autograd pipeline.
+
+    Replays exactly the op sequence the attacks used before the engine
+    existed, so its losses, gradients and flip decisions are bit-for-bit
+    identical to the historical behaviour (the equivalence suite asserts
+    this).  O(n³) per forward, O(n²) memory — the right choice below
+    :data:`AUTO_SPARSE_NODE_THRESHOLD` nodes, and the oracle the sparse
+    backend is tested against.
+    """
+
+    backend = "dense"
+
+    def __init__(
+        self,
+        graph,
+        targets: Sequence[int],
+        candidates=None,
+        *,
+        floor: float = 1.0,
+        ridge: float = DEFAULT_RIDGE,
+        weights: "Sequence[float] | None" = None,
+    ):
+        if _sparse.issparse(graph):
+            adjacency = graph.toarray()
+        elif hasattr(graph, "adjacency_view"):
+            adjacency = np.array(graph.adjacency_view, dtype=np.float64)
+        else:
+            adjacency = np.array(graph, dtype=np.float64, copy=True)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
+        self._adjacency = adjacency
+        self._transient: list[tuple[int, int]] = []
+        self._frozen: "Tensor | None" = None
+        super().__init__(
+            adjacency.shape[0], targets, candidates,
+            floor=floor, ridge=ridge, weights=weights,
+        )
+
+    def _pair_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._adjacency[rows, cols]
+
+    def current_loss(self) -> float:
+        return surrogate_loss_numpy(
+            self._adjacency, self._targets, self._weights,
+            floor=self.floor, ridge=self.ridge,
+        )
+
+    def binarized_step(
+        self, zdot_values: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        zdot = Tensor(
+            np.asarray(zdot_values, dtype=np.float64), requires_grad=True, name="zdot"
+        )
+        # Forward pass on the DISCRETE graph (Alg. 1 lines 5-8).
+        z = binarize_ste(2.0 * zdot - 1.0)  # +1 => flip (this is −Z of Eq. 7)
+        flip_indicator = (z + 1.0) * 0.5
+        poisoned = apply_pair_flips(
+            self._adjacency, flip_indicator, self.rows, self.cols,
+            direction=self.flip_direction, base_values=self._edge_values,
+        )
+        adversarial = surrogate_loss(
+            poisoned, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        adversarial.backward()
+        gradient = zdot.grad
+        assert gradient is not None
+        return float(adversarial.data), gradient, flip_indicator.data > 0.5
+
+    def relaxed_step(self, values: np.ndarray) -> tuple[float, np.ndarray]:
+        if self._frozen is None:
+            # Non-candidate entries stay frozen at their clean values: the
+            # relaxed variables are scattered ON TOP of the clean graph with
+            # the candidate positions blanked.
+            frozen_base = self._adjacency.copy()
+            frozen_base[self.rows, self.cols] = frozen_base[self.cols, self.rows] = 0.0
+            self._frozen = Tensor(frozen_base)
+        relaxed = Tensor(
+            np.asarray(values, dtype=np.float64),
+            requires_grad=True,
+            name="relaxed_adjacency",
+        )
+        matrix = self._frozen + symmetric_from_upper(relaxed, self.n, self.rows, self.cols)
+        loss = surrogate_loss(
+            matrix, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        loss.backward()
+        gradient = relaxed.grad
+        assert gradient is not None
+        return float(loss.data), gradient
+
+    def candidate_gradient(self) -> np.ndarray:
+        gradient = adjacency_gradient(
+            self._adjacency, self._targets,
+            floor=self.floor, weights=self._weights, ridge=self.ridge,
+        )
+        return gradient[self.rows, self.cols]
+
+    def degrees(self) -> np.ndarray:
+        return self._adjacency.sum(axis=1)
+
+    def is_edge(self, u: int, v: int) -> bool:
+        return self._adjacency[u, v] != 0.0
+
+    def degree(self, u: int) -> float:
+        return float(self._adjacency[u].sum())
+
+    def push_flip(self, u: int, v: int) -> None:
+        self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
+        self._transient.append((u, v))
+
+    def pop_flips(self, count: int) -> None:
+        if count > len(self._transient):
+            raise ValueError(
+                f"cannot pop {count} flips, only {len(self._transient)} pushed"
+            )
+        for _ in range(count):
+            u, v = self._transient.pop()
+            self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
+
+    def apply_flip(self, u: int, v: int) -> None:
+        if self._transient:
+            raise RuntimeError("cannot apply a permanent flip with transient flips pending")
+        self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
+
+
+class SparseSurrogateEngine(SurrogateEngine):
+    """Sparse-incremental backend: never materialises a dense matrix.
+
+    Egonet features live in an
+    :class:`~repro.graph.incremental.IncrementalEgonetFeatures` (exact
+    integer maintenance, O(deg) per flip with apply → score → rollback);
+    losses come from :func:`surrogate_loss_from_features` in O(n) and are
+    bit-identical to the dense evaluation of the same graph; gradients are
+    the closed-form :func:`feature_gradients` scattered onto the candidate
+    pairs, with transient flip sets folded in as a Δ-overlay so the base
+    CSR is built once per permanent state, not once per PGD iteration.
+    """
+
+    backend = "sparse"
+
+    def __init__(
+        self,
+        graph,
+        targets: Sequence[int],
+        candidates=None,
+        *,
+        floor: float = 1.0,
+        ridge: float = DEFAULT_RIDGE,
+        weights: "Sequence[float] | None" = None,
+    ):
+        from repro.graph.incremental import IncrementalEgonetFeatures
+
+        self._features = IncrementalEgonetFeatures(graph)
+        super().__init__(
+            self._features.n, targets, candidates,
+            floor=floor, ridge=ridge, weights=weights,
+        )
+
+    def _pair_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._features.edge_values(rows, cols)
+
+    def current_loss(self) -> float:
+        n_feature, e_feature = self._features.features()
+        return surrogate_loss_from_features(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+
+    def binarized_step(
+        self, zdot_values: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        zdot_values = np.asarray(zdot_values, dtype=np.float64)
+        # binarized(2Ż − 1) = +1 ⇔ Ż >= 0.5 (binarized(0) = +1, Eq. 7).
+        flip_mask = zdot_values >= 0.5
+        flipped = np.flatnonzero(flip_mask)
+        features = self._features
+        base_csr = features.adjacency_csr()  # materialised BEFORE the flips
+        delta: list[tuple[int, int, float]] = []
+        for k in flipped:
+            u, v = int(self.rows[k]), int(self.cols[k])
+            features.flip(u, v)
+            delta.append((u, v, float(self.flip_direction[k])))
+        n_feature, e_feature = features.features()
+        loss = surrogate_loss_from_features(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        d_n, d_e = feature_gradients(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        features.rollback(len(delta))
+        pair_gradient = _scatter_pair_gradient(
+            base_csr, d_n, d_e, self.rows, self.cols, delta=delta
+        )
+        # Straight-through chain: ∂L/∂Ż = (∂L/∂A_uv + ∂L/∂A_vu) · direction.
+        return loss, pair_gradient * self.flip_direction, flip_mask
+
+    def relaxed_step(self, values: np.ndarray) -> tuple[float, np.ndarray]:
+        values = np.asarray(values, dtype=np.float64)
+        base = self._features.adjacency_csr()
+        if self.rows.size:
+            delta = values - self._edge_values
+            overlay = _sparse.coo_matrix(
+                (
+                    np.concatenate([delta, delta]),
+                    (
+                        np.concatenate([self.rows, self.cols]),
+                        np.concatenate([self.cols, self.rows]),
+                    ),
+                ),
+                shape=(self.n, self.n),
+            )
+            matrix = (base + overlay).tocsr()
+        else:
+            matrix = base
+        # Weighted egonet features: N = row sums, E = N + ½ diag(A³); the
+        # validated binary kernel cannot be used on a fractional matrix.
+        n_feature = np.asarray(matrix.sum(axis=1)).ravel()
+        two_paths = (matrix @ matrix).multiply(matrix)
+        e_feature = n_feature + 0.5 * np.asarray(two_paths.sum(axis=1)).ravel()
+        loss = surrogate_loss_from_features(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        d_n, d_e = feature_gradients(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        gradient = _scatter_pair_gradient(matrix, d_n, d_e, self.rows, self.cols)
+        return float(loss), gradient
+
+    def candidate_gradient(self) -> np.ndarray:
+        features = self._features
+        return adjacency_gradient(
+            features.adjacency_csr(), self._targets,
+            floor=self.floor, weights=self._weights, ridge=self.ridge,
+            candidates=(self.rows, self.cols), features=features.features(),
+        )
+
+    def degrees(self) -> np.ndarray:
+        return self._features.n_feature
+
+    def is_edge(self, u: int, v: int) -> bool:
+        return self._features.is_edge(int(u), int(v))
+
+    def degree(self, u: int) -> float:
+        return float(self._features.degree(int(u)))
+
+    def push_flip(self, u: int, v: int) -> None:
+        self._features.flip(u, v)
+
+    def pop_flips(self, count: int) -> None:
+        self._features.rollback(count)
+
+    def apply_flip(self, u: int, v: int) -> None:
+        self._features.flip(u, v)

@@ -1,0 +1,147 @@
+"""Backend parity: each attack must select the same flip sets whether its
+PGD/greedy loop runs on the dense autograd engine or the sparse-incremental
+engine, and sparse inputs must stay sparse end-to-end."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.attacks import BinarizedAttack, CandidateSet, ContinuousA, GradMaxSearch
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.oddball.detector import OddBall
+
+
+def _graphs():
+    return [
+        barabasi_albert(60, 3, rng=11),
+        erdos_renyi(50, 0.15, rng=7),
+    ]
+
+
+def _targets(graph, k=3):
+    return OddBall().analyze(graph).top_k(k).tolist()
+
+
+@pytest.fixture(params=range(2), ids=["ba60", "er50"])
+def graph_and_targets(request):
+    graph = _graphs()[request.param]
+    return graph, _targets(graph)
+
+
+class TestBinarizedBackendParity:
+    @pytest.mark.parametrize("candidates", [None, "full", "target_incident", "two_hop"])
+    def test_dense_and_sparse_agree(self, graph_and_targets, candidates):
+        graph, targets = graph_and_targets
+        dense = BinarizedAttack(iterations=25, backend="dense").attack(
+            graph, targets, budget=4, candidates=candidates
+        )
+        fast = BinarizedAttack(iterations=25, backend="sparse").attack(
+            graph, targets, budget=4, candidates=candidates
+        )
+        assert dense.flips_by_budget == fast.flips_by_budget
+        for budget in dense.surrogate_by_budget:
+            assert dense.surrogate_by_budget[budget] == pytest.approx(
+                fast.surrogate_by_budget[budget], rel=1e-9
+            )
+
+    def test_auto_on_small_dense_graph_is_dense(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        result = BinarizedAttack(iterations=10).attack(graph, targets, budget=2)
+        assert result.metadata["backend"] == "dense"
+
+    def test_sparse_input_stays_sparse(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        csr = sparse.csr_matrix(graph.adjacency)
+        result = BinarizedAttack(iterations=25).attack(
+            csr, targets, budget=4, candidates="target_incident"
+        )
+        assert result.metadata["backend"] == "sparse"
+        assert sparse.issparse(result.original)
+        assert sparse.issparse(result.poisoned())
+        from_dense = BinarizedAttack(iterations=25, backend="sparse").attack(
+            graph, targets, budget=4, candidates="target_incident"
+        )
+        assert result.flips_by_budget == from_dense.flips_by_budget
+
+    def test_sparse_backend_respects_floor(self, graph_and_targets):
+        from repro.oddball.surrogate import surrogate_loss_numpy
+
+        graph, targets = graph_and_targets
+        result = BinarizedAttack(iterations=20, floor=2.0, backend="sparse").attack(
+            graph, targets, budget=3
+        )
+        for budget, loss in result.surrogate_by_budget.items():
+            reproduced = surrogate_loss_numpy(
+                result.poisoned(budget), targets, floor=2.0
+            )
+            assert loss == pytest.approx(reproduced, rel=1e-12)
+
+    def test_weighted_targets_parity(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        weights = [2.0, 1.0, 0.5]
+        dense = BinarizedAttack(iterations=20, backend="dense").attack(
+            graph, targets, budget=3, target_weights=weights
+        )
+        fast = BinarizedAttack(iterations=20, backend="sparse").attack(
+            graph, targets, budget=3, target_weights=weights
+        )
+        assert dense.flips_by_budget == fast.flips_by_budget
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            BinarizedAttack(backend="gpu")
+
+
+class TestContinuousBackendParity:
+    def test_dense_and_sparse_agree(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        dense = ContinuousA(max_iter=30, backend="dense").attack(graph, targets, budget=4)
+        fast = ContinuousA(max_iter=30, backend="sparse").attack(graph, targets, budget=4)
+        assert dense.flips_by_budget == fast.flips_by_budget
+        assert dense.metadata["iterations"] == fast.metadata["iterations"]
+
+    def test_sparse_input_stays_sparse(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        csr = sparse.csr_matrix(graph.adjacency)
+        result = ContinuousA(max_iter=30).attack(
+            csr, targets, budget=4, candidates="target_incident"
+        )
+        assert result.metadata["backend"] == "sparse"
+        assert sparse.issparse(result.original)
+        assert sparse.issparse(result.poisoned())
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ContinuousA(backend="gpu")
+
+
+class TestGradMaxBackendParity:
+    @pytest.mark.parametrize("strategy", ["full", "target_incident", "two_hop"])
+    def test_engine_backends_agree(self, graph_and_targets, strategy):
+        graph, targets = graph_and_targets
+        candidate_set = CandidateSet.build(strategy, graph, targets)
+        dense = GradMaxSearch(backend="dense").attack(
+            graph, targets, budget=5, candidates=candidate_set
+        )
+        fast = GradMaxSearch(backend="sparse").attack(
+            graph, targets, budget=5, candidates=candidate_set
+        )
+        assert dense.metadata["engine"] == "candidates"
+        assert fast.metadata["engine"] == "candidates"
+        assert dense.flips_by_budget == fast.flips_by_budget
+
+    def test_sparse_backend_without_candidates_matches_dense_loop(
+        self, graph_and_targets
+    ):
+        """backend="sparse" + no candidates runs the engine over the full
+        pair set and must reproduce the legacy dense loop's flips."""
+        graph, targets = graph_and_targets
+        legacy = GradMaxSearch().attack(graph, targets, budget=5)
+        fast = GradMaxSearch(backend="sparse").attack(graph, targets, budget=5)
+        assert legacy.metadata["engine"] == "dense"
+        assert fast.metadata["engine"] == "candidates"
+        assert legacy.flips_by_budget == fast.flips_by_budget
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            GradMaxSearch(backend="gpu")

@@ -72,6 +72,75 @@ class TestFlip:
             engine.flip(0, small_ba_graph.number_of_nodes)
 
 
+class TestRollback:
+    def test_rollback_restores_exact_state(self):
+        """flip → rollback returns features AND structure to bit-identical
+        integer state, even across interleaved sequences."""
+        rng = np.random.default_rng(3)
+        graph = erdos_renyi(30, 0.2, rng=1)
+        engine = IncrementalEgonetFeatures(graph)
+        n_before, e_before = engine.features()
+        neighbors_before = [set(engine.neighbors(i)) for i in range(30)]
+        pairs = []
+        for _ in range(15):
+            u, v = rng.integers(0, 30, size=2)
+            if u != v:
+                engine.flip(u, v)
+                pairs.append((u, v))
+        engine.rollback(len(pairs))
+        n_after, e_after = engine.features()
+        np.testing.assert_array_equal(n_before, n_after)
+        np.testing.assert_array_equal(e_before, e_after)
+        assert [set(engine.neighbors(i)) for i in range(30)] == neighbors_before
+        assert engine.flips == []
+
+    def test_partial_rollback(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 1)
+        engine.flip(2, 3)
+        engine.flip(4, 5)
+        engine.rollback(2)
+        assert engine.flips == [(0, 1)]
+        reference = IncrementalEgonetFeatures(small_ba_graph)
+        reference.flip(0, 1)
+        np.testing.assert_array_equal(engine.n_feature, reference.n_feature)
+        np.testing.assert_array_equal(engine.e_feature, reference.e_feature)
+
+    def test_rollback_restores_cached_csr(self, small_ba_graph):
+        """Returning to a materialised state reuses its CSR without rebuild."""
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        clean_csr = engine.adjacency_csr()
+        engine.flip(0, 1)
+        engine.flip(10, 30)
+        engine.rollback(2)
+        assert engine.adjacency_csr() is clean_csr
+
+    def test_csr_not_reused_for_different_state_at_same_depth(self, small_ba_graph):
+        """flip A → rollback → flip B must NOT resurrect state A's CSR."""
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 1)
+        flipped_csr = engine.adjacency_csr()
+        engine.rollback(1)
+        engine.flip(2, 3)
+        rebuilt = engine.adjacency_csr()
+        assert rebuilt is not flipped_csr
+        np.testing.assert_array_equal(rebuilt.toarray(), engine.to_dense())
+
+    def test_rollback_validates_count(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 1)
+        with pytest.raises(ValueError, match="roll back"):
+            engine.rollback(2)
+        with pytest.raises(ValueError, match="non-negative"):
+            engine.rollback(-1)
+
+    def test_rollback_zero_is_noop(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 1)
+        engine.rollback(0)
+        assert engine.flips == [(0, 1)]
+
+
 class TestStructureQueries:
     def test_edge_and_degree_queries(self, small_er_graph):
         adjacency = small_er_graph.adjacency

@@ -1,0 +1,257 @@
+"""Engine-parity suite: the dense autograd backend and the sparse-incremental
+backend of :class:`~repro.oddball.surrogate.SurrogateEngine` must agree on
+losses (bit-for-bit), gradients (to round-off) and every state-management
+primitive (apply → rollback returns features to exact integer state).
+
+This is the acceptance contract of the engine refactor: the dense backend is
+the historical reference, the sparse backend is what unlocks 10k+-node
+graphs — and nothing may drift between them.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.attacks.candidates import CandidateSet
+from repro.graph.features import egonet_features
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.oddball.detector import OddBall
+from repro.oddball.surrogate import (
+    AUTO_SPARSE_NODE_THRESHOLD,
+    DenseSurrogateEngine,
+    SparseSurrogateEngine,
+    SurrogateEngine,
+    resolve_backend,
+    surrogate_loss_numpy,
+)
+
+
+def _graphs():
+    return [
+        barabasi_albert(60, 3, rng=11),
+        erdos_renyi(50, 0.15, rng=7),
+    ]
+
+
+def _targets(graph, k=3):
+    return OddBall().analyze(graph).top_k(k).tolist()
+
+
+@pytest.fixture(params=range(2), ids=["ba60", "er50"])
+def graph_and_targets(request):
+    graph = _graphs()[request.param]
+    return graph, _targets(graph)
+
+
+@pytest.fixture(params=["full", "target_incident", "two_hop"])
+def engine_pair(request, graph_and_targets):
+    """(dense engine, sparse engine) over the same graph/targets/candidates."""
+    graph, targets = graph_and_targets
+    candidate_set = CandidateSet.build(request.param, graph, targets)
+    dense = SurrogateEngine.create(graph, targets, candidate_set, backend="dense")
+    sparse_eng = SurrogateEngine.create(graph, targets, candidate_set, backend="sparse")
+    return dense, sparse_eng
+
+
+class TestBackendResolution:
+    def test_explicit_backends(self, small_ba_graph):
+        assert resolve_backend("dense", small_ba_graph) == "dense"
+        assert resolve_backend("sparse", small_ba_graph) == "sparse"
+
+    def test_auto_small_dense_graph_is_dense(self, small_ba_graph):
+        assert resolve_backend("auto", small_ba_graph) == "dense"
+
+    def test_auto_sparse_input_is_sparse(self, small_ba_graph):
+        csr = sparse.csr_matrix(small_ba_graph.adjacency)
+        assert resolve_backend("auto", csr) == "sparse"
+
+    def test_auto_large_graph_is_sparse(self):
+        n = AUTO_SPARSE_NODE_THRESHOLD
+        fake = np.zeros((n, n))
+        assert resolve_backend("auto", fake) == "sparse"
+
+    def test_unknown_backend_rejected(self, small_ba_graph):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("torch", small_ba_graph)
+
+    def test_create_picks_backend_class(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        assert isinstance(
+            SurrogateEngine.create(graph, targets, backend="dense"),
+            DenseSurrogateEngine,
+        )
+        assert isinstance(
+            SurrogateEngine.create(graph, targets, backend="sparse"),
+            SparseSurrogateEngine,
+        )
+
+
+class TestLossParity:
+    def test_current_loss_bit_identical(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        assert dense.current_loss() == sparse_eng.current_loss()
+
+    def test_current_loss_matches_numpy_reference(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        engine = SurrogateEngine.create(graph, targets, backend="sparse")
+        assert engine.current_loss() == surrogate_loss_numpy(graph.adjacency, targets)
+
+    def test_score_flips_bit_identical(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        flips = [
+            (int(dense.rows[k]), int(dense.cols[k]))
+            for k in range(0, len(dense.rows), max(1, len(dense.rows) // 5))
+        ][:4]
+        assert dense.score_flips(flips) == sparse_eng.score_flips(flips)
+
+    def test_score_prefixes_bit_identical(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        flips = [(int(dense.rows[k]), int(dense.cols[k])) for k in range(3)]
+        assert dense.score_prefixes(flips) == sparse_eng.score_prefixes(flips)
+
+    def test_weighted_targets_parity(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        weights = [2.0, 1.0, 0.5]
+        dense = SurrogateEngine.create(graph, targets, backend="dense", weights=weights)
+        sparse_eng = SurrogateEngine.create(
+            graph, targets, backend="sparse", weights=weights
+        )
+        assert dense.current_loss() == sparse_eng.current_loss()
+
+
+class TestGradientParity:
+    def test_binarized_step_parity(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        rng = np.random.default_rng(0)
+        zdot = rng.uniform(0.0, 1.0, size=len(dense.rows))
+        dense_loss, dense_grad, dense_mask = dense.binarized_step(zdot)
+        sparse_loss, sparse_grad, sparse_mask = sparse_eng.binarized_step(zdot)
+        assert dense_loss == sparse_loss  # feature maintenance is exact
+        np.testing.assert_array_equal(dense_mask, sparse_mask)
+        np.testing.assert_allclose(sparse_grad, dense_grad, rtol=1e-8, atol=1e-9)
+
+    def test_binarized_step_all_zero_is_clean_graph(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        zdot = np.zeros(len(dense.rows))
+        for engine in (dense, sparse_eng):
+            loss, _, mask = engine.binarized_step(zdot)
+            assert not mask.any()
+            assert loss == engine.current_loss()
+
+    def test_relaxed_step_parity(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0.0, 1.0, size=len(dense.rows))
+        dense_loss, dense_grad = dense.relaxed_step(values)
+        sparse_loss, sparse_grad = sparse_eng.relaxed_step(values)
+        assert sparse_loss == pytest.approx(dense_loss, rel=1e-9)
+        np.testing.assert_allclose(sparse_grad, dense_grad, rtol=1e-7, atol=1e-8)
+
+    def test_candidate_gradient_parity(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        np.testing.assert_allclose(
+            sparse_eng.candidate_gradient(),
+            dense.candidate_gradient(),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+    def test_candidate_gradient_after_permanent_flips(self, engine_pair):
+        dense, sparse_eng = engine_pair
+        flips = [(int(dense.rows[k]), int(dense.cols[k])) for k in (0, 2)]
+        for engine in (dense, sparse_eng):
+            for u, v in flips:
+                engine.apply_flip(u, v)
+        assert dense.current_loss() == sparse_eng.current_loss()
+        np.testing.assert_allclose(
+            sparse_eng.candidate_gradient(),
+            dense.candidate_gradient(),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+
+class TestRollbackExactness:
+    def test_binarized_step_leaves_state_untouched(self, graph_and_targets):
+        """apply → score → rollback must return features to exact integers."""
+        graph, targets = graph_and_targets
+        engine = SurrogateEngine.create(graph, targets, backend="sparse")
+        n_before, e_before = engine._features.features()
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            zdot = rng.uniform(0.0, 1.0, size=len(engine.rows))
+            engine.binarized_step(zdot)
+        n_after, e_after = engine._features.features()
+        np.testing.assert_array_equal(n_before, n_after)
+        np.testing.assert_array_equal(e_before, e_after)
+        n_ref, e_ref = egonet_features(graph.adjacency)
+        np.testing.assert_array_equal(n_after, n_ref)
+        np.testing.assert_array_equal(e_after, e_ref)
+
+    def test_score_flips_restores_loss(self, engine_pair):
+        for engine in engine_pair:
+            before = engine.current_loss()
+            flips = [(int(engine.rows[k]), int(engine.cols[k])) for k in range(4)]
+            engine.score_flips(flips)
+            assert engine.current_loss() == before
+
+    def test_push_pop_roundtrip(self, engine_pair):
+        for engine in engine_pair:
+            u, v = int(engine.rows[0]), int(engine.cols[0])
+            was_edge = engine.is_edge(u, v)
+            engine.push_flip(u, v)
+            assert engine.is_edge(u, v) != was_edge
+            engine.pop_flips(1)
+            assert engine.is_edge(u, v) == was_edge
+
+    def test_filter_flips_engine_parity(self, engine_pair):
+        from repro.attacks.constraints import filter_valid_flips_engine
+
+        dense, sparse_eng = engine_pair
+        candidates = [
+            (int(dense.rows[k]), int(dense.cols[k])) for k in range(len(dense.rows))
+        ][:40]
+        assert filter_valid_flips_engine(dense, candidates, limit=6) == (
+            filter_valid_flips_engine(sparse_eng, candidates, limit=6)
+        )
+        # and the filter itself rolled everything back
+        assert dense.current_loss() == sparse_eng.current_loss()
+
+    def test_filter_flips_engine_matches_dense_reference(self, graph_and_targets):
+        from repro.attacks.constraints import filter_valid_flips, filter_valid_flips_engine
+
+        graph, targets = graph_and_targets
+        engine = SurrogateEngine.create(graph, targets, backend="sparse")
+        candidates = [
+            (int(engine.rows[k]), int(engine.cols[k]))
+            for k in range(0, len(engine.rows), 7)
+        ]
+        reference = filter_valid_flips(graph.adjacency, candidates, limit=5)
+        assert filter_valid_flips_engine(engine, candidates, limit=5) == reference
+
+
+class TestValidation:
+    def test_rejects_bad_floor(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        with pytest.raises(ValueError, match="floor"):
+            SurrogateEngine.create(graph, targets, floor=0.0)
+
+    def test_rejects_out_of_range_candidates(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        n = graph.number_of_nodes
+        rows = np.array([0], dtype=np.intp)
+        cols = np.array([n + 3], dtype=np.intp)
+        with pytest.raises(ValueError, match="out of range"):
+            SurrogateEngine.create(graph, targets, (rows, cols), backend="dense")
+
+    def test_rejects_bad_targets(self, graph_and_targets):
+        graph, _ = graph_and_targets
+        with pytest.raises(ValueError, match="target"):
+            SurrogateEngine.create(graph, [], backend="sparse")
+
+    def test_sparse_input_never_densified(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        csr = sparse.csr_matrix(graph.adjacency)
+        engine = SurrogateEngine.create(csr, targets)
+        assert isinstance(engine, SparseSurrogateEngine)
+        assert engine.current_loss() == surrogate_loss_numpy(csr, targets)

@@ -60,6 +60,29 @@ class TestSurrogateLoss:
             float(surrogate_loss(Tensor(adjacency), targets).data)
         )
 
+    def test_numpy_wrapper_accepts_scipy_sparse(self, small_er_graph):
+        """Regression: ``np.asarray`` used to wrap a sparse matrix in a 0-d
+        object array instead of densifying — CSR is now evaluated natively."""
+        from scipy import sparse
+
+        adjacency = small_er_graph.adjacency
+        targets = [0, 3]
+        dense_loss = surrogate_loss_numpy(adjacency, targets)
+        sparse_loss = surrogate_loss_numpy(sparse.csr_matrix(adjacency), targets)
+        assert sparse_loss == dense_loss
+
+    def test_numpy_wrapper_sparse_honours_floor_and_weights(self, small_er_graph):
+        from scipy import sparse
+
+        adjacency = small_er_graph.adjacency
+        targets = [0, 3]
+        weights = [2.0, 0.5]
+        assert surrogate_loss_numpy(
+            sparse.csr_matrix(adjacency), targets, weights, floor=2.0
+        ) == pytest.approx(
+            surrogate_loss_numpy(adjacency, targets, weights, floor=2.0), rel=1e-12
+        )
+
 
 class TestAdjacencyGradient:
     def test_symmetric_zero_diagonal(self, small_er_graph):
