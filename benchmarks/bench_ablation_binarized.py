@@ -4,9 +4,7 @@ Not a paper artefact — these quantify the two implementation decisions the
 reproduction documents: gradient normalisation and the λ sweep.
 """
 
-import numpy as np
 
-from benchmarks.conftest import run_once
 from repro.attacks import BinarizedAttack, GradMaxSearch, OddBallHeuristic, RandomAttack
 from repro.graph.datasets import load_dataset
 from repro.oddball.detector import OddBall

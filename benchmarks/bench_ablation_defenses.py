@@ -5,7 +5,6 @@ graph-purification defence (related-work family [24]).  This bench puts the
 three on the same attack instance and prints a defence league table.
 """
 
-import numpy as np
 
 from repro.attacks import BinarizedAttack
 from repro.graph.datasets import load_dataset

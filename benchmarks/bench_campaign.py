@@ -1,0 +1,282 @@
+"""AttackCampaign scaling: one shared engine vs independent sequential runs.
+
+The campaign's claim is purely *amortisation*: flip sets are bit-identical
+to independent ``attack()`` calls (asserted here on every run), but the
+per-job fixed costs — adjacency validation, the O(n + m) neighbour/feature
+build of the sparse engine, candidate-array construction, poisoned-graph
+materialisation for evaluation — are paid once instead of once per job.
+
+Two sequential baselines are timed:
+
+* ``sequential_with_eval`` — what a user reproducing the campaign's
+  *outputs* runs per target: ``attack()`` plus τ/rank evaluation through
+  the public API (``apply_flips`` + ``anomaly_scores_sparse`` + an
+  argsort).  This is the apples-to-apples baseline — the campaign records
+  exactly these artefacts — and the headline speedup.
+* ``sequential_attack_only`` — bare ``attack()`` calls, no evaluation;
+  reported for transparency.
+
+The artefact also times the incremental-CSR fold
+(:meth:`repro.graph.incremental.IncrementalEgonetFeatures.adjacency_csr`)
+against the old full per-row Python rebuild, documenting that GradMax's
+sparse engine no longer rebuilds the CSR per permanent flip.
+
+Run the scaling study directly::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py            # full
+    PYTHONPATH=src python benchmarks/bench_campaign.py --smoke    # CI
+
+Every run emits ``benchmarks/results/BENCH_campaign.json`` (smoke runs a
+``_smoke`` sibling); the full-run artefact is committed.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.attacks import AttackCampaign, GradMaxSearch, apply_flips, grid_jobs
+from repro.graph.incremental import IncrementalEgonetFeatures
+from repro.graph.sparse import anomaly_scores_sparse
+from repro.oddball.scores import rank_positions
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_campaign.json"
+
+_BUDGET = 5
+_CANDIDATES = "target_incident"
+
+
+def _random_sparse_graph(n: int, m: int, seed: int) -> sparse.csr_matrix:
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    mask = rows != cols
+    matrix = sparse.csr_matrix(
+        (np.ones(mask.sum()), (rows[mask], cols[mask])), shape=(n, n)
+    )
+    matrix = ((matrix + matrix.T) > 0).astype(np.float64)
+    matrix.setdiag(0.0)
+    matrix.eliminate_zeros()
+    return matrix
+
+
+def _campaign_instance(n: int, n_targets: int, seed: int = 0):
+    """A mid-density sparse graph plus its top-scoring OddBall targets."""
+    graph = _random_sparse_graph(n=n, m=4 * n, seed=seed)
+    scores = anomaly_scores_sparse(graph)
+    targets = np.argsort(-scores, kind="stable")[:n_targets].tolist()
+    return graph, targets, scores
+
+
+def _run_case(n: int, n_targets: int, seed: int = 0) -> dict:
+    graph, targets, clean_scores = _campaign_instance(n, n_targets, seed)
+    clean_ranks = rank_positions(clean_scores)
+
+    # -- sequential baseline: independent attack() + public-API evaluation
+    start = time.perf_counter()
+    sequential = []
+    for target in targets:
+        result = GradMaxSearch(backend="sparse").attack(
+            graph, [target], _BUDGET, candidates=_CANDIDATES
+        )
+        poisoned_scores = anomaly_scores_sparse(apply_flips(graph, result.flips()))
+        tau = (
+            (clean_scores[target] - poisoned_scores[target]) / clean_scores[target]
+            if clean_scores[target] > 0
+            else 0.0
+        )
+        shift = int(rank_positions(poisoned_scores)[target] - clean_ranks[target])
+        sequential.append((result, float(tau), shift))
+    seconds_with_eval = time.perf_counter() - start
+
+    # -- sequential baseline: bare attack() calls (no evaluation)
+    start = time.perf_counter()
+    for target in targets:
+        GradMaxSearch(backend="sparse").attack(
+            graph, [target], _BUDGET, candidates=_CANDIDATES
+        )
+    seconds_attack_only = time.perf_counter() - start
+
+    # -- the campaign: one shared engine, retarget + restore between jobs
+    jobs = grid_jobs(
+        "gradmaxsearch",
+        [[t] for t in targets],
+        budgets=[_BUDGET],
+        candidates=_CANDIDATES,
+    )
+    start = time.perf_counter()
+    campaign = AttackCampaign(graph, backend="sparse").run(jobs)
+    seconds_campaign = time.perf_counter() - start
+
+    # Flip sets (and the recorded evaluation artefacts) must be identical —
+    # the campaign is a performance lever, never a semantics change.
+    for (result, tau, shift), outcome, target in zip(sequential, campaign, targets):
+        assert {
+            b: result.flips(b) for b in result.budgets
+        } == outcome.flips_by_budget, f"flip mismatch for target {target}"
+        assert abs(tau - outcome.score_decrease) < 1e-9
+        assert shift == outcome.rank_shifts[target]
+
+    return {
+        "n": n,
+        "edges": int(graph.nnz // 2),
+        "jobs": len(jobs),
+        "budget": _BUDGET,
+        "candidates": _CANDIDATES,
+        "seconds_sequential_with_eval": round(seconds_with_eval, 4),
+        "seconds_sequential_attack_only": round(seconds_attack_only, 4),
+        "seconds_campaign": round(seconds_campaign, 4),
+        "speedup_vs_with_eval": round(seconds_with_eval / seconds_campaign, 2),
+        "speedup_vs_attack_only": round(seconds_attack_only / seconds_campaign, 2),
+        "flip_sets_identical": True,
+    }
+
+
+def _time_csr_maintenance(n: int, flips: int = 5, seed: int = 0) -> dict:
+    """Incremental fold vs full Python rebuild, per materialisation."""
+    graph = _random_sparse_graph(n=n, m=4 * n, seed=seed)
+    engine = IncrementalEgonetFeatures(graph)
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (int(u), int(v))
+        for u, v in rng.integers(0, n, size=(flips, 2))
+        if u != v
+    ]
+
+    start = time.perf_counter()
+    for u, v in pairs:
+        engine.flip(u, v)
+        engine.adjacency_csr()  # incremental fold of one net toggle
+    fold_ms = (time.perf_counter() - start) / max(len(pairs), 1) * 1000.0
+
+    start = time.perf_counter()
+    for _ in pairs:
+        engine._rebuild_csr()  # the old per-flip full rebuild
+    rebuild_ms = (time.perf_counter() - start) / max(len(pairs), 1) * 1000.0
+
+    engine.rollback(len(pairs))
+    return {
+        "n": n,
+        "fold_ms_per_flip": round(fold_ms, 3),
+        "rebuild_ms_per_flip": round(rebuild_ms, 3),
+        "fold_speedup": round(rebuild_ms / fold_ms, 1) if fold_ms > 0 else None,
+    }
+
+
+# --------------------------------------------------------------------- #
+# CI smoke (pytest entries)
+# --------------------------------------------------------------------- #
+
+
+def test_bench_campaign_matches_sequential(benchmark):
+    row = benchmark.pedantic(
+        lambda: _run_case(n=500, n_targets=8),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert row["flip_sets_identical"]
+    assert row["jobs"] == 8
+
+
+def test_bench_campaign_resume(tmp_path):
+    graph, targets, _ = _campaign_instance(n=300, n_targets=6)
+    jobs = grid_jobs(
+        "gradmaxsearch", [[t] for t in targets], budgets=[_BUDGET],
+        candidates=_CANDIDATES,
+    )
+    checkpoint = tmp_path / "campaign.json"
+    AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs[:3])
+    resumed = AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs)
+    fresh = AttackCampaign(graph).run(jobs)
+    assert resumed.resumed_jobs == 3
+    for a, b in zip(resumed, fresh):
+        assert a.flips_by_budget == b.flips_by_budget
+
+
+def test_bench_csr_fold_completes():
+    row = _time_csr_maintenance(n=1000)
+    assert row["fold_ms_per_flip"] >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Scaling study (the committed artefact)
+# --------------------------------------------------------------------- #
+
+
+def run_campaign_scaling(smoke: bool = False, output: "Path | None" = None) -> dict:
+    """Time campaign vs sequential across sizes; print a table, emit JSON.
+
+    Smoke runs write to a ``_smoke`` sibling so CI never clobbers the
+    committed full-run artefact.
+    """
+    if output is None:
+        output = (
+            RESULTS_PATH.with_name("BENCH_campaign_smoke.json")
+            if smoke
+            else RESULTS_PATH
+        )
+    cases = [(500, 8)] if smoke else [(2000, 50), (10000, 50)]
+    csr_sizes = [1000] if smoke else [2000, 10000]
+
+    print("AttackCampaign: one shared sparse engine vs independent runs")
+    print(
+        f"(gradmaxsearch, budget={_BUDGET}, candidates={_CANDIDATES}, "
+        "m ≈ 4n; seconds)"
+    )
+    print()
+    header = (
+        f"{'n':>7} {'jobs':>5} {'seq+eval':>9} {'seq-only':>9} "
+        f"{'campaign':>9} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for n, n_targets in cases:
+        row = _run_case(n=n, n_targets=n_targets)
+        rows.append(row)
+        print(
+            f"{n:>7} {row['jobs']:>5} {row['seconds_sequential_with_eval']:>9.3f} "
+            f"{row['seconds_sequential_attack_only']:>9.3f} "
+            f"{row['seconds_campaign']:>9.3f} "
+            f"{row['speedup_vs_with_eval']:>7.1f}x"
+        )
+
+    print()
+    print("incremental CSR fold vs full per-row Python rebuild (ms per flip):")
+    csr_rows = [_time_csr_maintenance(n) for n in csr_sizes]
+    for row in csr_rows:
+        print(
+            f"  n={row['n']:>6}: fold {row['fold_ms_per_flip']:.3f} ms  "
+            f"rebuild {row['rebuild_ms_per_flip']:.3f} ms  "
+            f"({row['fold_speedup']}x)"
+        )
+
+    payload = {
+        "benchmark": "campaign_scaling",
+        "attack": "gradmaxsearch",
+        "budget": _BUDGET,
+        "candidates": _CANDIDATES,
+        "edges_per_node": 4,
+        "smoke": smoke,
+        "results": rows,
+        "csr_maintenance": csr_rows,
+        "notes": (
+            "seq+eval reruns attack() per target plus the public-API "
+            "evaluation the campaign records (tau + rank shift); seq-only "
+            "is bare attack() calls. Flip sets are asserted identical "
+            "between campaign and sequential runs."
+        ),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return payload
+
+
+if __name__ == "__main__":
+    run_campaign_scaling(smoke="--smoke" in sys.argv[1:])

@@ -121,6 +121,32 @@ def main() -> None:
     #      python -m repro.experiments.runner --experiment fig4 --backend sparse
     #      python -m repro.experiments.runner --list
 
+    # 8. Campaigns: batch many (targets × budgets × λ) jobs on ONE graph.
+    #
+    #    A bare attack() call rebuilds graph state per run; AttackCampaign
+    #    shares one sparse engine across every job (retarget + rollback
+    #    between jobs), records flips / losses / rank shifts / timings per
+    #    job, and — given a checkpoint_path — resumes interrupted sweeps
+    #    from the last completed job.  Flip sets are identical to
+    #    independent attack() calls; on a sparse 10,000-node graph a
+    #    50-target sweep runs ~7x faster than sequential runs
+    #    (benchmarks/results/BENCH_campaign.json).
+    from repro.attacks import AttackCampaign, grid_jobs
+
+    jobs = grid_jobs(
+        "gradmaxsearch",
+        [[t] for t in targets],          # one job per target
+        budgets=[8],
+        candidates="target_incident",
+    )
+    sweep = AttackCampaign(graph).run(jobs)
+    print(
+        f"campaign: {len(sweep)} jobs in {sweep.seconds:.2f}s, "
+        f"mean tau {sum(o.score_decrease for o in sweep) / len(sweep):.1%}"
+    )
+    #    See examples/campaign.py for the full multi-target λ-sweep
+    #    walkthrough, and --campaign-checkpoint on the experiment runner.
+
 
 if __name__ == "__main__":
     main()

@@ -8,7 +8,6 @@ its budget accordingly.
 Run:  python examples/weighted_targets.py
 """
 
-import numpy as np
 
 from repro.attacks import BinarizedAttack
 from repro.graph import load_dataset

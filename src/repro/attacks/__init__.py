@@ -7,7 +7,14 @@ set — see :mod:`repro.attacks.candidates` for the strategy trade-offs.
 
 from repro.attacks.base import AttackResult, StructuralAttack, apply_flips, validate_targets
 from repro.attacks.binarized import BinarizedAttack
-from repro.attacks.candidates import CANDIDATE_STRATEGIES, CandidateSet
+from repro.attacks.campaign import (
+    AttackCampaign,
+    AttackJob,
+    CampaignResult,
+    JobOutcome,
+    grid_jobs,
+)
+from repro.attacks.candidates import CANDIDATE_STRATEGIES, AdaptiveCandidateSet, CandidateSet
 from repro.attacks.constraints import (
     creates_singleton,
     filter_valid_flips,
@@ -29,18 +36,24 @@ ATTACK_REGISTRY = {
 
 __all__ = [
     "ATTACK_REGISTRY",
+    "AdaptiveCandidateSet",
+    "AttackCampaign",
+    "AttackJob",
     "AttackResult",
     "BinarizedAttack",
     "CANDIDATE_STRATEGIES",
+    "CampaignResult",
     "CandidateSet",
     "ContinuousA",
     "GradMaxSearch",
+    "JobOutcome",
     "OddBallHeuristic",
     "RandomAttack",
     "StructuralAttack",
     "apply_flips",
     "creates_singleton",
     "filter_valid_flips",
+    "grid_jobs",
     "no_singleton_mask",
     "sign_valid_mask",
     "validate_targets",

@@ -169,8 +169,11 @@ class BinarizedAttack(StructuralAttack):
         budget: int,
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
+        engine: "SurrogateEngine | None" = None,
     ) -> AttackResult:
-        backend = resolve_backend(self.backend, graph)
+        backend = engine.backend if engine is not None else resolve_backend(
+            self.backend, graph
+        )
         adjacency = self._adjacency_of(graph, allow_sparse=(backend == "sparse"))
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
@@ -181,14 +184,21 @@ class BinarizedAttack(StructuralAttack):
             rows, cols = np.triu_indices(n, k=1)
         else:
             rows, cols = candidate_set.rows, candidate_set.cols
-        engine = SurrogateEngine.create(
-            adjacency,
-            targets,
-            (rows, cols),
-            backend=backend,
-            floor=self.floor,
-            weights=target_weights,
-        )
+        if engine is None:
+            engine = SurrogateEngine.create(
+                adjacency,
+                targets,
+                (rows, cols),
+                backend=backend,
+                floor=self.floor,
+                weights=target_weights,
+            )
+        else:
+            # Shared (campaign) engine: repoint it at this job's targets and
+            # candidates instead of rebuilding features from scratch.
+            engine.retarget(
+                targets, (rows, cols), floor=self.floor, weights=target_weights
+            )
         base_loss = engine.current_loss()
 
         recorded: list[_Candidate] = [
@@ -203,7 +213,7 @@ class BinarizedAttack(StructuralAttack):
                 # (Alg. 1 lines 5-11), delegated to the engine.
                 adversarial, gradient, flip_mask = engine.binarized_step(zdot)
                 # Record the iterate's discrete solution before updating.
-                self._record(
+                landed = self._record(
                     recorded,
                     engine,
                     zdot,
@@ -225,6 +235,23 @@ class BinarizedAttack(StructuralAttack):
                         gradient = gradient / scale
                 gradient = gradient + lam
                 zdot = np.clip(zdot - self.lr * gradient, 0.0, 1.0)
+                # Per-step adaptation: a recorded (validated) iterate counts
+                # as landed flips; remap Ż onto the grown set, seeding new
+                # entries at ``init``.
+                if landed and candidate_set is not None:
+                    refreshed = candidate_set.refresh(landed, engine)
+                    if refreshed is not candidate_set:
+                        if len(refreshed) != len(candidate_set):
+                            grown_zdot = np.full(
+                                len(refreshed), self.init, dtype=np.float64
+                            )
+                            grown_zdot[
+                                refreshed.remap_positions(rows, cols)
+                            ] = zdot
+                            zdot = grown_zdot
+                            engine.set_candidates(refreshed)
+                            rows, cols = refreshed.rows, refreshed.cols
+                        candidate_set = refreshed
             final_zdot = zdot.copy()
 
         flips_by_budget, surrogate_by_budget = self._select(
@@ -261,19 +288,24 @@ class BinarizedAttack(StructuralAttack):
         lam: float,
         iteration: int,
         budget: int,
-    ) -> None:
-        """Validate and store the current iterate's discrete flip set."""
+    ) -> "list[Edge] | None":
+        """Validate and store the current iterate's discrete flip set.
+
+        Returns the validated flips (the attack's per-step adaptive
+        candidate hook treats them as "landed"), or ``None`` when the
+        iterate was skipped.
+        """
         flipped = np.flatnonzero(flip_mask)
         if len(flipped) == 0 or len(flipped) > 4 * max(budget, 1):
             # Empty solutions are pre-seeded; grossly over-budget iterates
             # cannot win for any b <= budget, skip the bookkeeping cost.
-            return
+            return None
         # Most-confident-first ordering for the validity pass.
         order = flipped[np.argsort(-zdot_values[flipped], kind="stable")]
         raw_flips = [(int(rows[k]), int(cols[k])) for k in order]
         valid_flips = filter_valid_flips_engine(engine, raw_flips, limit=budget)
         if not valid_flips:
-            return
+            return None
         if len(valid_flips) == len(raw_flips):
             surrogate = adversarial_loss  # forward value still exact
         else:
@@ -286,6 +318,7 @@ class BinarizedAttack(StructuralAttack):
                 flips=tuple(valid_flips), surrogate=surrogate, lam=lam, iteration=iteration
             )
         )
+        return valid_flips
 
     def _select(
         self,

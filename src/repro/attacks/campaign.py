@@ -1,0 +1,659 @@
+"""AttackCampaign: batched multi-target attack orchestration.
+
+The paper's experiments (Fig. 4/5, Tables I–II) all sweep *many* jobs —
+targets × budgets × λ values × attack methods — over the **same** clean
+graph, yet a bare ``attack()`` call rebuilds everything per job: adjacency
+validation, the O(n + m) neighbour/feature state of
+:class:`~repro.graph.incremental.IncrementalEgonetFeatures`, candidate-pair
+arrays.  At campaign scale that fixed cost dominates; the actual
+optimisation (a handful of O(deg)/O(m) steps per job) is the cheap part.
+
+:class:`AttackCampaign` amortises it.  One shared
+:class:`~repro.oddball.surrogate.SurrogateEngine` (sparse-incremental on
+large graphs) carries the clean graph's feature state across every job:
+
+* before a job, the engine is **retargeted** — targets, candidate pairs,
+  floor and weights are swapped in O(|C|) (:meth:`SurrogateEngine.retarget`);
+* the attack runs through the engine's apply → score → rollback API;
+* after the job, :meth:`SurrogateEngine.restore` rolls back whatever
+  permanent flips the attack landed, at O(deg) per flip — the O(n + m)
+  rebuild a fresh engine would pay never happens;
+* job outcomes (flips, losses, target rank shifts, timings) are scored
+  straight from the engine's maintained features, so evaluation never
+  materialises a poisoned adjacency either.
+
+Campaigns are **resumable**: with a ``checkpoint_path`` every completed job
+is appended to a JSONL file (one header line tying it to the graph +
+backend, then one outcome per line, keyed by a deterministic job id), and a
+re-run against the same graph skips straight past completed jobs — an
+interrupted 5000-job sweep restarts from the last completed job, and the
+merged result is bit-identical to an uninterrupted run (tested).  Appends
+are O(1) per job (not a full-file rewrite) and a torn trailing line from a
+hard kill is skipped on load, costing at most one job.
+
+Flip-set fidelity: a campaign job produces the *same* flips as the
+equivalent standalone ``attack()`` call (the engine-parity and campaign
+test suites pin this down), so batching is purely a performance lever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.attacks.base import AttackResult, validate_targets
+from repro.attacks.binarized import BinarizedAttack
+from repro.attacks.candidates import CANDIDATE_STRATEGIES
+from repro.attacks.continuous import ContinuousA
+from repro.attacks.gradmax import GradMaxSearch
+from repro.graph.graph import Graph
+from repro.graph.sparse import to_sparse
+from repro.oddball.regression import fit_power_law
+from repro.oddball.scores import rank_positions, score_from_features
+from repro.oddball.surrogate import SurrogateEngine, resolve_backend, validate_backend
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_adjacency, check_budget
+
+__all__ = [
+    "AttackCampaign",
+    "AttackJob",
+    "CampaignResult",
+    "ENGINE_ATTACKS",
+    "JobOutcome",
+    "grid_jobs",
+]
+
+_log = get_logger("attacks.campaign")
+
+Edge = tuple[int, int]
+
+def _registry() -> dict:
+    """:data:`repro.attacks.ATTACK_REGISTRY`, resolved lazily.
+
+    The campaign module is imported *by* ``repro.attacks.__init__``, so the
+    one canonical registry is looked up at call time (the package is fully
+    initialised by then) instead of duplicating it here and drifting.
+    """
+    from repro.attacks import ATTACK_REGISTRY
+
+    return ATTACK_REGISTRY
+
+
+#: Attacks whose optimisation loop runs through a SurrogateEngine and can
+#: therefore share the campaign's engine (retarget + restore between jobs).
+#: The baselines run standalone per job; the campaign still scores them
+#: through the shared feature state.
+ENGINE_ATTACKS = frozenset(
+    {BinarizedAttack.name, GradMaxSearch.name, ContinuousA.name}
+)
+
+_CHECKPOINT_VERSION = 1
+
+
+def _canonical(value):
+    """Canonicalise a job-parameter value for hashing/serialisation."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def _jsonable(value):
+    """The JSON image of a canonical parameter value (tuples → lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class AttackJob:
+    """One unit of campaign work: an attack spec against one target set.
+
+    Jobs are immutable, hashable and JSON-serialisable; :attr:`job_id` is a
+    content hash, so the same spec always resumes from the same checkpoint
+    entry.  Build through :meth:`make` (which canonicalises every field)
+    rather than the raw constructor.
+    """
+
+    attack: str
+    targets: tuple[int, ...]
+    budget: int
+    candidates: "str | None" = None
+    weights: "tuple[float, ...] | None" = None
+    params: tuple = ()
+
+    @classmethod
+    def make(
+        cls,
+        attack: str,
+        targets: Sequence[int],
+        budget: int,
+        candidates: "str | None" = None,
+        weights: "Sequence[float] | None" = None,
+        **params,
+    ) -> "AttackJob":
+        registry = _registry()
+        if attack not in registry:
+            raise ValueError(
+                f"unknown attack {attack!r}; choose from {sorted(registry)}"
+            )
+        if candidates is not None and candidates not in CANDIDATE_STRATEGIES:
+            raise ValueError(
+                f"campaign jobs take a candidate *strategy name* (or None), "
+                f"got {candidates!r}; choose from {CANDIDATE_STRATEGIES}"
+            )
+        allowed = set(inspect.signature(registry[attack].__init__).parameters)
+        unknown = set(params) - (allowed - {"self"})
+        if unknown:
+            raise ValueError(
+                f"{attack} does not accept parameter(s) {sorted(unknown)}; "
+                f"its constructor takes {sorted(allowed - {'self'})}"
+            )
+        targets = tuple(int(t) for t in targets)
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != len(targets):
+                raise ValueError("weights must align with targets")
+        return cls(
+            attack=attack,
+            targets=targets,
+            budget=check_budget(budget),
+            candidates=candidates,
+            weights=weights,
+            params=tuple(sorted((k, _canonical(v)) for k, v in params.items())),
+        )
+
+    @property
+    def job_id(self) -> str:
+        """Deterministic content hash of the spec (checkpoint key), cached."""
+        cached = self.__dict__.get("_job_id_cache")
+        if cached is None:
+            digest = hashlib.sha1(
+                json.dumps(self.to_dict(), sort_keys=True).encode()
+            )
+            cached = digest.hexdigest()[:16]
+            object.__setattr__(self, "_job_id_cache", cached)
+        return cached
+
+    def to_dict(self) -> dict:
+        return {
+            "attack": self.attack,
+            "targets": list(self.targets),
+            "budget": self.budget,
+            "candidates": self.candidates,
+            "weights": None if self.weights is None else list(self.weights),
+            "params": [[k, _jsonable(v)] for k, v in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackJob":
+        return cls.make(
+            payload["attack"],
+            payload["targets"],
+            payload["budget"],
+            candidates=payload.get("candidates"),
+            weights=payload.get("weights"),
+            **{k: v for k, v in payload.get("params", [])},
+        )
+
+    def build_attack(self, backend: str):
+        """Instantiate the attack this job describes."""
+        params = {k: v for k, v in self.params}
+        if self.attack in ENGINE_ATTACKS:
+            params.setdefault("backend", backend)
+        return _registry()[self.attack](**params)
+
+
+def grid_jobs(
+    attack: str,
+    targets: Sequence[Sequence[int]],
+    budgets: Sequence[int],
+    lambdas: "Sequence[float] | None" = None,
+    candidates: "str | None" = None,
+    **params,
+) -> list[AttackJob]:
+    """The paper's sweep shape: targets × budgets (× λ grid) for one attack.
+
+    ``targets`` is a sequence of target *sets* (pass ``[[t] for t in ...]``
+    for single-target sweeps).  With ``lambdas``, one job is emitted per λ
+    (each a single-element ``lambdas`` parameter of BinarizedAttack) — the
+    Fig. 4-style λ-sensitivity sweep.
+    """
+    jobs = []
+    for target_set in targets:
+        for budget in budgets:
+            if lambdas is None:
+                jobs.append(
+                    AttackJob.make(
+                        attack, target_set, budget, candidates=candidates, **params
+                    )
+                )
+            else:
+                for lam in lambdas:
+                    jobs.append(
+                        AttackJob.make(
+                            attack,
+                            target_set,
+                            budget,
+                            candidates=candidates,
+                            lambdas=(float(lam),),
+                            **params,
+                        )
+                    )
+    return jobs
+
+
+@dataclass
+class JobOutcome:
+    """Everything one completed job produced."""
+
+    job: AttackJob
+    flips_by_budget: dict[int, list[Edge]]
+    surrogate_by_budget: dict[int, float]
+    score_before: float
+    score_after: float
+    rank_shifts: dict[int, int]
+    seconds: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+    @property
+    def flips(self) -> list[Edge]:
+        """Flip set at the job's full budget."""
+        return list(self.flips_by_budget[self.job.budget])
+
+    @property
+    def score_decrease(self) -> float:
+        """τ_as = (S⁰_T − S^B_T) / S⁰_T at the full budget."""
+        if self.score_before <= 0.0:
+            return 0.0
+        return (self.score_before - self.score_after) / self.score_before
+
+    def attack_result(self, original) -> AttackResult:
+        """Reconstruct a standalone-equivalent :class:`AttackResult`."""
+        return AttackResult(
+            method=self.job.attack,
+            original=original,
+            flips_by_budget={b: list(f) for b, f in self.flips_by_budget.items()},
+            surrogate_by_budget=dict(self.surrogate_by_budget),
+            metadata=dict(self.metadata),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job.to_dict(),
+            "flips_by_budget": {
+                str(b): [[int(u), int(v)] for u, v in flips]
+                for b, flips in self.flips_by_budget.items()
+            },
+            "surrogate_by_budget": {
+                str(b): float(loss) for b, loss in self.surrogate_by_budget.items()
+            },
+            "score_before": float(self.score_before),
+            "score_after": float(self.score_after),
+            "rank_shifts": {str(t): int(s) for t, s in self.rank_shifts.items()},
+            "seconds": float(self.seconds),
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobOutcome":
+        return cls(
+            job=AttackJob.from_dict(payload["job"]),
+            flips_by_budget={
+                int(b): [(int(u), int(v)) for u, v in flips]
+                for b, flips in payload["flips_by_budget"].items()
+            },
+            surrogate_by_budget={
+                int(b): float(loss)
+                for b, loss in payload["surrogate_by_budget"].items()
+            },
+            score_before=float(payload["score_before"]),
+            score_after=float(payload["score_after"]),
+            rank_shifts={int(t): int(s) for t, s in payload["rank_shifts"].items()},
+            seconds=float(payload["seconds"]),
+            metadata=payload.get("metadata", {}),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Ordered outcomes of a campaign run (JSON round-trippable)."""
+
+    outcomes: list[JobOutcome]
+    backend: str
+    n: int
+    seconds: float
+    resumed_jobs: int = 0
+
+    def __post_init__(self) -> None:
+        self._by_id = {o.job_id: o for o in self.outcomes}
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def outcome(self, job: "AttackJob | str") -> JobOutcome:
+        job_id = job.job_id if isinstance(job, AttackJob) else job
+        if job_id not in self._by_id:
+            raise KeyError(f"no outcome recorded for job {job_id}")
+        return self._by_id[job_id]
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "n": self.n,
+            "seconds": self.seconds,
+            "resumed_jobs": self.resumed_jobs,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignResult":
+        return cls(
+            outcomes=[JobOutcome.from_dict(o) for o in payload["outcomes"]],
+            backend=payload["backend"],
+            n=int(payload["n"]),
+            seconds=float(payload["seconds"]),
+            resumed_jobs=int(payload.get("resumed_jobs", 0)),
+        )
+
+
+class AttackCampaign:
+    """Run many attack jobs against one graph on one shared engine.
+
+    Parameters
+    ----------
+    graph:
+        :class:`~repro.graph.graph.Graph`, dense adjacency array or scipy
+        sparse matrix.  Sparse inputs are validated **once** (the
+        validate-once tag of :func:`repro.graph.sparse.to_sparse` makes
+        every per-job touch-point free); dense jobs still re-run the O(n²)
+        checks per attack call, which is negligible next to their O(n³)
+        forwards at the small n the dense backend targets.
+    backend:
+        Surrogate engine backend (``"auto"``/``"dense"``/``"sparse"``).
+        Resolved once against the graph; every engine job shares it.
+    checkpoint_path:
+        Optional JSONL checkpoint file: one header line (graph fingerprint
+        + backend) followed by one completed-job record per line, appended
+        in O(1) after each job.  A rerun against the same graph loads it
+        and skips completed job ids; a record torn by a hard kill costs
+        exactly that one job on resume (not the file).
+    compute_ranks:
+        Record per-target rank shifts (clean rank → poisoned rank under a
+        full re-score).  One O(n log n) argsort per job; disable for pure
+        flip-set sweeps where only the flips matter.
+
+    Example
+    -------
+    >>> from repro.graph import erdos_renyi
+    >>> from repro.oddball import OddBall
+    >>> graph = erdos_renyi(60, 0.1, rng=0)
+    >>> targets = OddBall().analyze(graph).top_k(4).tolist()
+    >>> jobs = grid_jobs("gradmaxsearch", [[t] for t in targets], budgets=[2],
+    ...                  candidates="target_incident")
+    >>> result = AttackCampaign(graph).run(jobs)
+    >>> len(result) == 4
+    True
+    """
+
+    def __init__(
+        self,
+        graph: "Graph | np.ndarray | sparse.spmatrix",
+        *,
+        backend: str = "auto",
+        checkpoint_path: "Path | str | None" = None,
+        compute_ranks: bool = True,
+    ):
+        validate_backend(backend)
+        if isinstance(graph, Graph):
+            self._original = np.array(graph.adjacency_view, dtype=np.float64)
+        elif sparse.issparse(graph):
+            self._original = to_sparse(graph)
+        else:
+            self._original = check_adjacency(np.asarray(graph, dtype=np.float64))
+        self.backend = resolve_backend(backend, self._original)
+        self.n = int(self._original.shape[0])
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.compute_ranks = compute_ranks
+        self._engine: "SurrogateEngine | None" = None
+        self._clean_scores: "np.ndarray | None" = None
+        self._clean_ranks: "np.ndarray | None" = None
+        self._fingerprint_cache: "str | None" = None
+
+    # ------------------------------------------------------------------ #
+    # Orchestration
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Iterable[AttackJob]) -> CampaignResult:
+        """Execute every job (skipping checkpointed ones); ordered result."""
+        jobs = list(jobs)
+        seen: set[str] = set()
+        for job in jobs:
+            if not isinstance(job, AttackJob):
+                raise TypeError(f"jobs must be AttackJob instances, got {type(job)}")
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job in campaign: {job.to_dict()}")
+            seen.add(job.job_id)
+            validate_targets(job.targets, self.n)
+
+        completed = self._load_checkpoint()
+        resumed = sum(1 for job in jobs if job.job_id in completed)
+        if resumed:
+            _log.info("resuming campaign: %d/%d jobs checkpointed", resumed, len(jobs))
+        start = time.perf_counter()
+        for index, job in enumerate(jobs):
+            if job.job_id in completed:
+                continue
+            outcome = self._run_job(job)
+            completed[job.job_id] = outcome
+            self._append_checkpoint(outcome)
+            _log.debug(
+                "job %d/%d (%s) done in %.3fs: tau=%.3f",
+                index + 1, len(jobs), job.attack, outcome.seconds,
+                outcome.score_decrease,
+            )
+        elapsed = time.perf_counter() - start
+        return CampaignResult(
+            outcomes=[completed[job.job_id] for job in jobs],
+            backend=self.backend,
+            n=self.n,
+            seconds=elapsed,
+            resumed_jobs=resumed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single job
+    # ------------------------------------------------------------------ #
+    def _run_job(self, job: AttackJob) -> JobOutcome:
+        attack = job.build_attack(self.backend)
+        engine = self._ensure_engine(job)
+        start = time.perf_counter()
+        if job.attack in ENGINE_ATTACKS:
+            token = engine.checkpoint()
+            try:
+                result = attack.attack(
+                    self._original,
+                    list(job.targets),
+                    job.budget,
+                    target_weights=job.weights,
+                    candidates=job.candidates,
+                    engine=engine,
+                )
+            finally:
+                # Always roll the job's flips back — an exception (or the
+                # KeyboardInterrupt of an interrupted campaign) must not
+                # leave the NEXT job running on a silently poisoned engine.
+                engine.restore(token)
+        else:
+            result = attack.attack(
+                self._original,
+                list(job.targets),
+                job.budget,
+                target_weights=job.weights,
+                candidates=job.candidates,
+            )
+        seconds = time.perf_counter() - start
+        score_before, score_after, rank_shifts = self._score(job, result)
+        return JobOutcome(
+            job=job,
+            flips_by_budget={b: result.flips(b) for b in result.budgets},
+            surrogate_by_budget=dict(result.surrogate_by_budget),
+            score_before=score_before,
+            score_after=score_after,
+            rank_shifts=rank_shifts,
+            seconds=seconds,
+            metadata=dict(result.metadata),
+        )
+
+    def _ensure_engine(self, job: AttackJob) -> SurrogateEngine:
+        if self._engine is None:
+            # Created with an EMPTY candidate set: each job retargets with
+            # its own pairs, and ``None`` here would materialise all
+            # n(n−1)/2 upper-triangle pairs — 50M entries at n = 10 000.
+            empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
+            self._engine = SurrogateEngine.create(
+                self._original,
+                job.targets,
+                empty,
+                backend=self.backend,
+            )
+            n_feature, e_feature = self._engine.node_features()
+            self._clean_scores = score_from_features(
+                n_feature, e_feature, fit_power_law(n_feature, e_feature)
+            )
+            self._clean_ranks = rank_positions(self._clean_scores)
+        return self._engine
+
+    def _score(
+        self, job: AttackJob, result: AttackResult
+    ) -> tuple[float, float, dict[int, int]]:
+        """Score the job from the engine's features (apply → score → rollback)."""
+        engine = self._engine
+        assert engine is not None and self._clean_scores is not None
+        flips = result.flips()
+        for u, v in flips:
+            engine.push_flip(u, v)
+        n_feature, e_feature = engine.node_features()
+        poisoned_scores = score_from_features(
+            n_feature, e_feature, fit_power_law(n_feature, e_feature)
+        )
+        engine.pop_flips(len(flips))
+        targets = list(job.targets)
+        score_before = float(self._clean_scores[targets].sum())
+        score_after = float(poisoned_scores[targets].sum())
+        rank_shifts: dict[int, int] = {}
+        if self.compute_ranks:
+            poisoned_ranks = rank_positions(poisoned_scores)
+            assert self._clean_ranks is not None
+            rank_shifts = {
+                t: int(poisoned_ranks[t] - self._clean_ranks[t]) for t in targets
+            }
+        return score_before, score_after, rank_shifts
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def _fingerprint(self) -> str:
+        """Cheap content hash tying a checkpoint to one (graph, backend)."""
+        if self._fingerprint_cache is not None:
+            return self._fingerprint_cache
+        digest = hashlib.sha1()
+        digest.update(f"{self.backend}:{self.n}:".encode())
+        if sparse.issparse(self._original):
+            coo = self._original.tocoo()
+            digest.update(np.ascontiguousarray(coo.row).tobytes())
+            digest.update(np.ascontiguousarray(coo.col).tobytes())
+        else:
+            digest.update(np.ascontiguousarray(self._original).tobytes())
+        self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
+
+    def _load_checkpoint(self) -> dict[str, JobOutcome]:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return {}
+        lines = self.checkpoint_path.read_text().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} has a corrupt header; "
+                "delete it to start the campaign fresh"
+            ) from error
+        if header.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        if header.get("fingerprint") != self._fingerprint():
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was written for a different "
+                "graph/backend; delete it or point the campaign elsewhere"
+            )
+        outcomes: dict[str, JobOutcome] = {}
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                # a record torn by a hard kill — appends after a tear start
+                # a fresh line, so only the torn record itself is lost
+                _log.warning(
+                    "checkpoint %s has a truncated entry; ignoring that job",
+                    self.checkpoint_path,
+                )
+                continue
+            outcome = JobOutcome.from_dict(payload)
+            outcomes[outcome.job_id] = outcome
+        return outcomes
+
+    def _append_checkpoint(self, outcome: JobOutcome) -> None:
+        """Append one completed job to the JSONL checkpoint (O(1) per job)."""
+        if self.checkpoint_path is None:
+            return
+        if (
+            not self.checkpoint_path.exists()
+            or self.checkpoint_path.stat().st_size == 0
+        ):
+            self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "version": _CHECKPOINT_VERSION,
+                "fingerprint": self._fingerprint(),
+                "backend": self.backend,
+                "n": self.n,
+            }
+            self.checkpoint_path.write_text(json.dumps(header) + "\n")
+        # A hard kill can leave the previous append torn WITHOUT a trailing
+        # newline; appending straight after it would glue two records into
+        # one unparsable line and lose the glued-on job too.  Start a fresh
+        # line whenever the file does not end in one, so a tear costs
+        # exactly the torn record.
+        with self.checkpoint_path.open("rb") as reader:
+            reader.seek(-1, 2)
+            ends_with_newline = reader.read(1) == b"\n"
+        with self.checkpoint_path.open("ab") as handle:
+            if not ends_with_newline:
+                handle.write(b"\n")
+            handle.write((json.dumps(outcome.to_dict()) + "\n").encode())

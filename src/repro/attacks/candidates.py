@@ -29,6 +29,17 @@ strategies trade coverage for speed:
     fit locally, but drops pairs joining a target to a node *outside* its
     ball.  Combine both with :meth:`CandidateSet.from_pairs` when the union
     is wanted.
+``adaptive``
+    Starts as exactly ``target_incident`` and *grows per step*: every flip
+    the attack lands pulls its endpoints into a growing ball, and each ball
+    entrant contributes its incident pairs (to its current neighbours and
+    to earlier ball members).  Attacks call :meth:`CandidateSet.refresh`
+    after each landed flip; static strategies return themselves unchanged,
+    so the hook costs nothing unless the set actually adapts.  The adaptive
+    set is a superset of ``target_incident`` at every step (invariant
+    tested), and reaches the neighbour-neighbour flips ``two_hop`` covers —
+    but only around regions the optimiser actually visits, keeping |C|
+    near-linear instead of ball-quadratic.
 
 Candidate pairs are canonical (``u < v``), unique and lexicographically
 sorted, so ``full`` enumerates pairs in exactly the order of
@@ -46,11 +57,11 @@ import numpy as np
 
 from repro.graph.graph import Graph
 
-__all__ = ["CandidateSet", "CANDIDATE_STRATEGIES"]
+__all__ = ["AdaptiveCandidateSet", "CandidateSet", "CANDIDATE_STRATEGIES"]
 
 Edge = tuple[int, int]
 
-CANDIDATE_STRATEGIES = ("full", "target_incident", "two_hop")
+CANDIDATE_STRATEGIES = ("full", "target_incident", "two_hop", "adaptive")
 
 
 def _adjacency_rows(graph) -> "tuple[int, object]":
@@ -70,6 +81,18 @@ def _adjacency_rows(graph) -> "tuple[int, object]":
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"adjacency must be square, got shape {matrix.shape}")
     return matrix.shape[0], matrix
+
+
+def _node_count(graph) -> int:
+    """Node count of a Graph/array/scipy-sparse input, without validation."""
+    from scipy import sparse
+
+    if isinstance(graph, Graph):
+        return graph.number_of_nodes
+    shape = graph.shape if sparse.issparse(graph) else np.asarray(graph).shape
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {shape}")
+    return int(shape[0])
 
 
 def _neighbors_of(matrix, node: int) -> np.ndarray:
@@ -147,7 +170,7 @@ class CandidateSet:
                 f"unknown candidate strategy {strategy!r}; "
                 f"choose from {CANDIDATE_STRATEGIES}"
             )
-        n, matrix = _adjacency_rows(graph)
+        n = _node_count(graph)
         if strategy == "full":
             return cls.full(n)
         if targets is None:
@@ -157,6 +180,11 @@ class CandidateSet:
             raise ValueError(f"target ids out of range [0, {n})")
         if strategy == "target_incident":
             return cls.target_incident(n, targets)
+        if strategy == "adaptive":
+            return AdaptiveCandidateSet.start(n, targets)
+        # only two_hop actually walks the adjacency — resolve it lazily so
+        # the index-arithmetic strategies skip the O(m) validation pass
+        _, matrix = _adjacency_rows(graph)
         return cls.two_hop(matrix, targets, n=n)
 
     @classmethod
@@ -170,19 +198,29 @@ class CandidateSet:
 
     @classmethod
     def target_incident(cls, n: int, targets: Sequence[int]) -> "CandidateSet":
-        """Pairs with at least one endpoint in ``targets``."""
+        """Pairs with at least one endpoint in ``targets``.
+
+        Built vectorised (|T|·n index arithmetic + one ``np.unique``) — at
+        campaign scale this runs once per job, so the Python tuple
+        comprehension it replaces was a measurable per-job fixed cost.
+        """
         target_list = sorted({int(t) for t in targets})
         if not target_list:
             raise ValueError("target set must not be empty")
         if target_list[0] < 0 or target_list[-1] >= n:
             raise ValueError(f"target ids out of range [0, {n})")
-        pairs = {
-            (t, v) if t < v else (v, t)
-            for t in target_list
-            for v in range(n)
-            if v != t
-        }
-        return cls._from_sorted_pairs(n, sorted(pairs), "target_incident")
+        t = np.asarray(target_list, dtype=np.intp)
+        others = np.arange(n, dtype=np.intp)
+        rows = np.minimum(t[:, None], others[None, :]).ravel()
+        cols = np.maximum(t[:, None], others[None, :]).ravel()
+        keys = np.unique(rows * n + cols)  # sorts + dedupes; drops nothing else
+        keys = keys[keys // n != keys % n]  # remove the diagonal (v == t) keys
+        return cls(
+            n=n,
+            rows=(keys // n).astype(np.intp),
+            cols=(keys % n).astype(np.intp),
+            strategy="target_incident",
+        )
 
     @classmethod
     def two_hop(
@@ -267,3 +305,109 @@ class CandidateSet:
     def __contains__(self, pair: Edge) -> bool:
         u, v = pair
         return ((u, v) if u < v else (v, u)) in self.pair_set()
+
+    # ------------------------------------------------------------------ #
+    # Per-step adaptation
+    # ------------------------------------------------------------------ #
+    def remap_positions(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Positions of the given canonical pairs inside this set.
+
+        The adaptive-refresh contract is that sets only *grow*, so every
+        pair of a pre-refresh set appears in the refreshed one; attacks use
+        this to remap per-pair optimiser state (``Ż`` values, used-pair
+        masks) onto the grown arrays with one vectorised binary search.
+        Raises if any queried pair is not a member — a refresh
+        implementation that dropped pairs would otherwise corrupt the
+        remapped state silently.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        keys = self.rows * self.n + self.cols
+        wanted = rows * self.n + cols
+        positions = np.searchsorted(keys, wanted)
+        if positions.size and (
+            positions.max(initial=0) >= keys.size
+            or not np.array_equal(keys[positions], wanted)
+        ):
+            raise ValueError("pairs to remap are not all members of this set")
+        return positions
+
+    def refresh(self, flips: "Sequence[Edge]", engine=None) -> "CandidateSet":
+        """Hook the attacks call after ``flips`` land: maybe grow the set.
+
+        Static strategies are immutable and return ``self`` (so the hook is
+        free); :class:`AdaptiveCandidateSet` returns a grown set.  ``engine``
+        is the live :class:`~repro.oddball.surrogate.SurrogateEngine`, used
+        for neighbour lookups against the *current* (partially poisoned)
+        graph.
+        """
+        return self
+
+
+@dataclass(frozen=True, eq=False)
+class AdaptiveCandidateSet(CandidateSet):
+    """A candidate set that grows its ball as the attack's flips land.
+
+    ``ball`` is the set of nodes whose incident pairs have been admitted;
+    it starts as the target set (so the pairs start as exactly
+    ``target_incident`` — the containment invariant the tests pin down) and
+    every landed flip pulls its endpoints in.  A ball entrant ``w``
+    contributes the pairs ``(w, x)`` for ``x ∈ Γ(w) ∪ ball`` — its current
+    neighbours (the egonet-internal flips that move ``E`` without moving
+    degree, which is what the OddBall objective rewards) plus the earlier
+    ball members (so locally-discovered structure can be rewired).
+
+    Instances are immutable like every :class:`CandidateSet`;
+    :meth:`refresh` returns a *new* set and the attacks re-point their
+    engine at it (:meth:`~repro.oddball.surrogate.SurrogateEngine.set_candidates`).
+    """
+
+    ball: "frozenset[int]" = frozenset()
+
+    @classmethod
+    def start(cls, n: int, targets: Sequence[int]) -> "AdaptiveCandidateSet":
+        """The initial set: exactly ``target_incident`` over ``targets``."""
+        base = CandidateSet.target_incident(n, targets)
+        return cls(
+            n=n,
+            rows=base.rows,
+            cols=base.cols,
+            strategy="adaptive",
+            ball=frozenset(int(t) for t in targets),
+        )
+
+    def refresh(self, flips: "Sequence[Edge]", engine=None) -> "CandidateSet":
+        new_nodes = sorted(
+            {int(w) for pair in flips for w in pair} - self.ball
+        )
+        if not new_nodes:
+            return self
+        if engine is None:
+            raise ValueError(
+                "adaptive candidate refresh needs a surrogate engine for "
+                "neighbour lookups"
+            )
+        ball = set(self.ball)
+        additions: set[Edge] = set()
+        for w in new_nodes:
+            partners = set(int(x) for x in engine.neighbors(w)) | ball
+            partners.discard(w)
+            additions.update((w, x) if w < x else (x, w) for x in partners)
+            ball.add(w)
+        old_keys = self.rows * self.n + self.cols
+        if additions:
+            add_keys = np.fromiter(
+                (u * self.n + v for u, v in additions),
+                dtype=np.intp,
+                count=len(additions),
+            )
+            keys = np.union1d(old_keys, add_keys)
+        else:
+            keys = old_keys
+        return AdaptiveCandidateSet(
+            n=self.n,
+            rows=(keys // self.n).astype(np.intp),
+            cols=(keys % self.n).astype(np.intp),
+            strategy="adaptive",
+            ball=frozenset(ball),
+        )

@@ -74,8 +74,11 @@ class ContinuousA(StructuralAttack):
         budget: int,
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
+        engine: "SurrogateEngine | None" = None,
     ) -> AttackResult:
-        backend = resolve_backend(self.backend, graph)
+        backend = engine.backend if engine is not None else resolve_backend(
+            self.backend, graph
+        )
         adjacency = self._adjacency_of(graph, allow_sparse=(backend == "sparse"))
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
@@ -86,14 +89,24 @@ class ContinuousA(StructuralAttack):
             rows, cols = np.triu_indices(n, k=1)
         else:
             rows, cols = candidate_set.rows, candidate_set.cols
-        engine = SurrogateEngine.create(
-            adjacency,
-            targets,
-            (rows, cols),
-            backend=backend,
-            floor=self.floor,
-            weights=target_weights,
-        )
+        if engine is None:
+            engine = SurrogateEngine.create(
+                adjacency,
+                targets,
+                (rows, cols),
+                backend=backend,
+                floor=self.floor,
+                weights=target_weights,
+            )
+        else:
+            # Shared (campaign) engine: repoint instead of rebuilding.  The
+            # relaxation's decision variables are fixed for the whole PGD
+            # run, so adaptive growth does not apply here — an "adaptive"
+            # strategy simply optimises over its initial (target-incident)
+            # pairs.
+            engine.retarget(
+                targets, (rows, cols), floor=self.floor, weights=target_weights
+            )
         a0_vector = engine.edge_values
         relaxed = a0_vector.copy()
 

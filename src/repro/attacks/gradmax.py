@@ -92,10 +92,18 @@ class GradMaxSearch(StructuralAttack):
         budget: int,
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
+        engine: "SurrogateEngine | None" = None,
     ) -> AttackResult:
-        # A candidate set always means the pruned engine; otherwise fall
-        # back to the backend rule (sparse/large inputs get the engine over
-        # the full pair set, small dense inputs keep the legacy dense loop).
+        # An injected shared engine (campaign path) is retargeted in place
+        # and always drives the engine loop.  Otherwise: a candidate set
+        # always means the pruned engine; else fall back to the backend rule
+        # (sparse/large inputs get the engine over the full pair set, small
+        # dense inputs keep the legacy dense loop).
+        if engine is not None:
+            return self._attack_engine(
+                graph, targets, budget, target_weights, candidates,
+                engine.backend, engine=engine,
+            )
         if candidates is not None and self.backend == "auto":
             backend = "sparse"
         else:
@@ -169,8 +177,9 @@ class GradMaxSearch(StructuralAttack):
         target_weights: "Sequence[float] | None",
         candidates: "CandidateSet | str | None",
         backend: str,
+        engine: "SurrogateEngine | None" = None,
     ) -> AttackResult:
-        """Greedy loop through the shared surrogate engine."""
+        """Greedy loop through the (possibly shared) surrogate engine."""
         adjacency = self._adjacency_of(graph, allow_sparse=True)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
@@ -180,20 +189,26 @@ class GradMaxSearch(StructuralAttack):
             candidate_set = CandidateSet.full(n)
         rows, cols = candidate_set.rows, candidate_set.cols
 
-        engine = SurrogateEngine.create(
-            adjacency,
-            targets,
-            candidate_set,
-            backend=backend,
-            floor=self.floor,
-            weights=target_weights,
-        )
+        if engine is None:
+            engine = SurrogateEngine.create(
+                adjacency,
+                targets,
+                candidate_set,
+                backend=backend,
+                floor=self.floor,
+                weights=target_weights,
+            )
+        else:
+            engine.retarget(
+                targets, candidate_set, floor=self.floor, weights=target_weights
+            )
         ordered_flips: list[tuple[int, int]] = []
         surrogate_by_budget = {0: engine.current_loss()}
         modified = np.zeros(len(candidate_set), dtype=bool)
         # A pair's adjacency value only changes when the pair itself flips,
         # and flipped pairs leave the pool through ``modified`` — so the
-        # per-pair edge values can be computed once instead of per step.
+        # per-pair edge values are only recomputed when the candidate set
+        # itself adapts.
         edge_values = engine.edge_values
 
         for step in range(budget):
@@ -216,6 +231,19 @@ class GradMaxSearch(StructuralAttack):
             modified[k] = True
             ordered_flips.append((u, v))
             surrogate_by_budget[len(ordered_flips)] = engine.current_loss()
+            # Per-step adaptation: the landed flip may grow the ball.  The
+            # greedy state (``modified``) is remapped onto the grown set via
+            # one searchsorted — old pairs are always a subset of new ones.
+            refreshed = candidate_set.refresh([(u, v)], engine)
+            if refreshed is not candidate_set:
+                if len(refreshed) != len(candidate_set):
+                    grown = np.zeros(len(refreshed), dtype=bool)
+                    grown[refreshed.remap_positions(rows, cols)] = modified
+                    modified = grown
+                    engine.set_candidates(refreshed)
+                    rows, cols = refreshed.rows, refreshed.cols
+                    edge_values = engine.edge_values
+                candidate_set = refreshed
 
         return self._prefix_result(
             self.name,

@@ -17,20 +17,25 @@ ablation benches use it to show what the gradient machinery adds: the
 heuristic ignores the bi-level effect (moving points also moves the fitted
 line) and cross-target interactions, both of which the gradient-based
 attacks exploit.
+
+The whole loop runs on
+:class:`~repro.graph.incremental.IncrementalEgonetFeatures` — O(deg) per
+flip, O(n) per re-fit — so scipy sparse adjacencies are supported natively
+(and stay sparse in the :class:`AttackResult`); dense inputs take the same
+path and produce bit-identical flips to the historical dense scratch-matrix
+implementation, because the maintained features are exactly the integers a
+fresh ``egonet_features`` recomputation yields.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
-from repro.attacks.constraints import creates_singleton
-from repro.graph.features import egonet_features
+from repro.graph.incremental import IncrementalEgonetFeatures
 from repro.oddball.regression import fit_power_law
-from repro.oddball.surrogate import surrogate_loss_numpy
+from repro.oddball.surrogate import surrogate_loss_from_features
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_budget
@@ -73,7 +78,7 @@ class OddBallHeuristic(StructuralAttack):
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
     ) -> AttackResult:
-        adjacency = self._adjacency_of(graph)
+        adjacency = self._adjacency_of(graph, allow_sparse=True)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
@@ -87,13 +92,17 @@ class OddBallHeuristic(StructuralAttack):
             else candidate_set.pair_set()
         )
 
-        current = adjacency.copy()
-        modified = np.zeros((n, n), dtype=bool)
+        features = IncrementalEgonetFeatures(adjacency)
+        modified: set[Edge] = set()
         ordered_flips: list[Edge] = []
-        surrogate_by_budget = {0: surrogate_loss_numpy(adjacency, targets, target_weights)}
+        surrogate_by_budget = {
+            0: surrogate_loss_from_features(
+                *features.features(), targets, weights=target_weights
+            )
+        }
 
         for _ in range(budget):
-            flip = self._best_step(current, targets, modified, generator, allowed)
+            flip = self._best_step(features, targets, modified, generator, allowed)
             if flip is None:
                 if not ordered_flips and allowed is not None:
                     _log.warning(
@@ -104,12 +113,11 @@ class OddBallHeuristic(StructuralAttack):
                         len(candidate_set),
                     )
                 break
-            u, v = flip
-            current[u, v] = current[v, u] = 1.0 - current[u, v]
-            modified[u, v] = modified[v, u] = True
+            features.flip(*flip)
+            modified.add(flip)
             ordered_flips.append(flip)
-            surrogate_by_budget[len(ordered_flips)] = surrogate_loss_numpy(
-                current, targets, target_weights
+            surrogate_by_budget[len(ordered_flips)] = surrogate_loss_from_features(
+                *features.features(), targets, weights=target_weights
             )
 
         return self._prefix_result(
@@ -129,14 +137,14 @@ class OddBallHeuristic(StructuralAttack):
     # ------------------------------------------------------------------ #
     def _best_step(
         self,
-        adjacency: np.ndarray,
+        features: IncrementalEgonetFeatures,
         targets: Sequence[int],
-        modified: np.ndarray,
-        generator: np.random.Generator,
+        modified: "set[Edge]",
+        generator,
         allowed: "frozenset[Edge] | None" = None,
     ) -> "Edge | None":
         """One heuristic flip: fix the worst-residual target's egonet."""
-        n_feature, e_feature = egonet_features(adjacency)
+        n_feature, e_feature = features.features()
         fit = fit_power_law(n_feature, e_feature)
         expected = fit.predict_e(n_feature)
         residuals = e_feature - expected
@@ -144,29 +152,29 @@ class OddBallHeuristic(StructuralAttack):
         # visit targets by decreasing |residual|
         order = sorted(targets, key=lambda t: -abs(residuals[t]))
         for target in order:
-            neighbors = np.flatnonzero(adjacency[target])
+            neighbors = sorted(features.neighbors(target))
             if len(neighbors) < 2:
                 continue
+            # neighbours are ascending, so every pair is already canonical
             pairs = [
-                (int(a), int(b))
+                (a, b)
                 for i, a in enumerate(neighbors)
                 for b in neighbors[i + 1 :]
             ]
             generator.shuffle(pairs)
             if allowed is not None:
-                pairs = [
-                    (u, v)
-                    for u, v in pairs
-                    if ((u, v) if u < v else (v, u)) in allowed
-                ]
+                pairs = [pair for pair in pairs if pair in allowed]
             if residuals[target] > 0:  # near-clique: delete a neighbour edge
                 for u, v in pairs:
-                    if adjacency[u, v] == 1.0 and not modified[u, v] and not creates_singleton(
-                        adjacency, u, v
+                    if (
+                        features.is_edge(u, v)
+                        and (u, v) not in modified
+                        and features.degree(u) > 1
+                        and features.degree(v) > 1
                     ):
-                        return (u, v) if u < v else (v, u)
+                        return (u, v)
             else:  # near-star: add a neighbour-pair edge
                 for u, v in pairs:
-                    if adjacency[u, v] == 0.0 and not modified[u, v]:
-                        return (u, v) if u < v else (v, u)
+                    if not features.is_edge(u, v) and (u, v) not in modified:
+                        return (u, v)
         return None

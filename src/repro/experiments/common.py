@@ -16,6 +16,7 @@ from repro.utils.rng import SeedSequenceFactory
 
 __all__ = [
     "attack_suite",
+    "attack_suite_params",
     "format_table",
     "load_experiment_graph",
     "sample_targets",
@@ -58,6 +59,22 @@ def attack_suite(scale: Scale, backend: str = "auto") -> dict[str, StructuralAtt
         "binarizedattack": BinarizedAttack(
             iterations=scale.attack_iterations, backend=backend
         ),
+    }
+
+
+def attack_suite_params(scale: Scale) -> dict[str, dict]:
+    """:func:`attack_suite` as campaign job parameters.
+
+    The campaign layer instantiates attacks from serialisable specs, so
+    the sweep drivers describe the suite as constructor kwargs instead of
+    instances — keeping :func:`attack_suite` and the campaign-driven
+    figures in lock-step (a mismatch here would break the figure-level
+    equivalence tests).
+    """
+    return {
+        "gradmaxsearch": {},
+        "continuousa": {"max_iter": scale.attack_iterations},
+        "binarizedattack": {"iterations": scale.attack_iterations},
     }
 
 

@@ -5,14 +5,24 @@ Protocol (Section VIII-A/B): targets are sampled from the top-50 AScore
 nodes (|T| = 10 for the synthetic graphs and both 10 and 30 for the real
 ones), 5 samplings are averaged, and each attack is swept over a budget grid
 expressed as a fraction of the clean edge count.
+
+The sweep itself — (repeat × method) jobs per panel — is executed through
+:class:`~repro.attacks.campaign.AttackCampaign`: one shared surrogate
+engine per dataset instead of one per attack call, duplicate target
+samplings deduplicated, and (with ``campaign_checkpoint``) every panel
+resumable mid-sweep.  Flip sets are identical to the pre-campaign
+per-call driver (the campaign equivalence suite pins this down).
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.attacks.campaign import AttackCampaign, AttackJob
 from repro.experiments.common import (
-    attack_suite,
+    attack_suite_params,
     format_table,
     load_experiment_graph,
     sample_targets,
@@ -46,20 +56,25 @@ def run(
     panels=PANELS,
     backend: str = "auto",
     candidates: "str | None" = None,
+    campaign_checkpoint: "Path | str | None" = None,
 ) -> dict:
     """Sweep every panel; returns per-panel series (mean over repeats).
 
-    ``backend`` picks the surrogate engine for every attack (see
-    :func:`repro.experiments.common.attack_suite`) and ``candidates`` an
-    optional candidate-pair strategy (``"target_incident"``/``"two_hop"``;
-    ``None`` keeps the exact legacy full-pair decision variables).  At
-    large n both matter: the sparse engine removes the O(n³) forward, and a
-    pruned candidate set removes the O(n²) decision-variable arrays — the
-    combination is what lets the sweep run at scales the dense pipeline
-    cannot hold in memory.
+    ``backend`` picks the surrogate engine for every attack and
+    ``candidates`` an optional candidate-pair strategy
+    (``"target_incident"``/``"two_hop"``/``"adaptive"``; ``None`` keeps the
+    exact legacy full-pair decision variables).  At large n both matter:
+    the sparse engine removes the O(n³) forward, and a pruned candidate set
+    removes the O(n²) decision-variable arrays — the combination is what
+    lets the sweep run at scales the dense pipeline cannot hold in memory.
+
+    ``campaign_checkpoint`` names a directory: each panel's campaign then
+    persists completed jobs to ``fig4_<panel>.json`` there, and an
+    interrupted sweep resumes from the last completed job.
     """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
+    method_params = attack_suite_params(scale)
     results = []
     for dataset_name, paper_targets in panels:
         dataset = load_experiment_graph(dataset_name, scale, seeds)
@@ -70,17 +85,42 @@ def run(
         n_targets = max(scale.scaled(paper_targets), 3)
         report = detector.analyze(graph)
 
-        per_method: dict[str, list[list[float]]] = {
-            name: [] for name in attack_suite(scale, backend)
-        }
+        # Build the whole panel's job grid up front: (repeat × method) jobs
+        # against ONE shared engine.  Identical samplings collapse to one
+        # job (same content hash), so repeated target draws are free.
+        panel_name = f"{dataset_name}-{paper_targets}"
+        repeat_jobs: list[dict[str, AttackJob]] = []
+        unique_jobs: dict[str, AttackJob] = {}
         for repeat in range(scale.n_repeats):
             rng = seeds.generator(f"targets-{dataset_name}-{paper_targets}-{repeat}")
             targets = sample_targets(report, n_targets, rng)
-            for method_name, attack in attack_suite(scale, backend).items():
-                result = attack.attack(
-                    graph, targets, budgets[-1], candidates=candidates
+            methods = {}
+            for method_name, params in method_params.items():
+                job = AttackJob.make(
+                    method_name, targets, budgets[-1],
+                    candidates=candidates, **params,
                 )
-                taus = tau_for_budgets(adjacency, result, targets, budgets)
+                methods[method_name] = job
+                unique_jobs.setdefault(job.job_id, job)
+            repeat_jobs.append(methods)
+
+        checkpoint_path = None
+        if campaign_checkpoint is not None:
+            checkpoint_path = Path(campaign_checkpoint) / f"fig4_{panel_name}.json"
+        campaign = AttackCampaign(
+            graph, backend=backend, checkpoint_path=checkpoint_path,
+            compute_ranks=False,
+        )
+        sweep = campaign.run(unique_jobs.values())
+
+        per_method: dict[str, list[list[float]]] = {
+            name: [] for name in method_params
+        }
+        for repeat, methods in enumerate(repeat_jobs):
+            for method_name, job in methods.items():
+                outcome = sweep.outcome(job)
+                result = outcome.attack_result(adjacency)
+                taus = tau_for_budgets(adjacency, result, job.targets, budgets)
                 per_method[method_name].append(taus)
                 _log.info(
                     "%s |T|=%d rep=%d %s tau@max=%.3f",
@@ -88,13 +128,16 @@ def run(
                 )
         results.append(
             {
-                "panel": f"{dataset_name}-{paper_targets}",
+                "panel": panel_name,
                 "dataset": dataset_name,
                 "paper_target_count": paper_targets,
                 "target_count": n_targets,
                 "n_edges": n_edges,
                 "budgets": budgets,
                 "edges_changed_pct": [100.0 * b / n_edges for b in budgets],
+                "campaign_seconds": sweep.seconds,
+                "campaign_jobs": len(sweep),
+                "campaign_resumed_jobs": sweep.resumed_jobs,
                 "tau_mean": {
                     name: np.mean(np.array(rows), axis=0).tolist()
                     for name, rows in per_method.items()

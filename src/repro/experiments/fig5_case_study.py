@@ -10,7 +10,6 @@ density before/after.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.attacks import BinarizedAttack
 from repro.experiments.common import format_table, load_experiment_graph

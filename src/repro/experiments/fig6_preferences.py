@@ -10,7 +10,6 @@ companion panels report the log-log regression line before (B=0) and after
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.attacks import BinarizedAttack
 from repro.experiments.common import format_table, load_experiment_graph, top_score_groups
@@ -33,7 +32,6 @@ def run(
     seeds = SeedSequenceFactory(seed)
     ds = load_experiment_graph(dataset, scale, seeds)
     graph = ds.graph
-    adjacency = graph.adjacency
     scores, low, medium, high = top_score_groups(graph)
 
     rng = seeds.generator("fig6-targets")

@@ -12,14 +12,22 @@ the runner prints the text and optionally persists the payload.
 
 ``--backend {auto,dense,sparse}`` selects the surrogate engine for the
 attack-driven figures (fig4, fig5) and ``--candidates
-{target_incident,two_hop}`` optionally prunes their decision variables.
-At large n use both: the sparse engine removes the O(n³) forward pass and
-the candidate strategy removes the O(n²) pair arrays — e.g.::
+{target_incident,two_hop,adaptive}`` optionally prunes their decision
+variables.  At large n use both: the sparse engine removes the O(n³)
+forward pass and the candidate strategy removes the O(n²) pair arrays —
+e.g.::
 
     python -m repro.experiments.runner -e fig4 --backend sparse \
         --candidates target_incident
 
-Drivers that do not run attacks ignore both flags.
+``--campaign-checkpoint DIR`` makes the campaign-driven sweeps (fig4)
+persist per-panel job checkpoints under DIR, so an interrupted sweep
+resumes from the last completed job::
+
+    python -m repro.experiments.runner -e fig4 --scale paper \
+        --campaign-checkpoint results/checkpoints/
+
+Drivers that do not run attacks ignore these flags.
 """
 
 from __future__ import annotations
@@ -69,11 +77,13 @@ def run_experiment(
     output_dir: "Path | None" = None,
     backend: str = "auto",
     candidates: "str | None" = None,
+    campaign_checkpoint: "Path | None" = None,
 ) -> tuple[dict, str]:
     """Run one experiment; returns (payload, formatted text).
 
-    ``backend`` and ``candidates`` are forwarded to drivers that accept
-    them (the attack-driven figures); the rest run unchanged.
+    ``backend``, ``candidates`` and ``campaign_checkpoint`` are forwarded
+    to drivers that accept them (the attack-driven figures); the rest run
+    unchanged.
     """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
@@ -84,6 +94,8 @@ def run_experiment(
         kwargs["backend"] = backend
     if "candidates" in parameters:
         kwargs["candidates"] = candidates
+    if "campaign_checkpoint" in parameters and campaign_checkpoint is not None:
+        kwargs["campaign_checkpoint"] = campaign_checkpoint
     payload = run_fn(scale=scale, seed=seed, **kwargs)
     text = format_fn(payload)
     if output_dir is not None:
@@ -115,10 +127,14 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--backend", choices=["auto", "dense", "sparse"], default="auto",
                         help="surrogate engine for the attack-driven figures")
-    parser.add_argument("--candidates", choices=["full", "target_incident", "two_hop"],
+    parser.add_argument("--candidates",
+                        choices=["full", "target_incident", "two_hop", "adaptive"],
                         default=None,
                         help="candidate-pair strategy for the attack-driven "
                              "figures (default: legacy full-pair variables)")
+    parser.add_argument("--campaign-checkpoint", type=Path, default=None,
+                        help="directory for resumable per-panel campaign "
+                             "checkpoints (campaign-driven sweeps only)")
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON/text dumps")
     args = parser.parse_args(argv)
 
@@ -136,6 +152,7 @@ def main(argv: "list[str] | None" = None) -> int:
             output_dir=args.output,
             backend=args.backend,
             candidates=args.candidates,
+            campaign_checkpoint=args.campaign_checkpoint,
         )
         print(text)
         print()

@@ -1,10 +1,22 @@
-"""Table I — statistics of the five evaluation graphs."""
+"""Table I — statistics of the five evaluation graphs.
+
+Extended beyond the paper's raw counts with a campaign-driven
+*attackability* column: for every dataset one
+:class:`~repro.attacks.campaign.AttackCampaign` sweeps GradMaxSearch over
+the top-scoring OddBall targets (one job per target, shared engine) and the
+table reports the mean τ_as and mean rank burial at the smallest Fig. 4
+budget — a one-line summary of how hideable each graph's anomalies are.
+"""
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.attacks.campaign import AttackCampaign, grid_jobs
 from repro.experiments.common import format_table, load_experiment_graph
 from repro.experiments.config import CI, Scale
 from repro.graph.datasets import DATASET_NAMES, dataset_statistics
+from repro.oddball.detector import OddBall
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = ["format_results", "run"]
@@ -18,10 +30,14 @@ PAPER_TABLE_I = {
     "bitcoin-alpha": (1025, 2311),
 }
 
+#: Targets per dataset in the attackability sweep (top AScore nodes).
+ATTACK_TARGETS = 3
+
 
 def run(scale: Scale = CI, seed: int = 7) -> dict:
-    """Generate all five graphs and collect their statistics."""
+    """Generate all five graphs; collect statistics + attackability."""
     seeds = SeedSequenceFactory(seed)
+    detector = OddBall()
     rows = []
     for name in DATASET_NAMES:
         dataset = load_experiment_graph(name, scale, seeds)
@@ -29,12 +45,34 @@ def run(scale: Scale = CI, seed: int = 7) -> dict:
         paper_nodes, paper_edges = PAPER_TABLE_I[name]
         stats["paper_nodes"] = round(paper_nodes * scale.graph_scale)
         stats["paper_edges"] = round(paper_edges * scale.graph_scale)
+
+        # Attackability: one campaign, one job per top-scoring target.
+        graph = dataset.graph
+        budget = scale.budgets_for(graph.number_of_edges)[0]
+        targets = detector.analyze(graph).top_k(ATTACK_TARGETS).tolist()
+        campaign = AttackCampaign(graph)
+        sweep = campaign.run(
+            grid_jobs(
+                "gradmaxsearch",
+                [[t] for t in targets],
+                budgets=[budget],
+                candidates="target_incident",
+            )
+        )
+        shifts = [
+            shift for outcome in sweep for shift in outcome.rank_shifts.values()
+        ]
+        stats["attack_budget"] = budget
+        stats["attack_tau"] = float(
+            np.mean([outcome.score_decrease for outcome in sweep])
+        )
+        stats["attack_rank_shift"] = float(np.mean(shifts)) if shifts else 0.0
         rows.append(stats)
     return {"scale": scale.name, "seed": seed, "rows": rows}
 
 
 def format_results(payload: dict) -> str:
-    """Printable Table I reproduction."""
+    """Printable Table I reproduction (+ attackability summary)."""
     rows = [
         [
             r["name"],
@@ -45,12 +83,14 @@ def format_results(payload: dict) -> str:
             r["mean_degree"],
             r["max_degree"],
             "yes" if r["connected"] else "no",
+            f"{r['attack_tau']:.3f}@{r['attack_budget']}",
+            r["attack_rank_shift"],
         ]
         for r in payload["rows"]
     ]
     return format_table(
         ["dataset", "nodes", "edges", "paper-nodes(scaled)", "paper-edges(scaled)",
-         "mean-deg", "max-deg", "connected"],
+         "mean-deg", "max-deg", "connected", "tau@b", "rank-shift"],
         rows,
         title=f"Table I — dataset statistics (scale={payload['scale']})",
     )

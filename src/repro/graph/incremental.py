@@ -91,6 +91,10 @@ class IncrementalEgonetFeatures:
         self._prev_versions: list[int] = []
         self._csr_cache: "sparse.csr_matrix | None" = csr
         self._csr_version = 0
+        # Snapshot of the flip stack at the time the cached CSR was built —
+        # the next materialisation folds only the *net* pair toggles since
+        # then into the cache instead of rebuilding all n rows.
+        self._csr_stack: list[Edge] = []
 
     # ------------------------------------------------------------------ #
     # Feature access
@@ -140,6 +144,17 @@ class IncrementalEgonetFeatures:
     def flips(self) -> list[Edge]:
         """Every flip applied so far, in order (canonical pairs)."""
         return list(self._flips)
+
+    @property
+    def depth(self) -> int:
+        """Number of flips currently applied (the rollback stack depth).
+
+        ``rollback(depth - token)`` returns the graph to the state it had
+        when ``token = depth`` was read — the primitive
+        :class:`~repro.oddball.surrogate.SurrogateEngine` checkpoints build
+        on to reset shared state between campaign jobs.
+        """
+        return len(self._flips)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -197,26 +212,106 @@ class IncrementalEgonetFeatures:
     # Materialisation
     # ------------------------------------------------------------------ #
     def adjacency_csr(self) -> sparse.csr_matrix:
-        """Current adjacency as CSR (rebuilt lazily after flips, O(m)).
+        """Current adjacency as CSR (incrementally folded after flips).
 
         The result is cached per state *version*: flip → rollback sequences
-        that return to a previously materialised state reuse its CSR.
+        that return to a previously materialised state reuse its CSR.  When
+        the cache is stale, the *net* pair toggles since the cached state
+        are folded into it as a sparse ±1 delta — a vectorised O(m + d)
+        sparse addition — instead of rebuilding all ``n`` rows through a
+        Python loop.  A greedy attack applying one permanent flip per step
+        therefore pays O(m) numpy work per materialisation, not O(n + m)
+        Python work (the old rebuild-per-flip loop).
         """
-        if self._csr_cache is None or self._csr_version != self._version:
-            indptr = np.zeros(self.n + 1, dtype=np.intp)
-            degrees = np.fromiter(
-                (len(s) for s in self._neighbors), dtype=np.intp, count=self.n
-            )
-            np.cumsum(degrees, out=indptr[1:])
-            indices = np.empty(int(indptr[-1]), dtype=np.intp)
-            for i, neigh in enumerate(self._neighbors):
-                indices[indptr[i] : indptr[i + 1]] = sorted(neigh)
-            data = np.ones(len(indices), dtype=np.float64)
-            self._csr_cache = sparse.csr_matrix(
-                (data, indices, indptr), shape=(self.n, self.n)
-            )
-            self._csr_version = self._version
+        if self._csr_cache is not None and self._csr_version == self._version:
+            return self._csr_cache
+        if self._csr_cache is None:
+            self._csr_cache = self._rebuild_csr()
+        else:
+            self._csr_cache = self._fold_csr(self._csr_cache)
+        self._csr_version = self._version
+        self._csr_stack = list(self._flips)
         return self._csr_cache
+
+    def _net_changes(self) -> "list[tuple[int, int, float]]":
+        """Net ``(u, v, ±1)`` toggles between the cached CSR state and now.
+
+        Pairs toggled an odd number of times since the cached state are
+        exactly the entries whose value changed (toggling is an involution);
+        the sign is the *current* value minus the cached one.
+        """
+        stack, current = self._csr_stack, self._flips
+        prefix = 0
+        for prefix in range(min(len(stack), len(current)) + 1):
+            if (
+                prefix == len(stack)
+                or prefix == len(current)
+                or stack[prefix] != current[prefix]
+            ):
+                break
+        parity: dict[Edge, int] = {}
+        for pair in stack[prefix:]:
+            parity[pair] = parity.get(pair, 0) ^ 1
+        for pair in current[prefix:]:
+            parity[pair] = parity.get(pair, 0) ^ 1
+        return [
+            (u, v, 1.0 if v in self._neighbors[u] else -1.0)
+            for (u, v), odd in parity.items()
+            if odd
+        ]
+
+    def csr_with_delta(
+        self, max_delta: int = 64
+    ) -> "tuple[sparse.csr_matrix, list[tuple[int, int, float]]]":
+        """``(cached CSR, net overlay)`` — the zero-copy materialisation.
+
+        When at most ``max_delta`` pairs differ from the cached CSR, the
+        cache is returned untouched together with the ``(u, v, ±1)``
+        overlay entries describing the difference — the representation
+        :func:`repro.oddball.surrogate._scatter_pair_gradient` folds into
+        its mat-vecs in O(|delta|).  A greedy attack's per-step gradient
+        therefore costs NO CSR work at all; beyond ``max_delta`` the flips
+        are folded in (:meth:`adjacency_csr`) and the overlay is empty.
+        """
+        if self._csr_cache is not None and self._csr_version == self._version:
+            return self._csr_cache, []
+        if self._csr_cache is not None:
+            delta = self._net_changes()
+            if len(delta) <= max_delta:
+                return self._csr_cache, delta
+        return self.adjacency_csr(), []
+
+    def _fold_csr(self, cached: sparse.csr_matrix) -> sparse.csr_matrix:
+        """Fold the net flips between the cached state and now into ``cached``."""
+        changed = self._net_changes()
+        if not changed:
+            return cached
+        rows = np.fromiter((c[0] for c in changed), dtype=np.intp, count=len(changed))
+        cols = np.fromiter((c[1] for c in changed), dtype=np.intp, count=len(changed))
+        signs = np.fromiter((c[2] for c in changed), dtype=np.float64, count=len(changed))
+        delta = sparse.coo_matrix(
+            (
+                np.concatenate([signs, signs]),
+                (np.concatenate([rows, cols]), np.concatenate([cols, rows])),
+            ),
+            shape=(self.n, self.n),
+        )
+        folded = (cached + delta).tocsr()
+        folded.eliminate_zeros()
+        return folded
+
+    def _rebuild_csr(self) -> sparse.csr_matrix:
+        """Full rebuild from the neighbour sets (fallback, O(n + m) Python)."""
+        indptr = np.zeros(self.n + 1, dtype=np.intp)
+        degrees = np.fromiter(
+            (len(s) for s in self._neighbors), dtype=np.intp, count=self.n
+        )
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.intp)
+        for i, neigh in enumerate(self._neighbors):
+            indices[indptr[i] : indptr[i + 1]] = sorted(neigh)
+        data = np.ones(len(indices), dtype=np.float64)
+        return sparse.csr_matrix((data, indices, indptr), shape=(self.n, self.n))
 
     def to_dense(self) -> np.ndarray:
         """Current adjacency densified (testing / small graphs only)."""

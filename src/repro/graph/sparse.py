@@ -34,10 +34,19 @@ def to_sparse(graph: "Graph | np.ndarray | sparse.spmatrix") -> sparse.csr_matri
 
     Validation mirrors :func:`repro.utils.validation.check_adjacency`:
     square, symmetric, binary, zero diagonal.
+
+    Matrices this function has already validated are tagged and returned
+    as-is on re-entry ("validate once"): an attack campaign threads the
+    same clean CSR through hundreds of jobs, and the O(m) symmetry check
+    per touch-point was a measurable per-job fixed cost.  The tag does not
+    survive scipy copies/arithmetic, so derived matrices are re-validated;
+    only in-place mutation of a validated matrix's ``data`` could fool it.
     """
     if isinstance(graph, Graph):
         matrix = sparse.csr_matrix(graph.adjacency_view)
     elif sparse.issparse(graph):
+        if getattr(graph, "_repro_validated", False) and sparse.isspmatrix_csr(graph):
+            return graph
         matrix = graph.tocsr().astype(np.float64)  # astype copies, so
         # eliminate_zeros below never mutates the caller's matrix
     else:
@@ -54,6 +63,7 @@ def to_sparse(graph: "Graph | np.ndarray | sparse.spmatrix") -> sparse.csr_matri
         raise ValueError("adjacency must be binary")
     if matrix.diagonal().sum() != 0.0:
         raise ValueError("adjacency must have a zero diagonal")
+    matrix._repro_validated = True
     return matrix
 
 

@@ -51,9 +51,9 @@ class DetectionReport:
         """Inverse permutation of :attr:`_order` (node id -> rank), cached."""
         cached = self.__dict__.get("_ranks_cache")
         if cached is None:
-            order = self._order
-            cached = np.empty_like(order)
-            cached[order] = np.arange(len(order))
+            from repro.oddball.scores import rank_positions
+
+            cached = rank_positions(self.scores, order=self._order)
             cached.flags.writeable = False
             object.__setattr__(self, "_ranks_cache", cached)
         return cached

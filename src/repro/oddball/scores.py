@@ -20,9 +20,34 @@ import numpy as np
 from repro.graph.features import egonet_features
 from repro.oddball.regression import PowerLawFit, fit_power_law
 
-__all__ = ["anomaly_scores", "anomaly_scores_with_fit", "proxy_scores", "score_from_features"]
+__all__ = [
+    "anomaly_scores",
+    "anomaly_scores_with_fit",
+    "proxy_scores",
+    "rank_positions",
+    "score_from_features",
+]
 
 _EPS = 1e-12
+
+
+def rank_positions(
+    scores: np.ndarray, order: "np.ndarray | None" = None
+) -> np.ndarray:
+    """``rank[i]`` = position of node ``i`` in descending score order.
+
+    Stable ties (``kind="stable"``), 0 = most anomalous.  The single
+    definition of ranking semantics shared by the detector, the attack
+    campaign's rank-shift bookkeeping and the benchmarks — a divergence in
+    tie-breaking between those would silently change reported rank shifts.
+    ``order`` may supply an already-computed descending argsort of
+    ``scores`` (the detector caches one) to skip the sort.
+    """
+    if order is None:
+        order = np.argsort(-np.asarray(scores), kind="stable")
+    ranks = np.empty_like(order)
+    ranks[order] = np.arange(len(order))
+    return ranks
 
 
 def score_from_features(

@@ -553,21 +553,11 @@ class SurrogateEngine(abc.ABC):
         if floor <= 0.0:
             raise ValueError(f"floor must be positive to keep logs finite, got {floor}")
         self.n = int(n)
-        if candidates is None:
-            rows, cols = np.triu_indices(self.n, k=1)
-            self.rows = rows.astype(np.intp)
-            self.cols = cols.astype(np.intp)
-        else:
-            self.rows, self.cols = _candidate_arrays(candidates)
-        if self.rows.size and self.cols.max() >= self.n:
-            raise ValueError(f"candidate pair indices out of range [0, {self.n})")
         self._targets = _validate_targets(targets, self.n)
         self.floor = float(floor)
         self.ridge = float(ridge)
         self._weights = weights
-        self._edge_values = self._pair_values(self.rows, self.cols)
-        #: per-pair ``1 − 2·A0`` — +1 on non-edges (add), −1 on edges (delete)
-        self.flip_direction = 1.0 - 2.0 * self._edge_values
+        self.set_candidates(candidates)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -609,6 +599,69 @@ class SurrogateEngine(abc.ABC):
     @property
     def targets(self) -> np.ndarray:
         return self._targets.copy()
+
+    @property
+    def weights(self) -> "Sequence[float] | None":
+        return self._weights
+
+    # ------------------------------------------------------------------ #
+    # Reconfiguration (shared-engine / campaign support)
+    # ------------------------------------------------------------------ #
+    def set_candidates(self, candidates=None) -> None:
+        """Repoint the engine at a new candidate-pair set.
+
+        The graph state is untouched; only the decision variables change.
+        ``candidates`` follows the constructor's convention (``None`` =
+        every upper-triangle pair).  Per-pair caches (``edge_values``,
+        ``flip_direction``) are recomputed against the *current* graph, so
+        this is also how adaptive candidate sets are threaded mid-attack.
+        """
+        if candidates is None:
+            rows, cols = np.triu_indices(self.n, k=1)
+            self.rows = rows.astype(np.intp)
+            self.cols = cols.astype(np.intp)
+        else:
+            self.rows, self.cols = _candidate_arrays(candidates)
+        if self.rows.size and self.cols.max() >= self.n:
+            raise ValueError(f"candidate pair indices out of range [0, {self.n})")
+        self._refresh_pair_cache()
+        self._on_state_reset()
+
+    def retarget(
+        self,
+        targets: Sequence[int],
+        candidates=None,
+        *,
+        floor: "float | None" = None,
+        weights: "Sequence[float] | None" = None,
+    ) -> None:
+        """Reconfigure the engine for a new job on the SAME graph.
+
+        This is the campaign primitive: one engine (one incremental feature
+        state, one CSR cache) serves many ``(targets, budget, λ)`` jobs —
+        switching jobs costs O(|C|) bookkeeping instead of the O(n + m)
+        feature/neighbour rebuild a fresh engine would pay.  The caller is
+        responsible for restoring the graph itself (see :meth:`checkpoint` /
+        :meth:`restore`) before retargeting.
+        """
+        self._targets = _validate_targets(targets, self.n)
+        if floor is not None:
+            if floor <= 0.0:
+                raise ValueError(
+                    f"floor must be positive to keep logs finite, got {floor}"
+                )
+            self.floor = float(floor)
+        self._weights = weights
+        self.set_candidates(candidates)
+
+    def _refresh_pair_cache(self) -> None:
+        """Recompute per-pair values/directions against the current graph."""
+        self._edge_values = self._pair_values(self.rows, self.cols)
+        #: per-pair ``1 − 2·A0`` — +1 on non-edges (add), −1 on edges (delete)
+        self.flip_direction = 1.0 - 2.0 * self._edge_values
+
+    def _on_state_reset(self) -> None:
+        """Hook for backends to drop caches keyed on candidates/graph state."""
 
     # ------------------------------------------------------------------ #
     # Backend-specific primitives
@@ -668,6 +721,40 @@ class SurrogateEngine(abc.ABC):
     def apply_flip(self, u: int, v: int) -> None:
         """Permanently flip ``{u, v}`` (greedy attacks advance this way)."""
 
+    @abc.abstractmethod
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbour ids of ``u`` in the current graph."""
+
+    @abc.abstractmethod
+    def node_features(self) -> tuple[np.ndarray, np.ndarray]:
+        """Egonet features ``(N, E)`` of the current graph.
+
+        The campaign layer scores jobs straight from these (Eq. 3 needs
+        only ``(N, E)`` plus the refitted power law), so per-job anomaly
+        scoring costs O(n) on the sparse backend instead of materialising a
+        poisoned adjacency.
+        """
+
+    @abc.abstractmethod
+    def checkpoint(self) -> int:
+        """Opaque token for the current *permanent* graph state.
+
+        Take one before handing the engine to an attack; pass it to
+        :meth:`restore` afterwards to undo every permanent flip the attack
+        applied.  Transient flips must be balanced (pushed and popped) by
+        the attack itself.
+        """
+
+    @abc.abstractmethod
+    def restore(self, token: int) -> None:
+        """Undo every permanent flip applied after :meth:`checkpoint`.
+
+        O(deg) per undone flip; per-pair caches are refreshed so the engine
+        is immediately reusable.  Transient flips still pending (an attack
+        that died mid-probe) are rolled back first — restore always returns
+        the engine to the exact checkpointed graph.
+        """
+
     # ------------------------------------------------------------------ #
     # Shared transient scoring
     # ------------------------------------------------------------------ #
@@ -726,6 +813,7 @@ class DenseSurrogateEngine(SurrogateEngine):
             raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
         self._adjacency = adjacency
         self._transient: list[tuple[int, int]] = []
+        self._permanent: list[tuple[int, int]] = []
         self._frozen: "Tensor | None" = None
         super().__init__(
             adjacency.shape[0], targets, candidates,
@@ -819,6 +907,42 @@ class DenseSurrogateEngine(SurrogateEngine):
         if self._transient:
             raise RuntimeError("cannot apply a permanent flip with transient flips pending")
         self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
+        self._permanent.append((u, v))
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return np.flatnonzero(self._adjacency[int(u)]).astype(np.intp)
+
+    def node_features(self) -> tuple[np.ndarray, np.ndarray]:
+        from repro.graph.features import egonet_features
+
+        return egonet_features(self._adjacency)
+
+    def checkpoint(self) -> int:
+        return len(self._permanent)
+
+    def restore(self, token: int) -> None:
+        if not 0 <= token <= len(self._permanent):
+            raise ValueError(
+                f"invalid checkpoint token {token}; {len(self._permanent)} "
+                "permanent flips applied"
+            )
+        dirty = bool(self._transient)
+        if dirty:
+            # an attack died mid-probe — unwind its transient flips first
+            self.pop_flips(len(self._transient))
+        if token < len(self._permanent):
+            dirty = True
+            while len(self._permanent) > token:
+                u, v = self._permanent.pop()
+                self._adjacency[u, v] = self._adjacency[v, u] = (
+                    1.0 - self._adjacency[u, v]
+                )
+        if dirty:
+            self._refresh_pair_cache()
+            self._on_state_reset()
+
+    def _on_state_reset(self) -> None:
+        self._frozen = None
 
 
 class SparseSurrogateEngine(SurrogateEngine):
@@ -855,7 +979,39 @@ class SparseSurrogateEngine(SurrogateEngine):
         )
 
     def _pair_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        return self._features.edge_values(rows, cols)
+        # Vectorised membership against the cached CSR plus the (tiny) net
+        # overlay — a Python per-pair set lookup here was a measurable
+        # per-job fixed cost at campaign scale (|C| ≈ n per retarget).
+        if rows.size == 0:
+            return np.empty(0, dtype=np.float64)
+        base, delta = self._features.csr_with_delta()
+        n = self.n
+        pair_keys = rows * n + cols
+        if not base.has_sorted_indices:
+            base.sort_indices()
+        # Row-major CSR keys are strictly increasing, so membership is one
+        # C-level binary search instead of a hash-based isin.
+        edge_keys = (
+            np.repeat(np.arange(n, dtype=np.intp), np.diff(base.indptr)) * n
+            + base.indices
+        )
+        positions = np.searchsorted(edge_keys, pair_keys)
+        positions_clipped = np.minimum(positions, max(edge_keys.size - 1, 0))
+        values = np.zeros(pair_keys.size, dtype=np.float64)
+        if edge_keys.size:
+            values[edge_keys[positions_clipped] == pair_keys] = 1.0
+        if delta:
+            sorter = None
+            if np.any(np.diff(pair_keys) < 0):
+                sorter = np.argsort(pair_keys, kind="stable")
+            for u, v, sign in delta:
+                key = u * n + v if u < v else v * n + u
+                pos = np.searchsorted(pair_keys, key, sorter=sorter)
+                if pos < len(pair_keys):
+                    idx = int(sorter[pos]) if sorter is not None else int(pos)
+                    if pair_keys[idx] == key:
+                        values[idx] = 1.0 if sign > 0 else 0.0
+        return values
 
     def current_loss(self) -> float:
         n_feature, e_feature = self._features.features()
@@ -929,11 +1085,19 @@ class SparseSurrogateEngine(SurrogateEngine):
         return float(loss), gradient
 
     def candidate_gradient(self) -> np.ndarray:
+        # Evaluated as (cached CSR + net overlay): the incremental features
+        # supply exact (N, E) for the current graph, and the few flips not
+        # yet folded into the CSR ride along as a Δ-overlay in the scatter —
+        # a greedy attack's per-step gradient does no CSR rebuild at all.
         features = self._features
-        return adjacency_gradient(
-            features.adjacency_csr(), self._targets,
-            floor=self.floor, weights=self._weights, ridge=self.ridge,
-            candidates=(self.rows, self.cols), features=features.features(),
+        base, delta = features.csr_with_delta()
+        n_feature, e_feature = features.features()
+        d_n, d_e = feature_gradients(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        return _scatter_pair_gradient(
+            base, d_n, d_e, self.rows, self.cols, delta=delta
         )
 
     def degrees(self) -> np.ndarray:
@@ -953,3 +1117,25 @@ class SparseSurrogateEngine(SurrogateEngine):
 
     def apply_flip(self, u: int, v: int) -> None:
         self._features.flip(u, v)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        neigh = self._features.neighbors(int(u))
+        return np.fromiter(sorted(neigh), dtype=np.intp, count=len(neigh))
+
+    def node_features(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._features.features()
+
+    def checkpoint(self) -> int:
+        return self._features.depth
+
+    def restore(self, token: int) -> None:
+        depth = self._features.depth
+        if not 0 <= token <= depth:
+            raise ValueError(
+                f"invalid checkpoint token {token}; flip stack depth is {depth}"
+            )
+        if token == depth:
+            return
+        self._features.rollback(depth - token)
+        self._refresh_pair_cache()
+        self._on_state_reset()

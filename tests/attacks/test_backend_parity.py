@@ -2,11 +2,17 @@
 PGD/greedy loop runs on the dense autograd engine or the sparse-incremental
 engine, and sparse inputs must stay sparse end-to-end."""
 
-import numpy as np
 import pytest
 from scipy import sparse
 
-from repro.attacks import BinarizedAttack, CandidateSet, ContinuousA, GradMaxSearch
+from repro.attacks import (
+    BinarizedAttack,
+    CandidateSet,
+    ContinuousA,
+    GradMaxSearch,
+    OddBallHeuristic,
+    RandomAttack,
+)
 from repro.graph.generators import barabasi_albert, erdos_renyi
 from repro.oddball.detector import OddBall
 
@@ -145,3 +151,55 @@ class TestGradMaxBackendParity:
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend"):
             GradMaxSearch(backend="gpu")
+
+
+class TestBaselineSparseParity:
+    """RandomAttack / OddBallHeuristic accept scipy-sparse input without
+    densifying, and reproduce the dense path's flips and losses exactly."""
+
+    @pytest.mark.parametrize("target_biased", [False, True])
+    def test_random_attack(self, graph_and_targets, target_biased):
+        graph, targets = graph_and_targets
+        csr = sparse.csr_matrix(graph.adjacency)
+        dense = RandomAttack(rng=13, target_biased=target_biased).attack(
+            graph.adjacency, targets, budget=5
+        )
+        sparse_result = RandomAttack(rng=13, target_biased=target_biased).attack(
+            csr, targets, budget=5
+        )
+        assert sparse.issparse(sparse_result.original)
+        assert sparse.issparse(sparse_result.poisoned())
+        assert dense.flips_by_budget == sparse_result.flips_by_budget
+        for b, loss in dense.surrogate_by_budget.items():
+            assert sparse_result.surrogate_by_budget[b] == pytest.approx(
+                loss, rel=1e-9
+            )
+
+    def test_random_attack_weighted(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        csr = sparse.csr_matrix(graph.adjacency)
+        weights = [2.0, 1.0, 0.5]
+        dense = RandomAttack(rng=13).attack(
+            graph.adjacency, targets, budget=4, target_weights=weights
+        )
+        sparse_result = RandomAttack(rng=13).attack(
+            csr, targets, budget=4, target_weights=weights
+        )
+        assert dense.flips_by_budget == sparse_result.flips_by_budget
+        for b, loss in dense.surrogate_by_budget.items():
+            assert sparse_result.surrogate_by_budget[b] == pytest.approx(
+                loss, rel=1e-9
+            )
+
+    def test_oddball_heuristic(self, graph_and_targets):
+        graph, targets = graph_and_targets
+        csr = sparse.csr_matrix(graph.adjacency)
+        dense = OddBallHeuristic(rng=13).attack(graph.adjacency, targets, budget=5)
+        sparse_result = OddBallHeuristic(rng=13).attack(csr, targets, budget=5)
+        assert sparse.issparse(sparse_result.original)
+        assert sparse.issparse(sparse_result.poisoned())
+        assert dense.flips_by_budget == sparse_result.flips_by_budget
+        for b, loss in dense.surrogate_by_budget.items():
+            assert sparse_result.surrogate_by_budget[b] == pytest.approx(
+                loss, rel=1e-9
+            )

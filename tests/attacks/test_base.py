@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.attacks.base import AttackResult, apply_flips, validate_targets
-from repro.graph.generators import erdos_renyi
 
 
 class TestValidateTargets:

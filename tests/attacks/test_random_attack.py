@@ -1,7 +1,6 @@
 """Tests for the random baseline attack."""
 
 import numpy as np
-import pytest
 
 from repro.attacks.random_attack import RandomAttack
 

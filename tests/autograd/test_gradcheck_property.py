@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.autograd import ops
 from repro.autograd.gradcheck import gradcheck
-from repro.autograd.tensor import Tensor
 
 
 def arrays(draw, shape, low=-2.0, high=2.0):

@@ -162,7 +162,6 @@ class TestApplyPairFlips:
         base = self._base()
         rows, cols = np.triu_indices(3, k=1)
         values = Tensor([0.25, 1.0, 0.0], requires_grad=True)
-        direction = 1.0 - 2.0 * base[rows, cols]
         fused = ops.apply_pair_flips(base, values, rows, cols)
         unfused = (
             Tensor(base)

@@ -1,6 +1,5 @@
 """Tests for dataset stand-ins and subgraph sampling."""
 
-import numpy as np
 import pytest
 
 from repro.graph.datasets import (

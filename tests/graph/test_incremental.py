@@ -185,3 +185,79 @@ class TestMaterialisation:
         engine = IncrementalEgonetFeatures(sparse.csr_matrix(graph.adjacency))
         engine.flip(0, 399)
         assert engine.adjacency_csr().nnz == int(graph.adjacency.sum()) + 2
+
+
+class TestIncrementalCsrFold:
+    """The cached CSR is folded incrementally, never rebuilt per flip."""
+
+    def test_fold_matches_rebuild_through_random_walk(self):
+        graph = erdos_renyi(40, 0.15, rng=9)
+        engine = IncrementalEgonetFeatures(graph)
+        rng = np.random.default_rng(3)
+        for step in range(30):
+            u, v = rng.choice(40, size=2, replace=False)
+            engine.flip(int(u), int(v))
+            if step % 3 == 0:  # materialise at irregular intervals
+                folded = engine.adjacency_csr()
+                np.testing.assert_array_equal(
+                    folded.toarray(), engine._rebuild_csr().toarray()
+                )
+            if step % 7 == 0 and engine.depth > 2:
+                engine.rollback(2)
+        np.testing.assert_array_equal(
+            engine.adjacency_csr().toarray(), engine._rebuild_csr().toarray()
+        )
+
+    def test_fold_after_rollback_past_materialised_state(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 1)
+        engine.flip(2, 3)
+        engine.adjacency_csr()  # materialise mid-stack
+        engine.rollback(2)
+        engine.flip(4, 5)
+        np.testing.assert_array_equal(
+            engine.adjacency_csr().toarray(), engine._rebuild_csr().toarray()
+        )
+
+    def test_folded_csr_is_binary_with_no_stored_zeros(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 1)  # delete or add
+        engine.flip(0, 1)  # and toggle straight back
+        engine.flip(5, 7)
+        csr = engine.adjacency_csr()
+        assert np.all(csr.data == 1.0)
+
+    def test_csr_with_delta_returns_cached_base_plus_overlay(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        base_before = engine.adjacency_csr()
+        engine.flip(0, 1)
+        engine.flip(2, 9)
+        base, delta = engine.csr_with_delta()
+        assert base is base_before  # the cache was NOT rebuilt
+        overlay = {(u, v): sign for u, v, sign in delta}
+        assert set(overlay) == {(0, 1), (2, 9)}
+        dense = base.toarray()
+        for (u, v), sign in overlay.items():
+            dense[u, v] += sign
+            dense[v, u] += sign
+        np.testing.assert_array_equal(dense, engine._rebuild_csr().toarray())
+
+    def test_csr_with_delta_folds_beyond_threshold(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.adjacency_csr()
+        engine.flip(0, 1)
+        engine.flip(2, 9)
+        base, delta = engine.csr_with_delta(max_delta=1)
+        assert delta == []
+        np.testing.assert_array_equal(
+            base.toarray(), engine._rebuild_csr().toarray()
+        )
+
+    def test_depth_tracks_flip_stack(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        assert engine.depth == 0
+        engine.flip(0, 1)
+        engine.flip(2, 3)
+        assert engine.depth == 2
+        engine.rollback(1)
+        assert engine.depth == 1
