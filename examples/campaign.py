@@ -113,6 +113,17 @@ def main() -> None:
     print(f"\nbest job: {best.job.attack} on target {list(best.job.targets)} "
           f"(tau {best.score_decrease:.1%}, flips {result.flips()})")
 
+    # 6. The same grid shards across worker processes (one engine per
+    #    worker) with bit-identical results — the multiplier for Fig. 4-
+    #    scale sweeps.  See benchmarks/bench_parallel_campaign.py and
+    #    `python -m repro.experiments.runner --workers N`.
+    from repro.attacks import ParallelCampaignExecutor
+
+    parallel = ParallelCampaignExecutor(graph, workers=2, backend="sparse").run(jobs)
+    assert [o.flips for o in parallel] == [o.flips for o in sweep]
+    print(f"parallel executor (2 workers): {len(parallel)} jobs, "
+          f"flips identical to the serial campaign")
+
 
 if __name__ == "__main__":
     main()

@@ -62,6 +62,13 @@ def main() -> None:
     #                           drops pairs joining a target to far-away
     #                           nodes — neither strategy contains the other,
     #                           and |C| grows with the ball size.
+    #    * "adaptive"         — starts as exactly target_incident and GROWS
+    #                           per step: every landed flip pulls its
+    #                           endpoints into the ball, admitting their
+    #                           incident pairs.  Reaches the neighbour-
+    #                           neighbour flips two_hop covers, but only
+    #                           around regions the optimiser actually
+    #                           visits, keeping |C| near-linear.
     #
     #    Restricting candidates can only shrink the search space, so expect a
     #    (usually tiny) loss in attack strength in exchange for the speedup.
@@ -144,8 +151,25 @@ def main() -> None:
         f"campaign: {len(sweep)} jobs in {sweep.seconds:.2f}s, "
         f"mean tau {sum(o.score_decrease for o in sweep) / len(sweep):.1%}"
     )
+
+    # 9. Parallel campaigns: shard the job grid across worker processes.
+    #
+    #    ParallelCampaignExecutor gives every worker its own engine (rebuilt
+    #    once from a pickled EngineSpec) and a shard of the job queue;
+    #    results are bit-identical to the serial campaign, and checkpoints
+    #    resume across different worker counts.  build_campaign() is the
+    #    one-line switch:
+    from repro.attacks import build_campaign
+
+    parallel_sweep = build_campaign(graph, workers=2).run(jobs)
+    assert [o.flips for o in parallel_sweep] == [o.flips for o in sweep]
+    print(
+        f"parallel campaign (2 workers): {len(parallel_sweep)} jobs, "
+        "flips identical to the serial run"
+    )
     #    See examples/campaign.py for the full multi-target λ-sweep
-    #    walkthrough, and --campaign-checkpoint on the experiment runner.
+    #    walkthrough, --workers / --campaign-checkpoint on the experiment
+    #    runner, and benchmarks/bench_parallel_campaign.py for scaling.
 
 
 if __name__ == "__main__":

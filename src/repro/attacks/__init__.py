@@ -11,9 +11,11 @@ from repro.attacks.campaign import (
     AttackCampaign,
     AttackJob,
     CampaignResult,
+    CheckpointStore,
     JobOutcome,
     grid_jobs,
 )
+from repro.attacks.executor import ParallelCampaignExecutor, build_campaign
 from repro.attacks.candidates import CANDIDATE_STRATEGIES, AdaptiveCandidateSet, CandidateSet
 from repro.attacks.constraints import (
     creates_singleton,
@@ -44,13 +46,16 @@ __all__ = [
     "CANDIDATE_STRATEGIES",
     "CampaignResult",
     "CandidateSet",
+    "CheckpointStore",
     "ContinuousA",
     "GradMaxSearch",
     "JobOutcome",
     "OddBallHeuristic",
+    "ParallelCampaignExecutor",
     "RandomAttack",
     "StructuralAttack",
     "apply_flips",
+    "build_campaign",
     "creates_singleton",
     "filter_valid_flips",
     "grid_jobs",

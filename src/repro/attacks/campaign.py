@@ -66,8 +66,10 @@ __all__ = [
     "AttackCampaign",
     "AttackJob",
     "CampaignResult",
+    "CheckpointStore",
     "ENGINE_ATTACKS",
     "JobOutcome",
+    "SHARED_ENGINE_ATTACKS",
     "grid_jobs",
 ]
 
@@ -87,13 +89,18 @@ def _registry() -> dict:
     return ATTACK_REGISTRY
 
 
-#: Attacks whose optimisation loop runs through a SurrogateEngine and can
-#: therefore share the campaign's engine (retarget + restore between jobs).
-#: The baselines run standalone per job; the campaign still scores them
-#: through the shared feature state.
+#: Attacks whose *optimisation loop* runs through a SurrogateEngine; their
+#: constructors take a ``backend`` parameter the campaign fills in.
 ENGINE_ATTACKS = frozenset(
     {BinarizedAttack.name, GradMaxSearch.name, ContinuousA.name}
 )
+
+#: Every attack that accepts an injected ``engine=`` in ``attack()`` — the
+#: gradient attacks plus the baselines (which use the shared engine as a
+#: graph-state backend: O(deg) probes and O(n) feature scoring instead of a
+#: per-job feature rebuild).  The campaign wraps all of them in
+#: checkpoint()/restore().
+SHARED_ENGINE_ATTACKS = ENGINE_ATTACKS | {"random", "oddball-heuristic"}
 
 _CHECKPOINT_VERSION = 1
 
@@ -143,6 +150,13 @@ class AttackJob:
         weights: "Sequence[float] | None" = None,
         **params,
     ) -> "AttackJob":
+        """Build a validated, canonicalised job spec.
+
+        ``attack`` must name a registered attack, ``candidates`` a strategy
+        name (or ``None``), and every extra keyword must be a constructor
+        parameter of that attack — all checked here, at grid-construction
+        time, so a 5000-job campaign cannot die on a typo at job 4997.
+        """
         registry = _registry()
         if attack not in registry:
             raise ValueError(
@@ -187,6 +201,7 @@ class AttackJob:
         return cached
 
     def to_dict(self) -> dict:
+        """JSON image of the spec (the checkpoint/transport encoding)."""
         return {
             "attack": self.attack,
             "targets": list(self.targets),
@@ -198,6 +213,7 @@ class AttackJob:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "AttackJob":
+        """Rebuild a job from :meth:`to_dict` output (same ``job_id``)."""
         return cls.make(
             payload["attack"],
             payload["targets"],
@@ -269,6 +285,7 @@ class JobOutcome:
 
     @property
     def job_id(self) -> str:
+        """Content hash of the producing job (the checkpoint key)."""
         return self.job.job_id
 
     @property
@@ -294,6 +311,7 @@ class JobOutcome:
         )
 
     def to_dict(self) -> dict:
+        """JSON image of the outcome (one checkpoint line)."""
         return {
             "job": self.job.to_dict(),
             "flips_by_budget": {
@@ -312,6 +330,7 @@ class JobOutcome:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
         return cls(
             job=AttackJob.from_dict(payload["job"]),
             flips_by_budget={
@@ -350,12 +369,14 @@ class CampaignResult:
         return iter(self.outcomes)
 
     def outcome(self, job: "AttackJob | str") -> JobOutcome:
+        """Outcome for a job (or raw job id); raises ``KeyError`` if absent."""
         job_id = job.job_id if isinstance(job, AttackJob) else job
         if job_id not in self._by_id:
             raise KeyError(f"no outcome recorded for job {job_id}")
         return self._by_id[job_id]
 
     def to_dict(self) -> dict:
+        """JSON image of the whole campaign result."""
         return {
             "backend": self.backend,
             "n": self.n,
@@ -366,6 +387,7 @@ class CampaignResult:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignResult":
+        """Rebuild a result from :meth:`to_dict` output."""
         return cls(
             outcomes=[JobOutcome.from_dict(o) for o in payload["outcomes"]],
             backend=payload["backend"],
@@ -373,6 +395,170 @@ class CampaignResult:
             seconds=float(payload["seconds"]),
             resumed_jobs=int(payload.get("resumed_jobs", 0)),
         )
+
+
+def _normalize_graph(graph):
+    """Validated adjacency (dense ndarray or tagged CSR) from any input."""
+    if isinstance(graph, Graph):
+        return np.array(graph.adjacency_view, dtype=np.float64)
+    if sparse.issparse(graph):
+        return to_sparse(graph)
+    return check_adjacency(np.asarray(graph, dtype=np.float64))
+
+
+def graph_fingerprint(adjacency, backend: str) -> str:
+    """Cheap content hash tying a checkpoint to one (graph, backend).
+
+    The parent executor, every worker and the serial campaign all derive
+    the same fingerprint from the same graph, which is what lets shard
+    files and the merged checkpoint validate against each other.
+    """
+    digest = hashlib.sha1()
+    digest.update(f"{backend}:{adjacency.shape[0]}:".encode())
+    if sparse.issparse(adjacency):
+        coo = adjacency.tocoo()
+        digest.update(np.ascontiguousarray(coo.row).tobytes())
+        digest.update(np.ascontiguousarray(coo.col).tobytes())
+    else:
+        digest.update(np.ascontiguousarray(adjacency).tobytes())
+    return digest.hexdigest()
+
+
+def validate_jobs(jobs: Iterable[AttackJob], n: int) -> list[AttackJob]:
+    """Check a job list (types, duplicate specs, target ranges) up front.
+
+    Shared by the serial campaign and the parallel executor so both reject
+    exactly the same malformed grids before any work starts.
+    """
+    jobs = list(jobs)
+    seen: set[str] = set()
+    for job in jobs:
+        if not isinstance(job, AttackJob):
+            raise TypeError(f"jobs must be AttackJob instances, got {type(job)}")
+        if job.job_id in seen:
+            raise ValueError(f"duplicate job in campaign: {job.to_dict()}")
+        seen.add(job.job_id)
+        validate_targets(job.targets, n)
+    return jobs
+
+
+class CheckpointStore:
+    """One JSONL campaign checkpoint file: a header plus one outcome per line.
+
+    Format (version 1)::
+
+        {"version": 1, "fingerprint": ..., "backend": ..., "n": ...}
+        {"job": {...}, "flips_by_budget": {...}, ...}      # one per job
+        ...
+
+    The header ties the file to one (graph, backend); outcome lines are
+    keyed by the deterministic :attr:`AttackJob.job_id` content hash, so
+    load order — and therefore *who* wrote each line — is irrelevant.  That
+    property is what makes the parallel executor's per-worker shard files
+    mergeable into this same format: a shard is just a checkpoint whose
+    lines happen to come from one worker, and ``resume`` works across runs
+    with different worker counts.
+
+    Appends are O(1) per job (never a rewrite); a trailing line torn by a
+    hard kill is skipped on load and overwritten safely on the next append,
+    costing exactly that one job.
+    """
+
+    def __init__(self, path: "Path | str", fingerprint: str, backend: str, n: int):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.backend = backend
+        self.n = int(n)
+
+    def exists(self) -> bool:
+        """Whether the checkpoint file is present on disk."""
+        return self.path.exists()
+
+    def load(self) -> dict[str, JobOutcome]:
+        """Completed outcomes keyed by job id ({} when the file is absent)."""
+        if not self.path.exists():
+            return {}
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"checkpoint {self.path} has a corrupt header; "
+                "delete it to start the campaign fresh"
+            ) from error
+        if header.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {self.path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ValueError(
+                f"checkpoint {self.path} was written for a different "
+                "graph/backend; delete it or point the campaign elsewhere"
+            )
+        outcomes: dict[str, JobOutcome] = {}
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                # a record torn by a hard kill — appends after a tear start
+                # a fresh line, so only the torn record itself is lost
+                _log.warning(
+                    "checkpoint %s has a truncated entry; ignoring that job",
+                    self.path,
+                )
+                continue
+            outcome = JobOutcome.from_dict(payload)
+            outcomes[outcome.job_id] = outcome
+        return outcomes
+
+    def append(self, outcome: JobOutcome) -> None:
+        """Append one completed job (O(1); creates file + header on demand)."""
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "version": _CHECKPOINT_VERSION,
+                "fingerprint": self.fingerprint,
+                "backend": self.backend,
+                "n": self.n,
+            }
+            self.path.write_text(json.dumps(header) + "\n")
+        # A hard kill can leave the previous append torn WITHOUT a trailing
+        # newline; appending straight after it would glue two records into
+        # one unparsable line and lose the glued-on job too.  Start a fresh
+        # line whenever the file does not end in one, so a tear costs
+        # exactly the torn record.
+        with self.path.open("rb") as reader:
+            reader.seek(-1, 2)
+            ends_with_newline = reader.read(1) == b"\n"
+        with self.path.open("ab") as handle:
+            if not ends_with_newline:
+                handle.write(b"\n")
+            handle.write((json.dumps(outcome.to_dict()) + "\n").encode())
+
+    def merge_from(self, other: "CheckpointStore") -> int:
+        """Fold another store's outcomes into this file; returns new-job count.
+
+        The parallel executor's parent calls this per worker shard: shard
+        outcomes whose job ids the main checkpoint already holds are
+        skipped (idempotent — re-merging after a crash never duplicates),
+        the rest are appended in the standard O(1)-per-line way.
+        """
+        if not other.exists():
+            return 0
+        mine = self.load()
+        added = 0
+        for job_id, outcome in other.load().items():
+            if job_id in mine:
+                continue
+            self.append(outcome)
+            added += 1
+        return added
 
 
 class AttackCampaign:
@@ -400,6 +586,12 @@ class AttackCampaign:
         Record per-target rank shifts (clean rank → poisoned rank under a
         full re-score).  One O(n log n) argsort per job; disable for pure
         flip-set sweeps where only the flips matter.
+    engine:
+        Optional pre-built :class:`SurrogateEngine` to run every job on —
+        the parallel executor's workers pass the engine they rebuilt from
+        an :class:`~repro.oddball.surrogate.EngineSpec`.  Must match the
+        campaign's resolved backend and graph size; ``None`` (the default)
+        builds one lazily from the graph.
 
     Example
     -------
@@ -421,21 +613,28 @@ class AttackCampaign:
         backend: str = "auto",
         checkpoint_path: "Path | str | None" = None,
         compute_ranks: bool = True,
+        engine: "SurrogateEngine | None" = None,
     ):
         validate_backend(backend)
-        if isinstance(graph, Graph):
-            self._original = np.array(graph.adjacency_view, dtype=np.float64)
-        elif sparse.issparse(graph):
-            self._original = to_sparse(graph)
-        else:
-            self._original = check_adjacency(np.asarray(graph, dtype=np.float64))
+        self._original = _normalize_graph(graph)
         self.backend = resolve_backend(backend, self._original)
         self.n = int(self._original.shape[0])
         self.checkpoint_path = (
             None if checkpoint_path is None else Path(checkpoint_path)
         )
         self.compute_ranks = compute_ranks
-        self._engine: "SurrogateEngine | None" = None
+        if engine is not None:
+            if engine.backend != self.backend:
+                raise ValueError(
+                    f"injected engine backend {engine.backend!r} does not match "
+                    f"the campaign's resolved backend {self.backend!r}"
+                )
+            if engine.n != self.n:
+                raise ValueError(
+                    f"injected engine addresses {engine.n} nodes "
+                    f"but the campaign graph has {self.n}"
+                )
+        self._engine = engine
         self._clean_scores: "np.ndarray | None" = None
         self._clean_ranks: "np.ndarray | None" = None
         self._fingerprint_cache: "str | None" = None
@@ -445,17 +644,9 @@ class AttackCampaign:
     # ------------------------------------------------------------------ #
     def run(self, jobs: Iterable[AttackJob]) -> CampaignResult:
         """Execute every job (skipping checkpointed ones); ordered result."""
-        jobs = list(jobs)
-        seen: set[str] = set()
-        for job in jobs:
-            if not isinstance(job, AttackJob):
-                raise TypeError(f"jobs must be AttackJob instances, got {type(job)}")
-            if job.job_id in seen:
-                raise ValueError(f"duplicate job in campaign: {job.to_dict()}")
-            seen.add(job.job_id)
-            validate_targets(job.targets, self.n)
-
-        completed = self._load_checkpoint()
+        jobs = validate_jobs(jobs, self.n)
+        store = self.checkpoint_store()
+        completed = {} if store is None else store.load()
         resumed = sum(1 for job in jobs if job.job_id in completed)
         if resumed:
             _log.info("resuming campaign: %d/%d jobs checkpointed", resumed, len(jobs))
@@ -465,7 +656,8 @@ class AttackCampaign:
                 continue
             outcome = self._run_job(job)
             completed[job.job_id] = outcome
-            self._append_checkpoint(outcome)
+            if store is not None:
+                store.append(outcome)
             _log.debug(
                 "job %d/%d (%s) done in %.3fs: tau=%.3f",
                 index + 1, len(jobs), job.attack, outcome.seconds,
@@ -484,10 +676,11 @@ class AttackCampaign:
     # Single job
     # ------------------------------------------------------------------ #
     def _run_job(self, job: AttackJob) -> JobOutcome:
+        """Run one job on the shared engine, restoring it afterwards."""
         attack = job.build_attack(self.backend)
         engine = self._ensure_engine(job)
         start = time.perf_counter()
-        if job.attack in ENGINE_ATTACKS:
+        if job.attack in SHARED_ENGINE_ATTACKS:
             token = engine.checkpoint()
             try:
                 result = attack.attack(
@@ -525,6 +718,7 @@ class AttackCampaign:
         )
 
     def _ensure_engine(self, job: AttackJob) -> SurrogateEngine:
+        """The shared engine (built lazily unless one was injected)."""
         if self._engine is None:
             # Created with an EMPTY candidate set: each job retargets with
             # its own pairs, and ``None`` here would materialise all
@@ -536,6 +730,7 @@ class AttackCampaign:
                 empty,
                 backend=self.backend,
             )
+        if self._clean_scores is None:
             n_feature, e_feature = self._engine.node_features()
             self._clean_scores = score_from_features(
                 n_feature, e_feature, fit_power_law(n_feature, e_feature)
@@ -573,87 +768,15 @@ class AttackCampaign:
     # Checkpointing
     # ------------------------------------------------------------------ #
     def _fingerprint(self) -> str:
-        """Cheap content hash tying a checkpoint to one (graph, backend)."""
-        if self._fingerprint_cache is not None:
-            return self._fingerprint_cache
-        digest = hashlib.sha1()
-        digest.update(f"{self.backend}:{self.n}:".encode())
-        if sparse.issparse(self._original):
-            coo = self._original.tocoo()
-            digest.update(np.ascontiguousarray(coo.row).tobytes())
-            digest.update(np.ascontiguousarray(coo.col).tobytes())
-        else:
-            digest.update(np.ascontiguousarray(self._original).tobytes())
-        self._fingerprint_cache = digest.hexdigest()
+        """Graph/backend content hash (cached; see :func:`graph_fingerprint`)."""
+        if self._fingerprint_cache is None:
+            self._fingerprint_cache = graph_fingerprint(self._original, self.backend)
         return self._fingerprint_cache
 
-    def _load_checkpoint(self) -> dict[str, JobOutcome]:
-        if self.checkpoint_path is None or not self.checkpoint_path.exists():
-            return {}
-        lines = self.checkpoint_path.read_text().splitlines()
-        if not lines:
-            return {}
-        try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError as error:
-            raise ValueError(
-                f"checkpoint {self.checkpoint_path} has a corrupt header; "
-                "delete it to start the campaign fresh"
-            ) from error
-        if header.get("version") != _CHECKPOINT_VERSION:
-            raise ValueError(
-                f"checkpoint {self.checkpoint_path} has unsupported version "
-                f"{header.get('version')!r}"
-            )
-        if header.get("fingerprint") != self._fingerprint():
-            raise ValueError(
-                f"checkpoint {self.checkpoint_path} was written for a different "
-                "graph/backend; delete it or point the campaign elsewhere"
-            )
-        outcomes: dict[str, JobOutcome] = {}
-        for line in lines[1:]:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                # a record torn by a hard kill — appends after a tear start
-                # a fresh line, so only the torn record itself is lost
-                _log.warning(
-                    "checkpoint %s has a truncated entry; ignoring that job",
-                    self.checkpoint_path,
-                )
-                continue
-            outcome = JobOutcome.from_dict(payload)
-            outcomes[outcome.job_id] = outcome
-        return outcomes
-
-    def _append_checkpoint(self, outcome: JobOutcome) -> None:
-        """Append one completed job to the JSONL checkpoint (O(1) per job)."""
+    def checkpoint_store(self) -> "CheckpointStore | None":
+        """The campaign's :class:`CheckpointStore` (``None`` when disabled)."""
         if self.checkpoint_path is None:
-            return
-        if (
-            not self.checkpoint_path.exists()
-            or self.checkpoint_path.stat().st_size == 0
-        ):
-            self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
-            header = {
-                "version": _CHECKPOINT_VERSION,
-                "fingerprint": self._fingerprint(),
-                "backend": self.backend,
-                "n": self.n,
-            }
-            self.checkpoint_path.write_text(json.dumps(header) + "\n")
-        # A hard kill can leave the previous append torn WITHOUT a trailing
-        # newline; appending straight after it would glue two records into
-        # one unparsable line and lose the glued-on job too.  Start a fresh
-        # line whenever the file does not end in one, so a tear costs
-        # exactly the torn record.
-        with self.checkpoint_path.open("rb") as reader:
-            reader.seek(-1, 2)
-            ends_with_newline = reader.read(1) == b"\n"
-        with self.checkpoint_path.open("ab") as handle:
-            if not ends_with_newline:
-                handle.write(b"\n")
-            handle.write((json.dumps(outcome.to_dict()) + "\n").encode())
+            return None
+        return CheckpointStore(
+            self.checkpoint_path, self._fingerprint(), self.backend, self.n
+        )

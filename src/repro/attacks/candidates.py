@@ -377,6 +377,13 @@ class AdaptiveCandidateSet(CandidateSet):
         )
 
     def refresh(self, flips: "Sequence[Edge]", engine=None) -> "CandidateSet":
+        """Grow the ball with the endpoints of ``flips``; returns a new set.
+
+        O(Σ_{w new} deg(w) + |C| log |C|) per call; ``self`` is returned
+        unchanged when no flip endpoint is new.  The result is always a
+        superset of the current set (the invariant
+        :meth:`CandidateSet.remap_positions` relies on).
+        """
         new_nodes = sorted(
             {int(w) for pair in flips for w in pair} - self.ball
         )

@@ -35,7 +35,7 @@ from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
 from repro.graph.incremental import IncrementalEgonetFeatures
 from repro.oddball.regression import fit_power_law
-from repro.oddball.surrogate import surrogate_loss_from_features
+from repro.oddball.surrogate import SurrogateEngine, surrogate_loss_from_features
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_budget
@@ -45,6 +45,44 @@ __all__ = ["OddBallHeuristic"]
 _log = get_logger("attacks.heuristic")
 
 Edge = tuple[int, int]
+
+
+class _EngineState:
+    """Adapter running the heuristic's loop on a shared surrogate engine.
+
+    Presents the same graph-state surface as
+    :class:`IncrementalEgonetFeatures` (``features``/``neighbors``/
+    ``is_edge``/``degree``/``flip``), but applies every flip *transiently*
+    on the injected engine and pops them all in :meth:`unwind` — the shared
+    engine leaves the attack exactly as it entered.  Used with the sparse
+    backend only, whose maintained features are exactly the integers the
+    incremental engine computes, so flips and losses match the standalone
+    path bit-for-bit.
+    """
+
+    def __init__(self, engine: SurrogateEngine):
+        self._engine = engine
+        self._pushed = 0
+
+    def features(self):
+        return self._engine.node_features()
+
+    def neighbors(self, u: int) -> "list[int]":
+        return [int(x) for x in self._engine.neighbors(u)]
+
+    def is_edge(self, u: int, v: int) -> bool:
+        return self._engine.is_edge(u, v)
+
+    def degree(self, u: int) -> float:
+        return self._engine.degree(u)
+
+    def flip(self, u: int, v: int) -> None:
+        self._engine.push_flip(u, v)
+        self._pushed += 1
+
+    def unwind(self) -> None:
+        self._engine.pop_flips(self._pushed)
+        self._pushed = 0
 
 
 class OddBallHeuristic(StructuralAttack):
@@ -77,7 +115,9 @@ class OddBallHeuristic(StructuralAttack):
         budget: int,
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
+        engine: "SurrogateEngine | None" = None,
     ) -> AttackResult:
+        """Greedily move each target's (N, E) point toward the fitted line."""
         adjacency = self._adjacency_of(graph, allow_sparse=True)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
@@ -92,33 +132,47 @@ class OddBallHeuristic(StructuralAttack):
             else candidate_set.pair_set()
         )
 
-        features = IncrementalEgonetFeatures(adjacency)
+        # An injected shared SPARSE engine (campaign/executor path) replaces
+        # the per-call feature build — its maintained (N, E) are exactly the
+        # incremental engine's, O(deg) per flip.  A dense engine is declined:
+        # its node_features() is a full recompute per step, which would make
+        # shared-engine jobs *slower* than the standalone build below, and
+        # this gradient-free heuristic gains nothing else from it.
+        state = (
+            _EngineState(engine)
+            if engine is not None and engine.backend == "sparse"
+            else IncrementalEgonetFeatures(adjacency)
+        )
         modified: set[Edge] = set()
         ordered_flips: list[Edge] = []
         surrogate_by_budget = {
             0: surrogate_loss_from_features(
-                *features.features(), targets, weights=target_weights
+                *state.features(), targets, weights=target_weights
             )
         }
 
-        for _ in range(budget):
-            flip = self._best_step(features, targets, modified, generator, allowed)
-            if flip is None:
-                if not ordered_flips and allowed is not None:
-                    _log.warning(
-                        "candidate restriction (%s, %d pairs) excludes every "
-                        "neighbour-pair flip the heuristic can make; use "
-                        "'two_hop' or a custom set instead",
-                        candidate_set.strategy,
-                        len(candidate_set),
-                    )
-                break
-            features.flip(*flip)
-            modified.add(flip)
-            ordered_flips.append(flip)
-            surrogate_by_budget[len(ordered_flips)] = surrogate_loss_from_features(
-                *features.features(), targets, weights=target_weights
-            )
+        try:
+            for _ in range(budget):
+                flip = self._best_step(state, targets, modified, generator, allowed)
+                if flip is None:
+                    if not ordered_flips and allowed is not None:
+                        _log.warning(
+                            "candidate restriction (%s, %d pairs) excludes every "
+                            "neighbour-pair flip the heuristic can make; use "
+                            "'two_hop' or a custom set instead",
+                            candidate_set.strategy,
+                            len(candidate_set),
+                        )
+                    break
+                state.flip(*flip)
+                modified.add(flip)
+                ordered_flips.append(flip)
+                surrogate_by_budget[len(ordered_flips)] = surrogate_loss_from_features(
+                    *state.features(), targets, weights=target_weights
+                )
+        finally:
+            if isinstance(state, _EngineState):
+                state.unwind()
 
         return self._prefix_result(
             self.name,
@@ -137,7 +191,7 @@ class OddBallHeuristic(StructuralAttack):
     # ------------------------------------------------------------------ #
     def _best_step(
         self,
-        features: IncrementalEgonetFeatures,
+        features: "IncrementalEgonetFeatures | _EngineState",
         targets: Sequence[int],
         modified: "set[Edge]",
         generator,

@@ -14,7 +14,11 @@ from scipy import sparse
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import filter_valid_flips, filter_valid_flips_engine
-from repro.oddball.surrogate import SurrogateEngine, surrogate_loss_numpy
+from repro.oddball.surrogate import (
+    SurrogateEngine,
+    surrogate_loss_from_features,
+    surrogate_loss_numpy,
+)
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_budget
 
@@ -35,6 +39,13 @@ class RandomAttack(StructuralAttack):
     :class:`~repro.oddball.surrogate.SparseSurrogateEngine` (O(deg) probes,
     O(n) scoring) instead of a dense scratch matrix, and produce the exact
     same flips/losses as the dense path on the same graph (parity-tested).
+
+    An injected shared ``engine`` (the campaign/executor path) is used as a
+    pure *graph-state backend* — O(deg) validity probes and O(n)
+    feature-space loss bookkeeping, with every transient flip popped before
+    returning — so campaign workers amortise the per-job feature rebuild
+    for this baseline exactly as they do for the gradient attacks, with
+    flips and losses identical to a standalone call (parity-tested).
     """
 
     name = "random"
@@ -50,7 +61,9 @@ class RandomAttack(StructuralAttack):
         budget: int,
         target_weights: "Sequence[float] | None" = None,
         candidates: "CandidateSet | str | None" = None,
+        engine: "SurrogateEngine | None" = None,
     ) -> AttackResult:
+        """Flip uniformly-random valid pairs from the candidate set."""
         adjacency = self._adjacency_of(graph, allow_sparse=True)
         n = adjacency.shape[0]
         targets = validate_targets(targets, n)
@@ -65,7 +78,11 @@ class RandomAttack(StructuralAttack):
         order = generator.permutation(len(pairs))
         shuffled = [pairs[i] for i in order]
 
-        if sparse.issparse(adjacency):
+        if engine is not None:
+            ordered_flips, surrogate_by_budget = self._via_engine(
+                engine, shuffled, budget, targets, target_weights
+            )
+        elif sparse.issparse(adjacency):
             engine = SurrogateEngine.create(
                 adjacency, targets, candidate_set,
                 backend="sparse", weights=target_weights,
@@ -98,3 +115,32 @@ class RandomAttack(StructuralAttack):
                 "candidate_count": len(candidate_set),
             },
         )
+
+    @staticmethod
+    def _via_engine(
+        engine: SurrogateEngine,
+        shuffled,
+        budget: int,
+        targets: Sequence[int],
+        target_weights: "Sequence[float] | None",
+    ) -> "tuple[list, dict[int, float]]":
+        """Validity pass + prefix losses on an injected shared engine.
+
+        Losses come from :func:`surrogate_loss_from_features` at the
+        default floor/ridge, independent of whatever configuration a
+        previous campaign job left on the engine — bit-identical to the
+        standalone dense and sparse paths on the same graph.
+        """
+        ordered_flips = filter_valid_flips_engine(engine, shuffled, limit=budget)
+        surrogate_by_budget = {
+            0: surrogate_loss_from_features(
+                *engine.node_features(), targets, weights=target_weights
+            )
+        }
+        for b, (u, v) in enumerate(ordered_flips, start=1):
+            engine.push_flip(u, v)
+            surrogate_by_budget[b] = surrogate_loss_from_features(
+                *engine.node_features(), targets, weights=target_weights
+            )
+        engine.pop_flips(len(ordered_flips))
+        return ordered_flips, surrogate_by_budget

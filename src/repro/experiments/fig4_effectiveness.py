@@ -20,7 +20,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.attacks.campaign import AttackCampaign, AttackJob
+from repro.attacks.campaign import AttackJob
+from repro.attacks.executor import build_campaign
 from repro.experiments.common import (
     attack_suite_params,
     format_table,
@@ -57,6 +58,7 @@ def run(
     backend: str = "auto",
     candidates: "str | None" = None,
     campaign_checkpoint: "Path | str | None" = None,
+    workers: int = 1,
 ) -> dict:
     """Sweep every panel; returns per-panel series (mean over repeats).
 
@@ -71,6 +73,12 @@ def run(
     ``campaign_checkpoint`` names a directory: each panel's campaign then
     persists completed jobs to ``fig4_<panel>.json`` there, and an
     interrupted sweep resumes from the last completed job.
+
+    ``workers > 1`` drains each panel's job grid through a
+    :class:`~repro.attacks.executor.ParallelCampaignExecutor` (one engine
+    per worker process, sharded job queue) — results are bit-identical to
+    the serial campaign, and checkpoints interoperate across worker
+    counts.
     """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
@@ -107,9 +115,9 @@ def run(
         checkpoint_path = None
         if campaign_checkpoint is not None:
             checkpoint_path = Path(campaign_checkpoint) / f"fig4_{panel_name}.json"
-        campaign = AttackCampaign(
+        campaign = build_campaign(
             graph, backend=backend, checkpoint_path=checkpoint_path,
-            compute_ranks=False,
+            compute_ranks=False, workers=workers,
         )
         sweep = campaign.run(unique_jobs.values())
 
@@ -153,6 +161,7 @@ def run(
         "seed": seed,
         "backend": backend,
         "candidates": candidates,
+        "workers": workers,
         "panels": results,
     }
 

@@ -27,6 +27,14 @@ resumes from the last completed job::
     python -m repro.experiments.runner -e fig4 --scale paper \
         --campaign-checkpoint results/checkpoints/
 
+``--workers N`` shards the campaign-driven sweeps (fig4, table1) across N
+worker processes — one surrogate engine per worker, results bit-identical
+to the serial run, and checkpoints that resume across *different* worker
+counts::
+
+    python -m repro.experiments.runner -e fig4 --scale paper \
+        --backend sparse --workers 4
+
 Drivers that do not run attacks ignore these flags.
 """
 
@@ -78,12 +86,13 @@ def run_experiment(
     backend: str = "auto",
     candidates: "str | None" = None,
     campaign_checkpoint: "Path | None" = None,
+    workers: int = 1,
 ) -> tuple[dict, str]:
     """Run one experiment; returns (payload, formatted text).
 
-    ``backend``, ``candidates`` and ``campaign_checkpoint`` are forwarded
-    to drivers that accept them (the attack-driven figures); the rest run
-    unchanged.
+    ``backend``, ``candidates``, ``campaign_checkpoint`` and ``workers``
+    are forwarded to drivers that accept them (the attack-driven figures);
+    the rest run unchanged.
     """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
@@ -96,6 +105,8 @@ def run_experiment(
         kwargs["candidates"] = candidates
     if "campaign_checkpoint" in parameters and campaign_checkpoint is not None:
         kwargs["campaign_checkpoint"] = campaign_checkpoint
+    if "workers" in parameters and workers != 1:
+        kwargs["workers"] = workers
     payload = run_fn(scale=scale, seed=seed, **kwargs)
     text = format_fn(payload)
     if output_dir is not None:
@@ -135,6 +146,9 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--campaign-checkpoint", type=Path, default=None,
                         help="directory for resumable per-panel campaign "
                              "checkpoints (campaign-driven sweeps only)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the campaign-driven sweeps "
+                             "(1 = serial; results are identical either way)")
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON/text dumps")
     args = parser.parse_args(argv)
 
@@ -153,6 +167,7 @@ def main(argv: "list[str] | None" = None) -> int:
             backend=args.backend,
             candidates=args.candidates,
             campaign_checkpoint=args.campaign_checkpoint,
+            workers=args.workers,
         )
         print(text)
         print()

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.campaign import AttackCampaign, grid_jobs
+from repro.attacks.campaign import grid_jobs
+from repro.attacks.executor import build_campaign
 from repro.experiments.common import format_table, load_experiment_graph
 from repro.experiments.config import CI, Scale
 from repro.graph.datasets import DATASET_NAMES, dataset_statistics
@@ -34,8 +35,13 @@ PAPER_TABLE_I = {
 ATTACK_TARGETS = 3
 
 
-def run(scale: Scale = CI, seed: int = 7) -> dict:
-    """Generate all five graphs; collect statistics + attackability."""
+def run(scale: Scale = CI, seed: int = 7, workers: int = 1) -> dict:
+    """Generate all five graphs; collect statistics + attackability.
+
+    ``workers > 1`` runs each dataset's attackability sweep through the
+    parallel campaign executor (bit-identical outcomes, sharded across
+    worker processes).
+    """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
     rows = []
@@ -50,7 +56,7 @@ def run(scale: Scale = CI, seed: int = 7) -> dict:
         graph = dataset.graph
         budget = scale.budgets_for(graph.number_of_edges)[0]
         targets = detector.analyze(graph).top_k(ATTACK_TARGETS).tolist()
-        campaign = AttackCampaign(graph)
+        campaign = build_campaign(graph, workers=workers)
         sweep = campaign.run(
             grid_jobs(
                 "gradmaxsearch",

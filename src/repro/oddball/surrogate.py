@@ -69,6 +69,7 @@ from repro.oddball.regression import DEFAULT_RIDGE, fit_power_law_tensor
 __all__ = [
     "AUTO_SPARSE_NODE_THRESHOLD",
     "DenseSurrogateEngine",
+    "EngineSpec",
     "SURROGATE_BACKENDS",
     "SparseSurrogateEngine",
     "SurrogateEngine",
@@ -268,6 +269,7 @@ def feature_gradients(
     d_x[targets] += d_rho * beta1
 
     def clamp_chain(feature: np.ndarray, clamped: np.ndarray) -> np.ndarray:
+        """∂(log max(f, floor))/∂f with the autograd tie-split at the floor."""
         wins = (feature > floor).astype(np.float64)
         tie = (feature == floor).astype(np.float64) * 0.5
         return (wins + tie) / clamped
@@ -517,6 +519,93 @@ def resolve_backend(backend: str, graph) -> str:
     return "sparse" if n >= AUTO_SPARSE_NODE_THRESHOLD else "dense"
 
 
+class EngineSpec(NamedTuple):
+    """Picklable recipe for rebuilding a :class:`SurrogateEngine`.
+
+    The parallel campaign executor ships one spec to every worker process;
+    each worker calls :meth:`build` once and drains its whole job shard on
+    the resulting engine.  The payload is the *graph itself* (dense array
+    bytes or CSR component arrays) plus the scalar engine configuration —
+    everything a child process needs, nothing it can recompute.
+
+    Attributes
+    ----------
+    backend : str
+        Resolved backend name (``"dense"`` or ``"sparse"`` — never
+        ``"auto"``, so every worker builds the identical engine class).
+    kind : str
+        Graph payload encoding: ``"dense"`` (one ndarray) or ``"csr"``
+        (``(data, indices, indptr, shape)`` component tuple).
+    payload : tuple
+        The encoded graph arrays.
+    floor : float
+        Log-clamp floor the engine was (or will be) configured with.
+    ridge : float
+        Ridge term of the closed-form power-law fit.
+    """
+
+    backend: str
+    kind: str
+    payload: tuple
+    floor: float
+    ridge: float
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph,
+        *,
+        backend: str = "auto",
+        floor: float = 1.0,
+        ridge: float = DEFAULT_RIDGE,
+    ) -> "EngineSpec":
+        """Capture a graph (dense array or scipy sparse) as an engine spec.
+
+        ``backend="auto"`` is resolved against the graph here, once, so
+        every consumer of the spec agrees on the engine class.
+        """
+        resolved = resolve_backend(backend, graph)
+        if _sparse.issparse(graph):
+            csr = graph.tocsr()
+            payload = (
+                np.asarray(csr.data, dtype=np.float64),
+                np.asarray(csr.indices),
+                np.asarray(csr.indptr),
+                csr.shape,
+            )
+            kind = "csr"
+        else:
+            if hasattr(graph, "adjacency_view"):
+                graph = graph.adjacency_view
+            payload = (np.array(graph, dtype=np.float64, copy=True),)
+            kind = "dense"
+        return cls(
+            backend=resolved, kind=kind, payload=payload,
+            floor=float(floor), ridge=float(ridge),
+        )
+
+    def to_graph(self):
+        """Materialise the graph payload (ndarray or ``csr_matrix``)."""
+        if self.kind == "dense":
+            return np.array(self.payload[0], copy=True)
+        if self.kind == "csr":
+            data, indices, indptr, shape = self.payload
+            return _sparse.csr_matrix((data, indices, indptr), shape=shape)
+        raise ValueError(f"unknown engine-spec payload kind {self.kind!r}")
+
+    def build(
+        self,
+        targets: Sequence[int],
+        candidates=None,
+        weights: "Sequence[float] | None" = None,
+    ) -> "SurrogateEngine":
+        """Construct the engine this spec describes (alias of
+        :meth:`SurrogateEngine.from_spec`)."""
+        return SurrogateEngine.from_spec(
+            self, targets, candidates=candidates, weights=weights
+        )
+
+
 class SurrogateEngine(abc.ABC):
     """Stateful surrogate evaluator the attacks drive their loops through.
 
@@ -588,6 +677,62 @@ class SurrogateEngine(abc.ABC):
             graph, targets, candidates, floor=floor, ridge=ridge, weights=weights
         )
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "EngineSpec",
+        targets: Sequence[int],
+        candidates=None,
+        weights: "Sequence[float] | None" = None,
+        graph=None,
+    ) -> "SurrogateEngine":
+        """Rebuild an engine from an :class:`EngineSpec`.
+
+        This is the child-process half of the spec round-trip: a worker
+        receives a pickled spec, builds its engine once, and serves every
+        job of its shard from it.  The rebuilt engine is state-identical to
+        one constructed directly from the spec's graph (losses bit-for-bit,
+        same features — round-trip-tested).
+
+        ``graph`` may pass a pre-materialised ``spec.to_graph()`` result so
+        a caller that needs the graph anyway (the executor's workers hand
+        it to their campaign too) avoids a second payload copy.
+        """
+        if spec.backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"engine spec must carry a resolved backend, got {spec.backend!r}"
+            )
+        engine_cls = (
+            DenseSurrogateEngine if spec.backend == "dense" else SparseSurrogateEngine
+        )
+        return engine_cls(
+            spec.to_graph() if graph is None else graph, targets, candidates,
+            floor=spec.floor, ridge=spec.ridge, weights=weights,
+        )
+
+    def engine_spec(self) -> "EngineSpec":
+        """Export the engine's graph + configuration as an :class:`EngineSpec`.
+
+        Captures the *current permanent* graph (applied flips included);
+        raises if transient flips are pending, because a spec taken
+        mid-probe would bake a half-evaluated state into every worker.
+        """
+        return EngineSpec(
+            backend=self.backend,
+            kind=self._spec_kind(),
+            payload=self._spec_payload(),
+            floor=self.floor,
+            ridge=self.ridge,
+        )
+
+    @abc.abstractmethod
+    def _spec_kind(self) -> str:
+        """Graph payload encoding of :meth:`engine_spec` (``dense``/``csr``)."""
+
+    @abc.abstractmethod
+    def _spec_payload(self) -> tuple:
+        """Graph payload arrays of :meth:`engine_spec`."""
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -598,10 +743,12 @@ class SurrogateEngine(abc.ABC):
 
     @property
     def targets(self) -> np.ndarray:
+        """The engine's current target node ids (copy)."""
         return self._targets.copy()
 
     @property
     def weights(self) -> "Sequence[float] | None":
+        """Per-target κ importances (``None`` = the equal-weight case)."""
         return self._weights
 
     # ------------------------------------------------------------------ #
@@ -824,6 +971,7 @@ class DenseSurrogateEngine(SurrogateEngine):
         return self._adjacency[rows, cols]
 
     def current_loss(self) -> float:
+        """Surrogate of the current dense graph (full O(n³) forward)."""
         return surrogate_loss_numpy(
             self._adjacency, self._targets, self._weights,
             floor=self.floor, ridge=self.ridge,
@@ -832,6 +980,7 @@ class DenseSurrogateEngine(SurrogateEngine):
     def binarized_step(
         self, zdot_values: np.ndarray
     ) -> tuple[float, np.ndarray, np.ndarray]:
+        """One BinarizedAttack iterate via the full autograd pipeline."""
         zdot = Tensor(
             np.asarray(zdot_values, dtype=np.float64), requires_grad=True, name="zdot"
         )
@@ -852,6 +1001,7 @@ class DenseSurrogateEngine(SurrogateEngine):
         return float(adversarial.data), gradient, flip_indicator.data > 0.5
 
     def relaxed_step(self, values: np.ndarray) -> tuple[float, np.ndarray]:
+        """ContinuousA iterate: autograd loss/gradient at the fractional graph."""
         if self._frozen is None:
             # Non-candidate entries stay frozen at their clean values: the
             # relaxed variables are scattered ON TOP of the clean graph with
@@ -875,6 +1025,7 @@ class DenseSurrogateEngine(SurrogateEngine):
         return float(loss.data), gradient
 
     def candidate_gradient(self) -> np.ndarray:
+        """Full autograd adjacency gradient, gathered at the candidate pairs."""
         gradient = adjacency_gradient(
             self._adjacency, self._targets,
             floor=self.floor, weights=self._weights, ridge=self.ridge,
@@ -882,19 +1033,24 @@ class DenseSurrogateEngine(SurrogateEngine):
         return gradient[self.rows, self.cols]
 
     def degrees(self) -> np.ndarray:
+        """Per-node degrees (one O(n²) row sum)."""
         return self._adjacency.sum(axis=1)
 
     def is_edge(self, u: int, v: int) -> bool:
+        """O(1) dense membership probe."""
         return self._adjacency[u, v] != 0.0
 
     def degree(self, u: int) -> float:
+        """Degree of ``u`` (one O(n) row sum)."""
         return float(self._adjacency[u].sum())
 
     def push_flip(self, u: int, v: int) -> None:
+        """Toggle ``{u, v}`` transiently (O(1); undone by :meth:`pop_flips`)."""
         self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
         self._transient.append((u, v))
 
     def pop_flips(self, count: int) -> None:
+        """Undo the last ``count`` transient flips exactly (O(1) each)."""
         if count > len(self._transient):
             raise ValueError(
                 f"cannot pop {count} flips, only {len(self._transient)} pushed"
@@ -904,23 +1060,38 @@ class DenseSurrogateEngine(SurrogateEngine):
             self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
 
     def apply_flip(self, u: int, v: int) -> None:
+        """Toggle ``{u, v}`` permanently (logged for :meth:`restore`)."""
         if self._transient:
             raise RuntimeError("cannot apply a permanent flip with transient flips pending")
         self._adjacency[u, v] = self._adjacency[v, u] = 1.0 - self._adjacency[u, v]
         self._permanent.append((u, v))
 
     def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbour ids of ``u`` in the current graph."""
         return np.flatnonzero(self._adjacency[int(u)]).astype(np.intp)
 
     def node_features(self) -> tuple[np.ndarray, np.ndarray]:
+        """Egonet features ``(N, E)`` of the current graph (full recompute)."""
         from repro.graph.features import egonet_features
 
         return egonet_features(self._adjacency)
 
+    def _spec_kind(self) -> str:
+        return "dense"
+
+    def _spec_payload(self) -> tuple:
+        if self._transient:
+            raise RuntimeError(
+                "cannot export an engine spec with transient flips pending"
+            )
+        return (self._adjacency.copy(),)
+
     def checkpoint(self) -> int:
+        """Permanent-flip log length — the O(1) restore token."""
         return len(self._permanent)
 
     def restore(self, token: int) -> None:
+        """Unwind permanent (and stray transient) flips back to ``token``."""
         if not 0 <= token <= len(self._permanent):
             raise ValueError(
                 f"invalid checkpoint token {token}; {len(self._permanent)} "
@@ -973,6 +1144,10 @@ class SparseSurrogateEngine(SurrogateEngine):
         from repro.graph.incremental import IncrementalEgonetFeatures
 
         self._features = IncrementalEgonetFeatures(graph)
+        # push_flip/apply_flip share one rollback stack; this counter is the
+        # only record of which stack entries are *transient* (pushed, not
+        # yet popped) — engine_spec() refuses to export around them.
+        self._transient_count = 0
         super().__init__(
             self._features.n, targets, candidates,
             floor=floor, ridge=ridge, weights=weights,
@@ -1014,6 +1189,7 @@ class SparseSurrogateEngine(SurrogateEngine):
         return values
 
     def current_loss(self) -> float:
+        """Surrogate from the maintained features, in O(n)."""
         n_feature, e_feature = self._features.features()
         return surrogate_loss_from_features(
             n_feature, e_feature, self._targets,
@@ -1023,6 +1199,9 @@ class SparseSurrogateEngine(SurrogateEngine):
     def binarized_step(
         self, zdot_values: np.ndarray
     ) -> tuple[float, np.ndarray, np.ndarray]:
+        """One BinarizedAttack iterate at O(Σ deg + n + |C|): apply the
+        iterate's flips, score from features, scatter the closed-form
+        straight-through gradient, roll the flips back."""
         zdot_values = np.asarray(zdot_values, dtype=np.float64)
         # binarized(2Ż − 1) = +1 ⇔ Ż >= 0.5 (binarized(0) = +1, Eq. 7).
         flip_mask = zdot_values >= 0.5
@@ -1051,6 +1230,7 @@ class SparseSurrogateEngine(SurrogateEngine):
         return loss, pair_gradient * self.flip_direction, flip_mask
 
     def relaxed_step(self, values: np.ndarray) -> tuple[float, np.ndarray]:
+        """ContinuousA iterate on the fractional graph ``A0 + Δ``, in CSR."""
         values = np.asarray(values, dtype=np.float64)
         base = self._features.adjacency_csr()
         if self.rows.size:
@@ -1085,6 +1265,7 @@ class SparseSurrogateEngine(SurrogateEngine):
         return float(loss), gradient
 
     def candidate_gradient(self) -> np.ndarray:
+        """Closed-form gradient scattered onto the candidate pairs only."""
         # Evaluated as (cached CSR + net overlay): the incremental features
         # supply exact (N, E) for the current graph, and the few flips not
         # yet folded into the CSR ride along as a Δ-overlay in the scatter —
@@ -1101,34 +1282,62 @@ class SparseSurrogateEngine(SurrogateEngine):
         )
 
     def degrees(self) -> np.ndarray:
+        """Maintained degree vector (O(1) — N *is* the degree feature)."""
         return self._features.n_feature
 
     def is_edge(self, u: int, v: int) -> bool:
+        """O(1) neighbour-set membership probe."""
         return self._features.is_edge(int(u), int(v))
 
     def degree(self, u: int) -> float:
+        """Maintained degree of ``u``, in O(1)."""
         return float(self._features.degree(int(u)))
 
     def push_flip(self, u: int, v: int) -> None:
+        """Toggle ``{u, v}`` with an O(deg) exact feature update."""
         self._features.flip(u, v)
+        self._transient_count += 1
 
     def pop_flips(self, count: int) -> None:
+        """Roll back the last ``count`` flips bit-exactly (O(deg) each)."""
         self._features.rollback(count)
+        self._transient_count = max(self._transient_count - count, 0)
 
     def apply_flip(self, u: int, v: int) -> None:
+        """Toggle ``{u, v}`` permanently (same O(deg) incremental update)."""
         self._features.flip(u, v)
 
     def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbour ids of ``u`` in the current graph."""
         neigh = self._features.neighbors(int(u))
         return np.fromiter(sorted(neigh), dtype=np.intp, count=len(neigh))
 
     def node_features(self) -> tuple[np.ndarray, np.ndarray]:
+        """Exact maintained egonet features ``(N, E)``, in O(1)."""
         return self._features.features()
 
+    def _spec_kind(self) -> str:
+        return "csr"
+
+    def _spec_payload(self) -> tuple:
+        if self._transient_count:
+            raise RuntimeError(
+                "cannot export an engine spec with transient flips pending"
+            )
+        csr = self._features.adjacency_csr()
+        return (
+            np.asarray(csr.data, dtype=np.float64),
+            np.asarray(csr.indices),
+            np.asarray(csr.indptr),
+            csr.shape,
+        )
+
     def checkpoint(self) -> int:
+        """Flip-stack depth — the O(1) restore token."""
         return self._features.depth
 
     def restore(self, token: int) -> None:
+        """Roll the flip stack back to ``token`` (O(deg) per undone flip)."""
         depth = self._features.depth
         if not 0 <= token <= depth:
             raise ValueError(
@@ -1137,5 +1346,7 @@ class SparseSurrogateEngine(SurrogateEngine):
         if token == depth:
             return
         self._features.rollback(depth - token)
+        # Anything transient sat above the token and is gone now.
+        self._transient_count = 0
         self._refresh_pair_cache()
         self._on_state_reset()
