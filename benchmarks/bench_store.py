@@ -1,0 +1,223 @@
+"""GraphStore at paper scale: store-spec vs payload-spec workers.
+
+The claim this artefact records: at the paper's full Blogcatalog scale
+(88.8k nodes, ~2.1M edges), running a GradMaxSearch campaign through the
+parallel executor with **store-spec** workers (each worker memory-maps the
+on-disk CSR and reads the precomputed clean features) keeps per-worker peak
+RSS materially below the **payload-spec** path (each worker holds its own
+in-memory CSR copy and recomputes the O(Σ deg²) clean egonet features) —
+while producing **bit-identical flips**, asserted at every size the
+payload path runs at — the full 88.8k case included.
+
+Three numbers per path and size:
+
+* ``build_seconds`` — one-time store construction (streamed edge chunks +
+  CSR memmap write + the precomputed feature pass), paid once then cached
+  content-addressed;
+* ``attack_seconds_wall`` — end-to-end executor wall time for the budget-5
+  sweep (engine build included — this is where the payload path pays its
+  per-worker feature recomputation);
+* ``peak_worker_rss_mb`` — max per-worker ``ru_maxrss`` from the executor's
+  ``.stats`` sidecars.  With the ``fork`` start method this includes pages
+  inherited from the parent, so the store path is measured FIRST (before
+  the payload copies exist in the parent) and the honest comparison is
+  between the two paths' peaks, not against zero.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full (slow)
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke    # CI
+
+Every run emits ``benchmarks/results/BENCH_store.json`` (smoke runs a
+``_smoke`` sibling); the full-run artefact is committed.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+from scipy import sparse
+
+from repro.attacks import ParallelCampaignExecutor, grid_jobs
+from repro.store import build_store
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_store.json"
+
+_BUDGET = 5
+_WORKERS = 2
+_TARGETS = 8
+_CANDIDATES = "target_incident"
+_FULL_NODES = 88_800  # the blogcatalog-full recipe's node count
+
+
+def _run_path(graph, jobs) -> dict:
+    executor = ParallelCampaignExecutor(graph, workers=_WORKERS, backend="sparse")
+    start = time.perf_counter()
+    result = executor.run(jobs)
+    seconds = time.perf_counter() - start
+    rss = [s["max_rss_kb"] for s in executor.last_worker_stats]
+    cpu = [s["cpu_seconds"] for s in executor.last_worker_stats]
+    return {
+        "attack_seconds_wall": round(seconds, 3),
+        "worker_cpu_seconds": [round(s, 3) for s in cpu],
+        "worker_max_rss_kb": rss,
+        "peak_worker_rss_mb": round(max(rss) / 1024.0, 1),
+        "_result": result,
+    }
+
+
+def _assert_identical(a, b) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.job_id == y.job_id
+        assert x.flips_by_budget == y.flips_by_budget, f"flip mismatch: {x.job_id}"
+        assert x.surrogate_by_budget == y.surrogate_by_budget
+        assert x.rank_shifts == y.rank_shifts
+
+
+def _run_case(n: int, cache_dir, seed: int = 7, compare_payload: bool = True) -> dict:
+    scale = n / _FULL_NODES
+    start = time.perf_counter()
+    store = build_store("blogcatalog-full", cache_dir=cache_dir, scale=scale,
+                        seed=seed)
+    build_seconds = time.perf_counter() - start
+
+    jobs = grid_jobs(
+        "gradmaxsearch",
+        [[t] for t in store.top_targets(_TARGETS)],
+        budgets=[_BUDGET],
+        candidates=_CANDIDATES,
+    )
+    # Store path FIRST: the payload path's array copies should not sit in
+    # the parent (and be fork-inherited) while the store workers run.
+    store_stats = _run_path(store, jobs)
+    row = {
+        "n": store.number_of_nodes,
+        "edges": store.number_of_edges,
+        "jobs": len(jobs),
+        "budget": _BUDGET,
+        "workers": _WORKERS,
+        "build_seconds": round(build_seconds, 3),
+        "store_dir_mb": round(
+            sum(f.stat().st_size for f in store.path.iterdir()) / 2**20, 1
+        ),
+        "store": {k: v for k, v in store_stats.items() if k != "_result"},
+    }
+    if compare_payload:
+        # detached_csr(): arrays copied, store tags dropped — the pipeline
+        # treats it exactly like a graph that never touched the store.
+        payload_stats = _run_path(store.detached_csr(), jobs)
+        _assert_identical(store_stats["_result"], payload_stats["_result"])
+        row["payload"] = {
+            k: v for k, v in payload_stats.items() if k != "_result"
+        }
+        row["flip_sets_identical"] = True
+        row["rss_ratio"] = round(
+            payload_stats["peak_worker_rss_mb"]
+            / max(store_stats["peak_worker_rss_mb"], 0.1),
+            2,
+        )
+    return row
+
+
+# --------------------------------------------------------------------- #
+# CI smoke (pytest entries)
+# --------------------------------------------------------------------- #
+
+
+def test_bench_store_parity(tmp_path, benchmark):
+    row = benchmark.pedantic(
+        lambda: _run_case(n=1500, cache_dir=tmp_path),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert row["flip_sets_identical"]
+    assert row["store"]["peak_worker_rss_mb"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Scaling study (the committed artefact)
+# --------------------------------------------------------------------- #
+
+
+def run_store_scaling(smoke: bool = False, output: "Path | None" = None) -> dict:
+    """Build + attack at each size; print a table, emit JSON.
+
+    Smoke runs write to a ``_smoke`` sibling so CI never clobbers the
+    committed full-run artefact.  The store cache honours
+    ``$REPRO_STORE_CACHE`` (CI caches it keyed on the build-recipe hash).
+    """
+    if output is None:
+        output = (
+            RESULTS_PATH.with_name("BENCH_store_smoke.json")
+            if smoke
+            else RESULTS_PATH
+        )
+    cache_dir = os.environ.get("REPRO_STORE_CACHE", ".repro-store-cache")
+    if smoke:
+        cases = [(2000, True)]
+    else:
+        # At the full size the payload comparison runs too — its per-worker
+        # clean-feature recomputation (minutes) IS the recorded contrast;
+        # flip parity is asserted at every size it runs at.
+        cases = [(10_000, True), (_FULL_NODES, True)]
+
+    print("GraphStore: store-spec vs payload-spec executor workers")
+    print(
+        f"(gradmaxsearch, budget={_BUDGET}, {_TARGETS} targets, "
+        f"workers={_WORKERS}, candidates={_CANDIDATES}; cpus={os.cpu_count()})"
+    )
+    print()
+    rows = []
+    for n, compare in cases:
+        row = _run_case(n=n, cache_dir=cache_dir, compare_payload=compare)
+        rows.append(row)
+        print(
+            f"n={row['n']}  m={row['edges']}  build={row['build_seconds']:.2f}s  "
+            f"store-dir={row['store_dir_mb']}MB"
+        )
+        for path in ("store", "payload"):
+            if path not in row:
+                continue
+            stats = row[path]
+            print(
+                f"  {path:>8}: attack={stats['attack_seconds_wall']:>8.2f}s  "
+                f"peak-worker-rss={stats['peak_worker_rss_mb']:>7.1f}MB"
+            )
+        if "rss_ratio" in row:
+            print(f"  payload/store RSS ratio: {row['rss_ratio']}x")
+
+    payload = {
+        "benchmark": "graph_store_scaling",
+        "attack": "gradmaxsearch",
+        "budget": _BUDGET,
+        "targets": _TARGETS,
+        "workers": _WORKERS,
+        "candidates": _CANDIDATES,
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "results": rows,
+        "notes": (
+            "store = workers rebuild engines from a store-kind EngineSpec "
+            "(mmap the on-disk CSR, read precomputed clean features); "
+            "payload = workers receive the CSR arrays and recompute clean "
+            "features. Flip sets/losses/rank shifts asserted bit-identical "
+            "wherever both paths run. peak_worker_rss_mb is per-worker "
+            "ru_maxrss (fork start method: inherited parent pages count, "
+            "so compare the two paths, not absolute values; the store path "
+            "runs first so payload copies never sit in its parent image). "
+            "build_seconds includes the streamed edge generation, CSR "
+            "memmap write and the one-time O(sum deg^2) feature pass the "
+            "store amortises away from every later worker."
+        ),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return payload
+
+
+if __name__ == "__main__":
+    run_store_scaling(smoke="--smoke" in sys.argv[1:])

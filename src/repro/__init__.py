@@ -9,6 +9,11 @@ Subpackages
 ``repro.graph``
     Graph substrate: dense simple graphs, ER/BA generators, egonet features,
     anomaly planting, dataset stand-ins, threat-model simulation.
+``repro.store``
+    Out-of-core storage: memory-mapped CSR graph stores under a
+    content-addressed cache, streaming paper-scale builders
+    (``blogcatalog-full`` @ 88.8k nodes), and the ``store``-kind engine
+    specs parallel workers open instead of unpickling a graph payload.
 ``repro.oddball``
     The target GAD system: egonet power-law regression, Eq. 3 anomaly
     scores, the differentiable attack surrogate, robust (Huber/RANSAC)
@@ -38,7 +43,7 @@ Quickstart
 True
 """
 
-from repro import attacks, autograd, experiments, gad, graph, ml, oddball, utils
+from repro import attacks, autograd, experiments, gad, graph, ml, oddball, store, utils
 
 __version__ = "1.0.0"
 
@@ -51,5 +56,6 @@ __all__ = [
     "graph",
     "ml",
     "oddball",
+    "store",
     "utils",
 ]

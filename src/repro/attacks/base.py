@@ -210,6 +210,9 @@ class StructuralAttack(abc.ABC):
         """
         if isinstance(graph, Graph):
             return graph.adjacency
+        if hasattr(graph, "adjacency_csr"):
+            # store-backed graphs: the tagged memory-mapped CSR, zero-copy
+            graph = graph.adjacency_csr()
         if sparse.issparse(graph):
             csr = to_sparse(graph)
             return csr if allow_sparse else csr.toarray()

@@ -398,11 +398,26 @@ class CampaignResult:
 
 
 def _normalize_graph(graph):
-    """Validated adjacency (dense ndarray or tagged CSR) from any input."""
+    """Validated adjacency (dense ndarray or tagged CSR) from any input.
+
+    Store-backed graphs (:class:`~repro.store.GraphStore`, or anything else
+    exposing ``adjacency_csr()``) normalise to their tagged memory-mapped
+    CSR zero-copy.
+    """
     if isinstance(graph, Graph):
         return np.array(graph.adjacency_view, dtype=np.float64)
+    if hasattr(graph, "adjacency_csr"):
+        return to_sparse(graph.adjacency_csr())
     if sparse.issparse(graph):
-        return to_sparse(graph)
+        normalized = to_sparse(graph)
+        # to_sparse copies untagged input, dropping instance attributes —
+        # re-apply the fingerprint token so a worker normalising a spec-
+        # round-tripped graph derives the same checkpoint identity as the
+        # parent that captured it.
+        token = getattr(graph, "_repro_fingerprint", None)
+        if token is not None and normalized is not graph:
+            normalized._repro_fingerprint = token
+        return normalized
     return check_adjacency(np.asarray(graph, dtype=np.float64))
 
 
@@ -412,10 +427,20 @@ def graph_fingerprint(adjacency, backend: str) -> str:
     The parent executor, every worker and the serial campaign all derive
     the same fingerprint from the same graph, which is what lets shard
     files and the merged checkpoint validate against each other.
+
+    A matrix carrying a ``_repro_fingerprint`` token (a GraphStore's CSR,
+    stamped with the store's content-addressing digest) is fingerprinted
+    from the token in O(1) — hashing the raw arrays would page the whole
+    memory-mapped graph in just to name a checkpoint.  Token- and
+    byte-derived fingerprints differ even for identical graphs, so a
+    checkpoint written against a store resumes against the same store.
     """
     digest = hashlib.sha1()
     digest.update(f"{backend}:{adjacency.shape[0]}:".encode())
-    if sparse.issparse(adjacency):
+    token = getattr(adjacency, "_repro_fingerprint", None)
+    if token is not None:
+        digest.update(str(token).encode())
+    elif sparse.issparse(adjacency):
         coo = adjacency.tocoo()
         digest.update(np.ascontiguousarray(coo.row).tobytes())
         digest.update(np.ascontiguousarray(coo.col).tobytes())
@@ -475,7 +500,15 @@ class CheckpointStore:
         return self.path.exists()
 
     def load(self) -> dict[str, JobOutcome]:
-        """Completed outcomes keyed by job id ({} when the file is absent)."""
+        """Completed outcomes keyed by job id ({} when the file is absent).
+
+        Resilient to a crash mid-append: a final line torn by a hard kill —
+        whether it fails to parse as JSON or parses but cannot be
+        reconstructed into a :class:`JobOutcome` — is skipped with a
+        warning, costing exactly that one job.  A file consisting only of a
+        torn *header* (the very first append died mid-write) is repaired to
+        empty instead of poisoning every later resume.
+        """
         if not self.path.exists():
             return {}
         lines = self.path.read_text().splitlines()
@@ -484,6 +517,17 @@ class CheckpointStore:
         try:
             header = json.loads(lines[0])
         except json.JSONDecodeError as error:
+            if not any(line.strip() for line in lines[1:]):
+                # The first-ever append crashed mid-header: nothing was
+                # completed, so an empty checkpoint is the truthful state.
+                # Truncating (rather than just ignoring) lets the next
+                # append() recreate a clean header.
+                _log.warning(
+                    "checkpoint %s has a torn header and no records; "
+                    "resetting it to empty", self.path,
+                )
+                self.path.write_text("")
+                return {}
             raise ValueError(
                 f"checkpoint {self.path} has a corrupt header; "
                 "delete it to start the campaign fresh"
@@ -513,7 +557,18 @@ class CheckpointStore:
                     self.path,
                 )
                 continue
-            outcome = JobOutcome.from_dict(payload)
+            try:
+                outcome = JobOutcome.from_dict(payload)
+            except (KeyError, TypeError, ValueError) as error:
+                # Valid JSON that is not a reconstructible outcome: a tear
+                # can land exactly on a nested close-brace, leaving a parse-
+                # able prefix with fields missing.  Same cost as an unparse-
+                # able tear: that one job re-runs.
+                _log.warning(
+                    "checkpoint %s has an unreadable entry (%s); "
+                    "ignoring that job", self.path, error,
+                )
+                continue
             outcomes[outcome.job_id] = outcome
         return outcomes
 
@@ -567,12 +622,14 @@ class AttackCampaign:
     Parameters
     ----------
     graph:
-        :class:`~repro.graph.graph.Graph`, dense adjacency array or scipy
-        sparse matrix.  Sparse inputs are validated **once** (the
-        validate-once tag of :func:`repro.graph.sparse.to_sparse` makes
-        every per-job touch-point free); dense jobs still re-run the O(n²)
-        checks per attack call, which is negligible next to their O(n³)
-        forwards at the small n the dense backend targets.
+        :class:`~repro.graph.graph.Graph`, dense adjacency array, scipy
+        sparse matrix, or a memory-mapped :class:`~repro.store.GraphStore`
+        (normalised to its read-only CSR zero-copy).  Sparse inputs are
+        validated **once** (the validate-once tag of
+        :func:`repro.graph.sparse.to_sparse` makes every per-job
+        touch-point free); dense jobs still re-run the O(n²) checks per
+        attack call, which is negligible next to their O(n³) forwards at
+        the small n the dense backend targets.
     backend:
         Surrogate engine backend (``"auto"``/``"dense"``/``"sparse"``).
         Resolved once against the graph; every engine job shares it.
@@ -616,8 +673,16 @@ class AttackCampaign:
         engine: "SurrogateEngine | None" = None,
     ):
         validate_backend(backend)
+        store_backed = hasattr(graph, "adjacency_csr")
         self._original = _normalize_graph(graph)
         self.backend = resolve_backend(backend, self._original)
+        if store_backed and self.backend != "sparse":
+            # The dense engine would densify the mmap — 63 GB at the full
+            # Blogcatalog scale — so fail up front on BOTH execution paths
+            # (the parallel executor re-checks for its own construction).
+            raise ValueError(
+                f"store-backed campaigns are sparse-only; got backend={backend!r}"
+            )
         self.n = int(self._original.shape[0])
         self.checkpoint_path = (
             None if checkpoint_path is None else Path(checkpoint_path)

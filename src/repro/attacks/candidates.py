@@ -40,6 +40,16 @@ strategies trade coverage for speed:
     tested), and reaches the neighbour-neighbour flips ``two_hop`` covers —
     but only around regions the optimiser actually visits, keeping |C|
     near-linear instead of ball-quadratic.
+``adaptive_gradient``
+    The same growing ball, but admissions are *gradient-informed*: instead
+    of admitting every pair incident to a ball entrant, the candidate pool
+    is ranked by the engine's predicted |∂L/∂A| at those pairs
+    (:meth:`~repro.oddball.surrogate.SurrogateEngine.pair_gradient`) and
+    only the top :data:`AdaptiveCandidateSet.GRADIENT_ADMIT_CAP` per
+    refresh join the set.  Same superset-of-``target_incident`` invariant
+    (growth only ever adds), with |C| growing by a bounded amount per
+    landed flip instead of by O(deg) — the ROADMAP's gradient-informed
+    growth policy.
 
 Candidate pairs are canonical (``u < v``), unique and lexicographically
 sorted, so ``full`` enumerates pairs in exactly the order of
@@ -61,7 +71,9 @@ __all__ = ["AdaptiveCandidateSet", "CandidateSet", "CANDIDATE_STRATEGIES"]
 
 Edge = tuple[int, int]
 
-CANDIDATE_STRATEGIES = ("full", "target_incident", "two_hop", "adaptive")
+CANDIDATE_STRATEGIES = (
+    "full", "target_incident", "two_hop", "adaptive", "adaptive_gradient"
+)
 
 
 def _adjacency_rows(graph) -> "tuple[int, object]":
@@ -182,6 +194,8 @@ class CandidateSet:
             return cls.target_incident(n, targets)
         if strategy == "adaptive":
             return AdaptiveCandidateSet.start(n, targets)
+        if strategy == "adaptive_gradient":
+            return AdaptiveCandidateSet.start(n, targets, growth="gradient")
         # only two_hop actually walks the adjacency — resolve it lazily so
         # the index-arithmetic strategies skip the O(m) validation pass
         _, matrix = _adjacency_rows(graph)
@@ -357,32 +371,59 @@ class AdaptiveCandidateSet(CandidateSet):
     degree, which is what the OddBall objective rewards) plus the earlier
     ball members (so locally-discovered structure can be rewired).
 
+    With ``growth="gradient"`` (strategy name ``adaptive_gradient``) the
+    same pool of would-be admissions is *ranked* by the engine's predicted
+    |∂L/∂A| at each pair (one
+    :meth:`~repro.oddball.surrogate.SurrogateEngine.pair_gradient` call per
+    refresh) and only the top :data:`GRADIENT_ADMIT_CAP` join — the set
+    stays focused on pairs the objective actually responds to, growing by a
+    bounded amount per landed flip instead of by the entrant's degree.
+
     Instances are immutable like every :class:`CandidateSet`;
     :meth:`refresh` returns a *new* set and the attacks re-point their
     engine at it (:meth:`~repro.oddball.surrogate.SurrogateEngine.set_candidates`).
     """
 
     ball: "frozenset[int]" = frozenset()
+    growth: str = "adjacency"
+
+    #: Pairs admitted per gradient-informed refresh (ties broken by
+    #: canonical pair order, so refreshes are deterministic).
+    GRADIENT_ADMIT_CAP = 32
 
     @classmethod
-    def start(cls, n: int, targets: Sequence[int]) -> "AdaptiveCandidateSet":
-        """The initial set: exactly ``target_incident`` over ``targets``."""
+    def start(
+        cls, n: int, targets: Sequence[int], growth: str = "adjacency"
+    ) -> "AdaptiveCandidateSet":
+        """The initial set: exactly ``target_incident`` over ``targets``.
+
+        ``growth`` selects the admission policy for later refreshes:
+        ``"adjacency"`` (every incident pair of a ball entrant) or
+        ``"gradient"`` (top-|∂L/∂A| pairs of the same pool).
+        """
+        if growth not in ("adjacency", "gradient"):
+            raise ValueError(
+                f"unknown adaptive growth policy {growth!r}; "
+                "choose 'adjacency' or 'gradient'"
+            )
         base = CandidateSet.target_incident(n, targets)
         return cls(
             n=n,
             rows=base.rows,
             cols=base.cols,
-            strategy="adaptive",
+            strategy="adaptive" if growth == "adjacency" else "adaptive_gradient",
             ball=frozenset(int(t) for t in targets),
+            growth=growth,
         )
 
     def refresh(self, flips: "Sequence[Edge]", engine=None) -> "CandidateSet":
         """Grow the ball with the endpoints of ``flips``; returns a new set.
 
-        O(Σ_{w new} deg(w) + |C| log |C|) per call; ``self`` is returned
-        unchanged when no flip endpoint is new.  The result is always a
-        superset of the current set (the invariant
-        :meth:`CandidateSet.remap_positions` relies on).
+        O(Σ_{w new} deg(w) + |C| log |C|) per call (plus one engine
+        ``pair_gradient`` evaluation over the pool under the gradient
+        policy); ``self`` is returned unchanged when no flip endpoint is
+        new.  The result is always a superset of the current set (the
+        invariant :meth:`CandidateSet.remap_positions` relies on).
         """
         new_nodes = sorted(
             {int(w) for pair in flips for w in pair} - self.ball
@@ -408,6 +449,9 @@ class AdaptiveCandidateSet(CandidateSet):
                 dtype=np.intp,
                 count=len(additions),
             )
+            add_keys = np.setdiff1d(add_keys, old_keys, assume_unique=False)
+            if self.growth == "gradient":
+                add_keys = self._rank_by_gradient(add_keys, engine)
             keys = np.union1d(old_keys, add_keys)
         else:
             keys = old_keys
@@ -415,6 +459,23 @@ class AdaptiveCandidateSet(CandidateSet):
             n=self.n,
             rows=(keys // self.n).astype(np.intp),
             cols=(keys % self.n).astype(np.intp),
-            strategy="adaptive",
+            strategy=self.strategy,
             ball=frozenset(ball),
+            growth=self.growth,
         )
+
+    def _rank_by_gradient(self, add_keys: np.ndarray, engine) -> np.ndarray:
+        """The top-|∂L/∂A| slice of the admission pool (gradient policy).
+
+        The engine evaluates its closed-form gradient at the *candidate*
+        pool pairs — pairs that are not yet decision variables — and only
+        the :data:`GRADIENT_ADMIT_CAP` strongest predicted movers are
+        admitted.  Sorting is on (−|g|, key): deterministic under ties.
+        """
+        if add_keys.size <= self.GRADIENT_ADMIT_CAP:
+            return add_keys
+        rows = (add_keys // self.n).astype(np.intp)
+        cols = (add_keys % self.n).astype(np.intp)
+        magnitude = np.abs(engine.pair_gradient(rows, cols))
+        order = np.lexsort((add_keys, -magnitude))
+        return add_keys[order[: self.GRADIENT_ADMIT_CAP]]

@@ -41,10 +41,16 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import sys
 import tempfile
 import time
 from pathlib import Path
 from typing import Iterable
+
+try:  # Unix-only stdlib module; absent on Windows
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 
 import numpy as np
 
@@ -145,8 +151,26 @@ def _worker_main(
         "jobs": len(jobs),
         "cpu_seconds": time.process_time() - cpu_start,
         "wall_seconds": time.perf_counter() - wall_start,
+        # Peak resident set of this worker in KiB: the memory signal the
+        # store-vs-payload benchmark compares.  With the fork start method
+        # this includes pages inherited copy-on-write from the parent, so
+        # it is an honest "what this process kept mapped" number, not a
+        # private-bytes number.  0 where getrusage is unavailable.
+        "max_rss_kb": _max_rss_kb(),
     }
     Path(shard_path + ".stats").write_text(json.dumps(stats) + "\n")
+
+
+def _max_rss_kb() -> int:
+    """This process's peak RSS in KiB (0 on platforms without getrusage).
+
+    ``ru_maxrss`` is KiB on Linux but *bytes* on macOS — normalised here so
+    every ``.stats`` sidecar speaks the same unit.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak // 1024) if sys.platform == "darwin" else int(peak)
 
 
 class ParallelCampaignExecutor:
@@ -155,8 +179,11 @@ class ParallelCampaignExecutor:
     Parameters
     ----------
     graph:
-        :class:`~repro.graph.graph.Graph`, dense adjacency array or scipy
-        sparse matrix — the same inputs :class:`AttackCampaign` takes.
+        :class:`~repro.graph.graph.Graph`, dense adjacency array, scipy
+        sparse matrix — the same inputs :class:`AttackCampaign` takes — or
+        a :class:`~repro.store.GraphStore`: workers then receive a
+        ``store``-kind spec (a path, not arrays) and memory-map one shared
+        on-disk graph instead of each holding a CSR copy (sparse-only).
     workers:
         Worker process count.  Sharding is round-robin over the pending
         (non-checkpointed) jobs; a shard never exceeds
@@ -205,8 +232,19 @@ class ParallelCampaignExecutor:
         validate_backend(backend)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        # A GraphStore-backed executor ships a ``store``-kind EngineSpec (a
+        # path, not arrays): workers memory-map the one on-disk graph
+        # instead of each holding an unpickled CSR copy.
+        from repro.store import GraphStore
+
+        self._graph_store = graph if isinstance(graph, GraphStore) else None
         self._original = _normalize_graph(graph)
         self.backend = resolve_backend(backend, self._original)
+        if self._graph_store is not None and self.backend != "sparse":
+            raise ValueError(
+                "store-backed campaigns are sparse-only; "
+                f"got backend={backend!r}"
+            )
         self.n = int(self._original.shape[0])
         self.workers = int(workers)
         self.checkpoint_path = (
@@ -303,11 +341,15 @@ class ParallelCampaignExecutor:
         Returns the wall seconds of the drain (start of first fork to last
         join) so :meth:`run` can separate parent overhead from worker time.
         """
-        # Spec capture copies the whole graph payload — that is parent
-        # overhead (see ``last_overhead_seconds``), so it runs before the
-        # drain clock starts.
+        # Spec capture copies the whole graph payload (store-backed specs
+        # capture only the path) — that is parent overhead (see
+        # ``last_overhead_seconds``), so it runs before the drain clock
+        # starts.
         shard_dir.mkdir(parents=True, exist_ok=True)
-        spec = EngineSpec.from_graph(self._original, backend=self.backend)
+        if self._graph_store is not None:
+            spec = EngineSpec.from_store(self._graph_store)
+        else:
+            spec = EngineSpec.from_graph(self._original, backend=self.backend)
         drain_start = time.perf_counter()
         processes = []
         for index, shard in enumerate(shards):

@@ -87,12 +87,15 @@ def run_experiment(
     candidates: "str | None" = None,
     campaign_checkpoint: "Path | None" = None,
     workers: int = 1,
+    store_datasets: bool = False,
+    store_cache: "Path | None" = None,
 ) -> tuple[dict, str]:
     """Run one experiment; returns (payload, formatted text).
 
-    ``backend``, ``candidates``, ``campaign_checkpoint`` and ``workers``
-    are forwarded to drivers that accept them (the attack-driven figures);
-    the rest run unchanged.
+    ``backend``, ``candidates``, ``campaign_checkpoint``, ``workers`` and
+    the store flags are forwarded to drivers that accept them (the
+    attack-driven figures; ``store_datasets`` currently extends table1 with
+    memory-mapped paper-scale rows); the rest run unchanged.
     """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
@@ -107,6 +110,9 @@ def run_experiment(
         kwargs["campaign_checkpoint"] = campaign_checkpoint
     if "workers" in parameters and workers != 1:
         kwargs["workers"] = workers
+    if "store_datasets" in parameters and store_datasets:
+        kwargs["store_datasets"] = store_datasets
+        kwargs["store_cache"] = store_cache
     payload = run_fn(scale=scale, seed=seed, **kwargs)
     text = format_fn(payload)
     if output_dir is not None:
@@ -139,7 +145,8 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--backend", choices=["auto", "dense", "sparse"], default="auto",
                         help="surrogate engine for the attack-driven figures")
     parser.add_argument("--candidates",
-                        choices=["full", "target_incident", "two_hop", "adaptive"],
+                        choices=["full", "target_incident", "two_hop",
+                                 "adaptive", "adaptive_gradient"],
                         default=None,
                         help="candidate-pair strategy for the attack-driven "
                              "figures (default: legacy full-pair variables)")
@@ -149,6 +156,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the campaign-driven sweeps "
                              "(1 = serial; results are identical either way)")
+    parser.add_argument("--store-datasets", action="store_true",
+                        help="include the memory-mapped paper-scale *-full "
+                             "datasets (table1; builds/reuses graph stores)")
+    parser.add_argument("--store-cache", type=Path, default=None,
+                        help="graph-store cache directory (default: "
+                             "$REPRO_STORE_CACHE or ./.repro-store-cache)")
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON/text dumps")
     args = parser.parse_args(argv)
 
@@ -168,6 +181,8 @@ def main(argv: "list[str] | None" = None) -> int:
             candidates=args.candidates,
             campaign_checkpoint=args.campaign_checkpoint,
             workers=args.workers,
+            store_datasets=args.store_datasets,
+            store_cache=args.store_cache,
         )
         print(text)
         print()

@@ -10,6 +10,8 @@ budget — a one-line summary of how hideable each graph's anomalies are.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.attacks.campaign import grid_jobs
@@ -34,13 +36,30 @@ PAPER_TABLE_I = {
 #: Targets per dataset in the attackability sweep (top AScore nodes).
 ATTACK_TARGETS = 3
 
+#: Fixed attack budget for the store-backed (paper-scale) rows: the
+#: fraction-of-edges budgets the sampled graphs use would mean tens of
+#: thousands of flips per job at 2.1M edges — the store rows instead probe
+#: the paper's budget-5 GradMaxSearch setting.
+STORE_ATTACK_BUDGET = 5
 
-def run(scale: Scale = CI, seed: int = 7, workers: int = 1) -> dict:
+
+def run(
+    scale: Scale = CI,
+    seed: int = 7,
+    workers: int = 1,
+    store_datasets: "Sequence[str] | bool" = False,
+    store_cache=None,
+) -> dict:
     """Generate all five graphs; collect statistics + attackability.
 
     ``workers > 1`` runs each dataset's attackability sweep through the
     parallel campaign executor (bit-identical outcomes, sharded across
-    worker processes).
+    worker processes).  ``store_datasets`` appends paper-scale rows backed
+    by memory-mapped graph stores: ``True`` for every ``*-full`` name, or
+    an explicit name list (``["blogcatalog-full"]`` is the one the paper
+    attacks at 88.8k nodes).  Store rows run their attackability sweep
+    through ``store``-kind engine specs — workers mmap the graph instead
+    of receiving an array payload.
     """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
@@ -56,25 +75,59 @@ def run(scale: Scale = CI, seed: int = 7, workers: int = 1) -> dict:
         graph = dataset.graph
         budget = scale.budgets_for(graph.number_of_edges)[0]
         targets = detector.analyze(graph).top_k(ATTACK_TARGETS).tolist()
-        campaign = build_campaign(graph, workers=workers)
-        sweep = campaign.run(
-            grid_jobs(
-                "gradmaxsearch",
-                [[t] for t in targets],
-                budgets=[budget],
-                candidates="target_incident",
+        rows.append(_attackability(stats, graph, targets, budget, workers))
+
+    if store_datasets:
+        from repro.store import STORE_DATASET_NAMES
+
+        names = (
+            STORE_DATASET_NAMES if store_datasets is True else store_datasets
+        )
+        for name in names:
+            rows.append(
+                _store_row(name, scale, seed, workers, store_cache)
             )
-        )
-        shifts = [
-            shift for outcome in sweep for shift in outcome.rank_shifts.values()
-        ]
-        stats["attack_budget"] = budget
-        stats["attack_tau"] = float(
-            np.mean([outcome.score_decrease for outcome in sweep])
-        )
-        stats["attack_rank_shift"] = float(np.mean(shifts)) if shifts else 0.0
-        rows.append(stats)
     return {"scale": scale.name, "seed": seed, "rows": rows}
+
+
+def _attackability(
+    stats: dict, graph, targets: "list[int]", budget: int, workers: int
+) -> dict:
+    """Fill the attackability columns of one table row in place."""
+    campaign = build_campaign(graph, workers=workers)
+    sweep = campaign.run(
+        grid_jobs(
+            "gradmaxsearch",
+            [[t] for t in targets],
+            budgets=[budget],
+            candidates="target_incident",
+        )
+    )
+    shifts = [
+        shift for outcome in sweep for shift in outcome.rank_shifts.values()
+    ]
+    stats["attack_budget"] = budget
+    stats["attack_tau"] = float(
+        np.mean([outcome.score_decrease for outcome in sweep])
+    )
+    stats["attack_rank_shift"] = float(np.mean(shifts)) if shifts else 0.0
+    return stats
+
+
+def _store_row(
+    name: str, scale: Scale, seed: int, workers: int, store_cache
+) -> dict:
+    """One paper-scale row: store-backed stats + a budget-5 sweep."""
+    from repro.graph.datasets import load_dataset
+
+    dataset = load_dataset(name, rng=seed, scale=scale.graph_scale,
+                           cache_dir=store_cache)
+    stats = dataset_statistics(dataset)
+    store = dataset.graph
+    stats["paper_nodes"] = store.recipe["nodes"]
+    stats["paper_edges"] = store.recipe["edges"]
+    targets = store.top_targets(ATTACK_TARGETS)
+    return _attackability(stats, store, targets, STORE_ATTACK_BUDGET, workers)
 
 
 def format_results(payload: dict) -> str:

@@ -17,11 +17,18 @@ from repro.graph.features import (
 from repro.graph.generators import barabasi_albert, erdos_renyi, ring_lattice
 from repro.graph.graph import Graph
 from repro.graph.incremental import IncrementalEgonetFeatures
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import (
+    DATASET_FORMAT_VERSION,
+    read_dataset,
+    read_edge_list,
+    write_dataset,
+    write_edge_list,
+)
 from repro.graph.sparse import anomaly_scores_sparse, egonet_features_sparse, to_sparse
 from repro.graph.threatmodel import Defender, Environment, ManInTheMiddleAttacker
 
 __all__ = [
+    "DATASET_FORMAT_VERSION",
     "DATASET_NAMES",
     "Dataset",
     "Defender",
@@ -43,8 +50,10 @@ __all__ = [
     "inject_near_star",
     "load_dataset",
     "plant_anomalies",
+    "read_dataset",
     "read_edge_list",
     "ring_lattice",
     "sample_connected_subgraph",
+    "write_dataset",
     "write_edge_list",
 ]

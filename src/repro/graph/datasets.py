@@ -48,10 +48,16 @@ DATASET_NAMES = tuple(_TABLE_I)
 
 @dataclass
 class Dataset:
-    """A named graph plus the ground truth of its planted anomalies."""
+    """A named graph plus the ground truth of its planted anomalies.
+
+    ``graph`` is a dense :class:`Graph` for the in-memory datasets, or a
+    memory-mapped :class:`~repro.store.GraphStore` for the paper-scale
+    ``*-full`` names — both answer the node/edge/degree queries the
+    experiment drivers ask.
+    """
 
     name: str
-    graph: Graph
+    graph: "Graph"
     planted: dict[str, list[int]] = field(default_factory=dict)
 
     @property
@@ -63,23 +69,51 @@ class Dataset:
         return self.graph.number_of_edges
 
 
-def load_dataset(name: str, rng=None, scale: float = 1.0) -> Dataset:
+def load_dataset(
+    name: str, rng=None, scale: float = 1.0, cache_dir=None
+) -> Dataset:
     """Build one of the paper's five graphs (or a scaled-down version).
 
     Parameters
     ----------
     name:
         One of ``er``, ``ba``, ``blogcatalog``, ``wikivote``, ``bitcoin-alpha``
-        (case-insensitive).
+        (case-insensitive) — or a paper-scale ``*-full`` variant
+        (``blogcatalog-full`` is the 88.8k-node stand-in), which resolves to
+        a memory-mapped :class:`~repro.store.GraphStore` built once and
+        cached content-addressed (see :mod:`repro.store`).
     rng:
         Seed or generator; the same seed always yields the same graph.
+        Store-backed names require a plain integer seed (the build recipe
+        is content-hashed, so its randomness source must be hashable).
     scale:
         Multiplier on the node count (CI presets use ~0.2–0.3 to keep the
         benchmark suite fast).  Edge targets scale with the node count.
+    cache_dir:
+        Store cache directory for ``*-full`` names (default:
+        ``$REPRO_STORE_CACHE`` or ``./.repro-store-cache``); ignored for
+        the in-memory datasets.
     """
     key = name.lower().replace("_", "-")
+    if key.endswith("-full"):
+        from repro.store import load_store_dataset
+
+        if rng is not None and not isinstance(rng, (int, np.integer)):
+            raise TypeError(
+                f"store-backed dataset {name!r} needs an integer seed "
+                f"(got {type(rng).__name__}): the build is content-addressed"
+            )
+        return load_store_dataset(
+            key, seed=0 if rng is None else int(rng), scale=scale,
+            cache_dir=cache_dir,
+        )
     if key not in _TABLE_I:
-        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(_TABLE_I)}")
+        from repro.store import STORE_DATASET_NAMES
+
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from "
+            f"{sorted(_TABLE_I) + sorted(STORE_DATASET_NAMES)}"
+        )
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     generator = as_generator(rng)

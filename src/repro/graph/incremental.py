@@ -34,6 +34,17 @@ transient evaluations on: BinarizedAttack's PGD loop applies an iterate's
 flip set, scores it, and rolls it back thousands of times per λ-sweep.  The
 materialised CSR is cached per graph *version*, so rolling back to a state
 whose CSR was already built (e.g. the clean graph) costs nothing.
+
+Neighbour storage is **lazy**: the clean graph stays in the (possibly
+memory-mapped, read-only) base CSR, and a mutable per-node neighbour set is
+materialised only for nodes an edge flip actually touches.  Un-materialised
+rows are byte-identical to the base CSR by construction, so membership
+queries answer from the CSR with a binary search and construction costs
+O(m) numpy work instead of an O(n + m) Python loop building ``n`` sets.
+This is what lets a :class:`~repro.store.GraphStore`-backed engine run a
+whole attack with per-worker private memory proportional to the *touched*
+neighbourhood, not the graph — the mmap is never written (flips live in the
+override sets and the Δ-overlay) and never copied.
 """
 
 from __future__ import annotations
@@ -72,14 +83,30 @@ class IncrementalEgonetFeatures:
 
     def __init__(self, graph):
         csr = to_sparse(graph)
+        if not csr.has_sorted_indices:
+            csr.sort_indices()
         self.n = int(csr.shape[0])
-        self._neighbors: list[set[int]] = [
-            set(csr.indices[csr.indptr[i] : csr.indptr[i + 1]].tolist())
-            for i in range(self.n)
-        ]
-        n_feature, e_feature = egonet_features_sparse(csr)
-        self._n_feature = np.asarray(n_feature, dtype=np.float64)
-        self._e_feature = np.asarray(e_feature, dtype=np.float64)
+        #: Read-only clean-graph CSR: rows not present in ``_rows`` are
+        #: exactly this matrix's rows.  May be backed by np.memmap arrays
+        #: (a GraphStore); nothing in this class ever writes to it.
+        self._base = csr
+        #: Mutable neighbour sets, materialised lazily — only for nodes a
+        #: flip has touched.  Invariant: ``u not in _rows`` ⇒ ``u``'s
+        #: neighbourhood equals the base CSR row (no flip ever touched it).
+        self._rows: dict[int, set[int]] = {}
+        precomputed = getattr(csr, "_repro_egonet_features", None)
+        if precomputed is not None:
+            # A GraphStore CSR ships its clean (N, E) precomputed at build
+            # time; copying the 2 × n vectors replaces the O(Σ deg²)
+            # triangle pass — the difference between an O(n) and a
+            # minutes-long engine construction at full Blogcatalog scale.
+            n_feature, e_feature = precomputed
+        else:
+            n_feature, e_feature = egonet_features_sparse(csr)
+        # copy=True: the features may arrive as read-only memmap rows, and
+        # these arrays are mutated in place by every flip.
+        self._n_feature = np.array(n_feature, dtype=np.float64, copy=True)
+        self._e_feature = np.array(e_feature, dtype=np.float64, copy=True)
         self._flips: list[Edge] = []
         # Monotone state version: every flip advances it, every rollback
         # restores the pre-flip value.  Because rollback really does return
@@ -116,25 +143,52 @@ class IncrementalEgonetFeatures:
     # ------------------------------------------------------------------ #
     # Structure queries
     # ------------------------------------------------------------------ #
+    def _base_row(self, u: int) -> np.ndarray:
+        """``u``'s sorted neighbour ids in the clean base CSR (a view)."""
+        base = self._base
+        return base.indices[base.indptr[u] : base.indptr[u + 1]]
+
+    def _materialize(self, u: int) -> "set[int]":
+        """The mutable neighbour set of ``u``, created from the base row on
+        first touch (mutation paths only — reads stay allocation-free)."""
+        row = self._rows.get(u)
+        if row is None:
+            row = set(self._base_row(u).tolist())
+            self._rows[u] = row
+        return row
+
     def is_edge(self, u: int, v: int) -> bool:
-        return v in self._neighbors[u]
+        row = self._rows.get(u)
+        if row is not None:
+            return v in row
+        base_row = self._base_row(u)
+        index = int(np.searchsorted(base_row, v))
+        return index < base_row.size and int(base_row[index]) == v
 
     def degree(self, u: int) -> int:
-        return len(self._neighbors[u])
+        # N *is* the degree feature, maintained exactly as an integer.
+        return int(self._n_feature[u])
 
     def neighbors(self, u: int) -> "set[int]":
-        """The (live) neighbour set of ``u`` — treat as read-only."""
-        return self._neighbors[u]
+        """The neighbour set of ``u`` — treat as read-only.
+
+        Rows no flip has touched are built fresh from the base CSR (read
+        access never materialises a mutable override row).
+        """
+        row = self._rows.get(u)
+        if row is not None:
+            return row
+        return set(self._base_row(u).tolist())
 
     def common_neighbors(self, u: int, v: int) -> "set[int]":
         """``Γ(u) ∩ Γ(v)`` (never contains ``u`` or ``v`` — no self-loops)."""
-        a, b = self._neighbors[u], self._neighbors[v]
+        a, b = self.neighbors(u), self.neighbors(v)
         return (a & b) if len(a) <= len(b) else (b & a)
 
     def edge_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """0/1 vector of adjacency values at the given pairs."""
         return np.fromiter(
-            (1.0 if int(c) in self._neighbors[int(r)] else 0.0
+            (1.0 if self.is_edge(int(r), int(c)) else 0.0
              for r, c in zip(rows, cols)),
             dtype=np.float64,
             count=len(rows),
@@ -193,8 +247,12 @@ class IncrementalEgonetFeatures:
 
     def _toggle(self, u: int, v: int) -> None:
         """The O(deg) feature/neighbour update shared by flip and rollback."""
-        delta = -1.0 if v in self._neighbors[u] else 1.0
-        common = self.common_neighbors(u, v)
+        # Mutation materialises the two endpoint rows (and only those): the
+        # base CSR stays untouched, so a memory-mapped base is never written.
+        row_u = self._materialize(u)
+        row_v = self._materialize(v)
+        delta = -1.0 if v in row_u else 1.0
+        common = (row_u & row_v) if len(row_u) <= len(row_v) else (row_v & row_u)
         self._n_feature[u] += delta
         self._n_feature[v] += delta
         self._e_feature[u] += delta * (1.0 + len(common))
@@ -202,11 +260,11 @@ class IncrementalEgonetFeatures:
         for w in common:
             self._e_feature[w] += delta
         if delta > 0:
-            self._neighbors[u].add(v)
-            self._neighbors[v].add(u)
+            row_u.add(v)
+            row_v.add(u)
         else:
-            self._neighbors[u].discard(v)
-            self._neighbors[v].discard(u)
+            row_u.discard(v)
+            row_v.discard(u)
 
     # ------------------------------------------------------------------ #
     # Materialisation
@@ -255,7 +313,9 @@ class IncrementalEgonetFeatures:
         for pair in current[prefix:]:
             parity[pair] = parity.get(pair, 0) ^ 1
         return [
-            (u, v, 1.0 if v in self._neighbors[u] else -1.0)
+            # Changed pairs were flipped, so their endpoint rows are
+            # materialised — this membership test is a set lookup.
+            (u, v, 1.0 if self.is_edge(u, v) else -1.0)
             for (u, v), odd in parity.items()
             if odd
         ]
@@ -301,15 +361,17 @@ class IncrementalEgonetFeatures:
         return folded
 
     def _rebuild_csr(self) -> sparse.csr_matrix:
-        """Full rebuild from the neighbour sets (fallback, O(n + m) Python)."""
+        """Full rebuild from base rows + overrides (fallback, O(n + m) Python)."""
         indptr = np.zeros(self.n + 1, dtype=np.intp)
         degrees = np.fromiter(
-            (len(s) for s in self._neighbors), dtype=np.intp, count=self.n
+            (self.degree(i) for i in range(self.n)), dtype=np.intp, count=self.n
         )
         np.cumsum(degrees, out=indptr[1:])
         indices = np.empty(int(indptr[-1]), dtype=np.intp)
-        for i, neigh in enumerate(self._neighbors):
-            indices[indptr[i] : indptr[i + 1]] = sorted(neigh)
+        for i in range(self.n):
+            override = self._rows.get(i)
+            row = self._base_row(i) if override is None else sorted(override)
+            indices[indptr[i] : indptr[i + 1]] = row
         data = np.ones(len(indices), dtype=np.float64)
         return sparse.csr_matrix((data, indices, indptr), shape=(self.n, self.n))
 

@@ -534,14 +534,24 @@ class EngineSpec(NamedTuple):
         Resolved backend name (``"dense"`` or ``"sparse"`` — never
         ``"auto"``, so every worker builds the identical engine class).
     kind : str
-        Graph payload encoding: ``"dense"`` (one ndarray) or ``"csr"``
-        (``(data, indices, indptr, shape)`` component tuple).
+        Graph payload encoding: ``"dense"`` (one ndarray), ``"csr"``
+        (``(data, indices, indptr, shape)`` component tuple) or ``"store"``
+        (one :class:`~repro.store.GraphStore` directory path — the worker
+        memory-maps the graph instead of receiving a multi-MB array
+        payload, so N workers share one page-cached copy).
     payload : tuple
-        The encoded graph arrays.
+        The encoded graph arrays (or the store path string).
     floor : float
         Log-clamp floor the engine was (or will be) configured with.
     ridge : float
         Ridge term of the closed-form power-law fit.
+    fingerprint : str or None
+        Graph-identity token (``_repro_fingerprint``) carried across the
+        spec round-trip.  A store-tagged CSR fingerprints its checkpoints
+        by this token; without re-applying it in :meth:`to_graph`, a
+        worker rebuilding from byte payload would derive a *different*
+        checkpoint fingerprint than its parent and every shard merge
+        would be rejected.
     """
 
     backend: str
@@ -549,6 +559,7 @@ class EngineSpec(NamedTuple):
     payload: tuple
     floor: float
     ridge: float
+    fingerprint: "str | None" = None
 
     @classmethod
     def from_graph(
@@ -582,15 +593,50 @@ class EngineSpec(NamedTuple):
         return cls(
             backend=resolved, kind=kind, payload=payload,
             floor=float(floor), ridge=float(ridge),
+            fingerprint=getattr(graph, "_repro_fingerprint", None),
+        )
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        *,
+        floor: float = 1.0,
+        ridge: float = DEFAULT_RIDGE,
+    ) -> "EngineSpec":
+        """Capture a :class:`~repro.store.GraphStore` as a path-payload spec.
+
+        The pickled spec is a few hundred bytes regardless of graph size;
+        every worker that builds from it memory-maps the same store files
+        (read-only) instead of unpickling its own CSR copy.  Store-backed
+        engines are always sparse.
+        """
+        return cls(
+            backend="sparse", kind="store", payload=(str(store.path),),
+            floor=float(floor), ridge=float(ridge),
+            fingerprint=f"graph-store:{store.digest}",
         )
 
     def to_graph(self):
-        """Materialise the graph payload (ndarray or ``csr_matrix``)."""
+        """Materialise the graph payload (ndarray, ``csr_matrix``, or the
+        memory-mapped CSR of a ``store``-kind spec).
+
+        A captured :attr:`fingerprint` token is re-applied to the sparse
+        result, so checkpoints a worker writes validate against the
+        parent's regardless of which side carried the graph as bytes.
+        """
         if self.kind == "dense":
             return np.array(self.payload[0], copy=True)
         if self.kind == "csr":
             data, indices, indptr, shape = self.payload
-            return _sparse.csr_matrix((data, indices, indptr), shape=shape)
+            matrix = _sparse.csr_matrix((data, indices, indptr), shape=shape)
+            if self.fingerprint is not None:
+                matrix._repro_fingerprint = self.fingerprint
+            return matrix
+        if self.kind == "store":
+            from repro.store import GraphStore
+
+            return GraphStore.open(self.payload[0]).csr()
         raise ValueError(f"unknown engine-spec payload kind {self.kind!r}")
 
     def build(
@@ -845,6 +891,18 @@ class SurrogateEngine(abc.ABC):
         """∂(surrogate)/∂A of the current graph, at the candidate pairs."""
 
     @abc.abstractmethod
+    def pair_gradient(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """∂(surrogate)/∂A of the current graph at *arbitrary* canonical pairs.
+
+        Unlike :meth:`candidate_gradient` the queried pairs need not belong
+        to the engine's candidate set — this is the probe the
+        gradient-informed adaptive growth policy
+        (:class:`~repro.attacks.candidates.AdaptiveCandidateSet` with
+        ``growth="gradient"``) uses to rank would-be admissions by predicted
+        |∂L/∂A| before committing them as decision variables.
+        """
+
+    @abc.abstractmethod
     def degrees(self) -> np.ndarray:
         """Current per-node degree vector."""
 
@@ -952,6 +1010,10 @@ class DenseSurrogateEngine(SurrogateEngine):
     ):
         if _sparse.issparse(graph):
             adjacency = graph.toarray()
+        elif hasattr(graph, "adjacency_csr"):
+            # store-backed graphs densify here — the dense reference engine
+            # is for small graphs/tests, so the O(n²) copy is intentional
+            adjacency = graph.adjacency_csr().toarray()
         elif hasattr(graph, "adjacency_view"):
             adjacency = np.array(graph.adjacency_view, dtype=np.float64)
         else:
@@ -1031,6 +1093,15 @@ class DenseSurrogateEngine(SurrogateEngine):
             floor=self.floor, weights=self._weights, ridge=self.ridge,
         )
         return gradient[self.rows, self.cols]
+
+    def pair_gradient(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Full autograd adjacency gradient, gathered at arbitrary pairs."""
+        rows, cols = _candidate_arrays((rows, cols))
+        gradient = adjacency_gradient(
+            self._adjacency, self._targets,
+            floor=self.floor, weights=self._weights, ridge=self.ridge,
+        )
+        return gradient[rows, cols]
 
     def degrees(self) -> np.ndarray:
         """Per-node degrees (one O(n²) row sum)."""
@@ -1280,6 +1351,18 @@ class SparseSurrogateEngine(SurrogateEngine):
         return _scatter_pair_gradient(
             base, d_n, d_e, self.rows, self.cols, delta=delta
         )
+
+    def pair_gradient(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Closed-form gradient scattered onto arbitrary canonical pairs."""
+        rows, cols = _candidate_arrays((rows, cols))
+        features = self._features
+        base, delta = features.csr_with_delta()
+        n_feature, e_feature = features.features()
+        d_n, d_e = feature_gradients(
+            n_feature, e_feature, self._targets,
+            floor=self.floor, ridge=self.ridge, weights=self._weights,
+        )
+        return _scatter_pair_gradient(base, d_n, d_e, rows, cols, delta=delta)
 
     def degrees(self) -> np.ndarray:
         """Maintained degree vector (O(1) — N *is* the degree feature)."""

@@ -1,0 +1,74 @@
+"""Paper-scale dataset names backed by graph stores.
+
+The in-memory registry (:mod:`repro.graph.datasets`) tops out around 1000
+nodes because :class:`~repro.graph.graph.Graph` is dense.  The names here —
+``<table-I-name>-full`` — resolve to :class:`~repro.store.GraphStore`-backed
+datasets built (once, then cached content-addressed) by the streaming
+builder, so ``load_dataset("blogcatalog-full")`` hands back the paper's
+88.8k-node scale without ever allocating a dense adjacency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.store.builder import build_store
+
+__all__ = ["STORE_DATASET_NAMES", "load_store_dataset"]
+
+#: ``load_dataset``-recognised store-backed names.  All five Table I graphs
+#: get a ``-full`` variant; only Blogcatalog's differs in size from its
+#: sampled counterpart in the paper (the others are included for symmetric
+#: ``--scale`` sweeps).
+STORE_DATASET_NAMES = (
+    "er-full",
+    "ba-full",
+    "blogcatalog-full",
+    "wikivote-full",
+    "bitcoin-alpha-full",
+)
+
+#: The one genuinely paper-full recipe; the other ``-full`` names reuse the
+#: Table I recipe scaled up by this factor (the paper samples ~1k nodes
+#: from graphs 10–90× larger; 10× keeps the non-Blogcatalog variants
+#: buildable in seconds while still being out-of-core-sized).
+_FULL_SCALE_FACTOR = 10.0
+
+
+def _recipe_name_and_scale(key: str, scale: float) -> tuple[str, float]:
+    """Map a ``*-full`` dataset name onto a builder recipe + total scale."""
+    base = key[: -len("-full")]
+    if key == "blogcatalog-full":
+        # Dedicated full-size recipe (88.8k nodes, ~2.1M edges).
+        return key, scale
+    return base, scale * _FULL_SCALE_FACTOR
+
+
+def load_store_dataset(
+    name: str,
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    cache_dir: "str | Path | None" = None,
+):
+    """Build/open the store for a ``*-full`` name; return a ``Dataset``.
+
+    The returned :class:`~repro.graph.datasets.Dataset` carries the
+    :class:`GraphStore` itself in its ``graph`` slot (the store quacks like
+    a graph everywhere the sparse pipeline looks), with the planted-anomaly
+    ground truth recovered from the manifest.  ``seed`` must be an integer:
+    the build is content-addressed, so the randomness source has to be part
+    of the hashable recipe.
+    """
+    from repro.graph.datasets import Dataset
+
+    key = name.lower().replace("_", "-")
+    if key not in STORE_DATASET_NAMES:
+        raise KeyError(
+            f"unknown store dataset {name!r}; choose from {sorted(STORE_DATASET_NAMES)}"
+        )
+    recipe_name, total_scale = _recipe_name_and_scale(key, scale)
+    store = build_store(
+        recipe_name, cache_dir=cache_dir, scale=total_scale, seed=int(seed)
+    )
+    return Dataset(name=key, graph=store, planted=dict(store.planted))

@@ -207,16 +207,56 @@ class TestCampaignResume:
         for a, b in zip(replay, fresh):
             assert a.flips_by_budget == b.flips_by_budget
 
-    def test_corrupt_checkpoint_header_raises_cleanly(
+    def test_torn_header_with_no_records_is_repaired(
         self, graph_and_targets, tmp_path
     ):
+        """A crash during the very first append tears the header; since no
+        job completed, the truthful checkpoint is an empty one — the run
+        must proceed (and recheckpoint) instead of demanding manual
+        deletion."""
         graph, targets = graph_and_targets
         jobs = grid_jobs("gradmaxsearch", [[targets[0]]], budgets=[2],
                          candidates="target_incident")
         checkpoint = tmp_path / "campaign.json"
-        checkpoint.write_text('{"version"')  # torn header
+        checkpoint.write_text('{"version"')  # torn header, nothing after it
+        result = AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs)
+        assert result.resumed_jobs == 0
+        replay = AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs)
+        assert replay.resumed_jobs == 1
+
+    def test_corrupt_header_with_records_still_raises(
+        self, graph_and_targets, tmp_path
+    ):
+        """Garbage where the header should be, but records following it:
+        that is not a first-append tear — refuse to guess."""
+        graph, targets = graph_and_targets
+        jobs = grid_jobs("gradmaxsearch", [[targets[0]]], budgets=[2],
+                         candidates="target_incident")
+        checkpoint = tmp_path / "campaign.json"
+        checkpoint.write_text('{"version"\n{"job": {}}\n')
         with pytest.raises(ValueError, match="corrupt header"):
             AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs)
+
+    def test_parseable_but_incomplete_record_is_skipped(
+        self, graph_and_targets, tmp_path
+    ):
+        """A tear can land exactly on a close-brace, leaving valid JSON
+        with fields missing — that record must cost one job, not the file."""
+        graph, targets = graph_and_targets
+        jobs = grid_jobs("gradmaxsearch", [[t] for t in targets[:2]], budgets=[2],
+                         candidates="target_incident")
+        checkpoint = tmp_path / "campaign.json"
+        AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs)
+        lines = checkpoint.read_text().splitlines()
+        # truncate the last record to a parseable prefix: its "job" object
+        torn = json.loads(lines[-1])["job"]
+        lines[-1] = json.dumps({"job": torn})
+        checkpoint.write_text("\n".join(lines) + "\n")
+        resumed = AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs)
+        fresh = AttackCampaign(graph).run(jobs)
+        assert resumed.resumed_jobs == 1
+        for a, b in zip(resumed, fresh):
+            assert a.flips_by_budget == b.flips_by_budget
 
     @pytest.mark.parametrize("backend", ["dense", "sparse"])
     def test_failed_job_leaves_engine_clean(self, graph_and_targets, backend):

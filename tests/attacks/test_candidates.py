@@ -144,3 +144,117 @@ class TestSparseExplicitZeros:
         assert matrix.nnz == 6
         candidate_set = CandidateSet.two_hop(matrix, [0])
         assert set(candidate_set.pairs()) == {(0, 1), (0, 2), (1, 2)}
+
+
+class TestGradientGrowth:
+    """AdaptiveCandidateSet with growth="gradient": admissions ranked by the
+    engine's predicted |dL/dA|, capped per refresh, superset invariant held."""
+
+    def _engine(self, graph, targets, candidate_set):
+        from repro.oddball.surrogate import SurrogateEngine
+
+        return SurrogateEngine.create(
+            graph.adjacency_view, targets, candidate_set, backend="sparse"
+        )
+
+    def _setup(self):
+        from repro.attacks.candidates import AdaptiveCandidateSet
+        from repro.graph.generators import barabasi_albert
+
+        graph = barabasi_albert(200, 8, rng=9)
+        targets = [0, 1]
+        candidate_set = AdaptiveCandidateSet.start(200, targets, growth="gradient")
+        return graph, targets, candidate_set
+
+    def test_strategy_name_registered(self):
+        from repro.attacks.candidates import (
+            CANDIDATE_STRATEGIES,
+            CandidateSet,
+        )
+        from repro.graph.generators import erdos_renyi
+
+        assert "adaptive_gradient" in CANDIDATE_STRATEGIES
+        graph = erdos_renyi(30, 0.2, rng=0)
+        built = CandidateSet.build("adaptive_gradient", graph, [1, 2])
+        assert built.strategy == "adaptive_gradient"
+        assert built.growth == "gradient"
+
+    def test_starts_as_exact_target_incident(self):
+        _, targets, candidate_set = self._setup()
+        base = CandidateSet.target_incident(200, targets)
+        assert candidate_set.pairs() == base.pairs()
+
+    def test_refresh_is_superset_of_previous_and_base(self):
+        graph, targets, candidate_set = self._setup()
+        engine = self._engine(graph, targets, candidate_set)
+        base_pairs = set(CandidateSet.target_incident(200, targets).pairs())
+        current = candidate_set
+        for flip in [(5, 30), (30, 77), (77, 101)]:
+            engine.apply_flip(*flip)
+            grown = current.refresh([flip], engine)
+            assert base_pairs <= set(grown.pairs())
+            assert set(current.pairs()) <= set(grown.pairs())
+            # remap (the attack-state contract) must succeed on every pair
+            grown.remap_positions(current.rows, current.cols)
+            current = grown
+
+    def test_admissions_capped_and_gradient_ranked(self):
+        from repro.attacks.candidates import AdaptiveCandidateSet
+
+        graph, targets, candidate_set = self._setup()
+        engine = self._engine(graph, targets, candidate_set)
+        # flip to a hub so the admission pool exceeds the cap
+        degrees = engine.degrees()
+        hub = int(np.argmax(degrees))
+        if hub in (0, 1):
+            hub = int(np.argsort(-degrees)[2])
+        engine.apply_flip(0, hub)
+        grown = candidate_set.refresh([(0, hub)], engine)
+        added = set(grown.pairs()) - set(candidate_set.pairs())
+        cap = AdaptiveCandidateSet.GRADIENT_ADMIT_CAP
+        assert 0 < len(added) <= cap
+        # adjacency growth over the same pool admits strictly more
+        adjacency_grown = AdaptiveCandidateSet(
+            n=candidate_set.n, rows=candidate_set.rows, cols=candidate_set.cols,
+            strategy="adaptive", ball=candidate_set.ball, growth="adjacency",
+        ).refresh([(0, hub)], engine)
+        pool = set(adjacency_grown.pairs()) - set(candidate_set.pairs())
+        assert added < pool
+        # the admitted pairs are exactly the top-|gradient| slice of the pool
+        pool_pairs = sorted(pool)
+        rows = np.array([u for u, _ in pool_pairs], dtype=np.intp)
+        cols = np.array([v for _, v in pool_pairs], dtype=np.intp)
+        magnitude = np.abs(engine.pair_gradient(rows, cols))
+        keys = rows * candidate_set.n + cols
+        order = np.lexsort((keys, -magnitude))
+        expected = {
+            (int(rows[k]), int(cols[k])) for k in order[:cap]
+        }
+        assert added == expected
+
+    def test_refresh_without_engine_raises(self):
+        _, _, candidate_set = self._setup()
+        with pytest.raises(ValueError, match="engine"):
+            candidate_set.refresh([(5, 30)])
+
+    def test_pair_gradient_backends_agree(self):
+        from repro.graph.generators import erdos_renyi
+        from repro.oddball.surrogate import SurrogateEngine
+
+        graph = erdos_renyi(40, 0.15, rng=2)
+        targets = [3, 7]
+        rows = np.array([0, 2, 5], dtype=np.intp)
+        cols = np.array([9, 11, 30], dtype=np.intp)
+        dense = SurrogateEngine.create(
+            graph.adjacency_view, targets, backend="dense"
+        )
+        sparse_engine = SurrogateEngine.create(
+            graph.adjacency_view, targets,
+            (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)),
+            backend="sparse",
+        )
+        np.testing.assert_allclose(
+            dense.pair_gradient(rows, cols),
+            sparse_engine.pair_gradient(rows, cols),
+            rtol=1e-9, atol=1e-12,
+        )

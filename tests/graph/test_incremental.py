@@ -261,3 +261,47 @@ class TestIncrementalCsrFold:
         assert engine.depth == 2
         engine.rollback(1)
         assert engine.depth == 1
+
+
+class TestLazyNeighbourRows:
+    """Neighbour storage is lazy: construction materialises nothing, reads
+    answer from the base CSR, and only flipped endpoints get override rows
+    — the property that lets the engine sit on a read-only mmap."""
+
+    def test_construction_materialises_no_rows(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        assert engine._rows == {}
+
+    def test_reads_do_not_materialise(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        dense = small_ba_graph.adjacency_view
+        for u in range(engine.n):
+            assert engine.degree(u) == int(dense[u].sum())
+            assert engine.neighbors(u) == set(np.flatnonzero(dense[u]).tolist())
+            for v in range(engine.n):
+                if u != v:
+                    assert engine.is_edge(u, v) == bool(dense[u, v])
+        assert engine._rows == {}
+
+    def test_only_flip_endpoints_materialise(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        engine.flip(0, 3)
+        engine.flip(3, 7)
+        assert set(engine._rows) == {0, 3, 7}
+        # rollback keeps the (still-correct) override rows
+        engine.rollback(2)
+        assert set(engine._rows) == {0, 3, 7}
+        ref_n, ref_e = egonet_features(engine.to_dense())
+        np.testing.assert_array_equal(engine.n_feature, ref_n)
+        np.testing.assert_array_equal(engine.e_feature, ref_e)
+
+    def test_edge_values_mix_base_and_overrides(self, small_ba_graph):
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        dense = small_ba_graph.adjacency_view.copy()
+        engine.flip(0, 1)
+        dense[0, 1] = dense[1, 0] = 1.0 - dense[0, 1]
+        rows = np.array([0, 0, 2, 5])
+        cols = np.array([1, 2, 4, 9])
+        np.testing.assert_array_equal(
+            engine.edge_values(rows, cols), dense[rows, cols]
+        )

@@ -67,3 +67,58 @@ class TestReading:
         path.write_text("0 1\n1 2\n")
         with pytest.raises(ValueError):
             read_edge_list(path, n_nodes=2)
+
+
+class TestDatasetRoundTrip:
+    """write_dataset/read_dataset: the planted ground truth survives, and
+    the version field guards the format."""
+
+    def test_planted_survives_round_trip(self, tmp_path):
+        from repro.graph.datasets import load_dataset
+        from repro.graph.io import read_dataset, write_dataset
+
+        dataset = load_dataset("blogcatalog", rng=3, scale=0.15)
+        assert dataset.planted["cliques"]  # the fixture has ground truth
+        path = write_dataset(dataset, tmp_path / "blogcatalog.json")
+        loaded = read_dataset(path)
+        assert loaded.name == dataset.name
+        assert loaded.planted == dataset.planted
+        assert loaded.graph == dataset.graph
+
+    def test_version_field_written_and_checked(self, tmp_path):
+        import json
+
+        from repro.graph.datasets import load_dataset
+        from repro.graph.io import (
+            DATASET_FORMAT_VERSION,
+            read_dataset,
+            write_dataset,
+        )
+
+        dataset = load_dataset("ba", rng=1, scale=0.1)
+        path = write_dataset(dataset, tmp_path / "ba.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == DATASET_FORMAT_VERSION
+        payload["version"] = DATASET_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported format version"):
+            read_dataset(path)
+
+    def test_empty_planted_round_trips(self, tmp_path):
+        from repro.graph.datasets import load_dataset
+        from repro.graph.io import read_dataset, write_dataset
+
+        dataset = load_dataset("er", rng=0, scale=0.1)  # no planted anomalies
+        loaded = read_dataset(write_dataset(dataset, tmp_path / "er.json"))
+        assert loaded.planted == {}
+        assert loaded.graph == dataset.graph
+
+    def test_store_backed_dataset_rejected(self, tmp_path):
+        from repro.graph.datasets import load_dataset
+        from repro.graph.io import write_dataset
+
+        dataset = load_dataset(
+            "blogcatalog-full", rng=1, scale=0.01, cache_dir=tmp_path / "cache"
+        )
+        with pytest.raises(TypeError, match="store-backed"):
+            write_dataset(dataset, tmp_path / "nope.json")

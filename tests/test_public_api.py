@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.gad",
     "repro.ml",
     "repro.experiments",
+    "repro.store",
     "repro.utils",
 ]
 
