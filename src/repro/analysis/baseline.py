@@ -1,0 +1,93 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the analysis gate turn on *strict* from day one without
+first fixing every historical finding: existing findings are recorded
+(fingerprint → count) in a committed JSON file, the CI job fails only on
+findings **beyond** the baseline, and shrinking the file over time is the
+paydown workflow.  Fingerprints are line-number-free (see
+:meth:`repro.analysis.findings.Finding.fingerprint`), so unrelated edits
+never invalidate entries; editing a baselined line *does* (the changed
+line needs a fresh look — exactly the right trigger).
+
+Counts matter: two identical ``.toarray()`` lines in one file share a
+fingerprint, and baselining one of them must not silence the other.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline"]
+
+_BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint → allowed-count map, JSON round-trippable.
+
+    ``Baseline.load(path)`` on a missing file yields an empty baseline, so
+    a repo with zero grandfathered findings needs no file at all.
+    """
+
+    def __init__(self, counts: "dict[str, int] | None" = None):
+        self.counts: dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: "Path | str | None") -> "Baseline":
+        """Read a baseline file (missing file or ``None`` → empty)."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        if payload.get("version") != _BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version')!r} (this build reads {_BASELINE_VERSION})"
+            )
+        counts = {
+            str(fp): int(count) for fp, count in payload.get("findings", {}).items()
+        }
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: "list[Finding]") -> "Baseline":
+        """Baseline covering exactly ``findings`` (the ``--write-baseline`` path)."""
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    def save(self, path: "Path | str") -> None:
+        """Write the baseline JSON (sorted keys — diff-friendly commits)."""
+        payload = {
+            "version": _BASELINE_VERSION,
+            "findings": {fp: self.counts[fp] for fp in sorted(self.counts)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def filter(
+        self, findings: "list[Finding]"
+    ) -> "tuple[list[Finding], list[Finding]]":
+        """Split ``findings`` into ``(new, baselined)``.
+
+        The first ``count`` occurrences of each baselined fingerprint are
+        absorbed (in input order — stable under re-runs); everything past
+        the recorded count is new and must fail the gate.
+        """
+        budget = dict(self.counts)
+        new: list[Finding] = []
+        absorbed: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                absorbed.append(finding)
+            else:
+                new.append(finding)
+        return new, absorbed
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,59 @@
+"""Finding: one lint/audit observation, with a drift-tolerant fingerprint.
+
+A finding is keyed two ways:
+
+* ``(path, line)`` — where to look, used for display and pragma matching;
+* :meth:`Finding.fingerprint` — ``rule :: path :: normalised source line``,
+  deliberately **line-number-free** so a committed baseline survives
+  unrelated edits above the finding (the classic churn failure of
+  line-keyed suppression files).
+
+Formatting supports the plain terminal style and the ``--format github``
+style (``::error file=...`` workflow commands) the CI job consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation found by a rule or audit.
+
+    ``snippet`` is the stripped source line the finding anchors to; it is
+    part of the fingerprint, so moving a line does not invalidate a
+    baseline entry but *changing* it does (the edit needs re-review).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity: rule + path + whitespace-normalised snippet."""
+        normalised = " ".join(self.snippet.split())
+        digest = hashlib.sha1(
+            f"{self.rule}::{self.path}::{normalised}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def format_text(self) -> str:
+        """``path:line: [rule] message`` — the terminal style."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command style (inline PR annotations)."""
+        # Workflow commands terminate the message at a newline; the
+        # properties segment additionally reserves ',' and '::'.
+        message = self.message.replace("\n", " ")
+        return (
+            f"::error file={self.path},line={self.line},"
+            f"title=repro.analysis {self.rule}::{message}"
+        )

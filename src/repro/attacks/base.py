@@ -28,7 +28,7 @@ from scipy import sparse
 
 from repro.attacks.candidates import CandidateSet
 from repro.graph.graph import Graph
-from repro.graph.sparse import anomaly_scores_sparse, to_sparse
+from repro.graph.sparse import SparseGraphView, anomaly_scores_sparse, to_sparse
 from repro.oddball.scores import anomaly_scores
 from repro.utils.validation import check_adjacency, check_budget
 
@@ -127,17 +127,20 @@ class AttackResult:
         """Poisoned adjacency (same dense/sparse representation) at ``budget``."""
         return apply_flips(self.original, self.flips(budget))
 
-    def poisoned_graph(self, budget: "int | None" = None) -> Graph:
-        """Poisoned :class:`Graph` at ``budget``.
+    def poisoned_graph(self, budget: "int | None" = None) -> "Graph | SparseGraphView":
+        """Poisoned graph object at ``budget``, same representation as input.
 
-        :class:`Graph` is dense-backed, so this is the one place a sparse
-        result is *explicitly* densified — every other derived artefact
-        (:meth:`poisoned`, :meth:`score_decrease`) stays sparse.  Prefer
-        :meth:`poisoned` on large graphs.
+        Dense originals yield a dense-backed :class:`Graph`; sparse
+        originals yield a read-only
+        :class:`~repro.graph.sparse.SparseGraphView` over the poisoned
+        CSR, so large-graph results never densify implicitly.  The view
+        mirrors Graph's query API and plugs into every sparse-aware
+        consumer via ``adjacency_csr()``; call its ``to_graph()`` when a
+        small graph genuinely needs the dense API.
         """
         poisoned = self.poisoned(budget)
         if sparse.issparse(poisoned):
-            poisoned = poisoned.toarray()
+            return SparseGraphView(poisoned)
         return Graph(poisoned)
 
     def edges_changed_fraction(self, budget: "int | None" = None) -> float:
@@ -215,6 +218,7 @@ class StructuralAttack(abc.ABC):
             graph = graph.adjacency_csr()
         if sparse.issparse(graph):
             csr = to_sparse(graph)
+            # repro: allow-densify(documented dense fallback for algorithms that index dense matrices — small n only)
             return csr if allow_sparse else csr.toarray()
         return check_adjacency(np.asarray(graph, dtype=np.float64))
 

@@ -123,6 +123,32 @@ def _jsonable(value):
     return value
 
 
+def _jsonable_mapping(mapping: dict) -> dict:
+    """Deep JSON image of a free-form metadata mapping.
+
+    Attack metadata is attack-authored and may carry numpy scalars,
+    arrays, or tuples; ``json.dumps`` silently accepts some of these
+    today and rejects others, and what it accepts round-trips as a
+    different type on resume.  Converting here keeps the checkpoint JSONL
+    purely JSON-native, so a resumed campaign reads back exactly the
+    values a fresh run would have produced.
+    """
+
+    def convert(value):
+        value = _canonical(value)
+        if isinstance(value, np.ndarray):
+            value = tuple(value.tolist())
+        if isinstance(value, np.bool_):
+            return bool(value)
+        if isinstance(value, tuple):
+            return [convert(v) for v in value]
+        if isinstance(value, dict):
+            return {str(k): convert(v) for k, v in value.items()}
+        return value
+
+    return {str(k): convert(v) for k, v in mapping.items()}
+
+
 @dataclass(frozen=True)
 class AttackJob:
     """One unit of campaign work: an attack spec against one target set.
@@ -325,7 +351,7 @@ class JobOutcome:
             "score_after": float(self.score_after),
             "rank_shifts": {str(t): int(s) for t, s in self.rank_shifts.items()},
             "seconds": float(self.seconds),
-            "metadata": self.metadata,
+            "metadata": _jsonable_mapping(self.metadata),
         }
 
     @classmethod

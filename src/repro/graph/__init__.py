@@ -24,7 +24,12 @@ from repro.graph.io import (
     write_dataset,
     write_edge_list,
 )
-from repro.graph.sparse import anomaly_scores_sparse, egonet_features_sparse, to_sparse
+from repro.graph.sparse import (
+    SparseGraphView,
+    anomaly_scores_sparse,
+    egonet_features_sparse,
+    to_sparse,
+)
 from repro.graph.threatmodel import Defender, Environment, ManInTheMiddleAttacker
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "Graph",
     "IncrementalEgonetFeatures",
     "ManInTheMiddleAttacker",
+    "SparseGraphView",
     "anomaly_scores_sparse",
     "barabasi_albert",
     "dataset_statistics",

@@ -377,4 +377,5 @@ class IncrementalEgonetFeatures:
 
     def to_dense(self) -> np.ndarray:
         """Current adjacency densified (testing / small graphs only)."""
+        # repro: allow-densify(explicit escape hatch for tests and small graphs)
         return self.adjacency_csr().toarray()

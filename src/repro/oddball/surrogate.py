@@ -1009,10 +1009,12 @@ class DenseSurrogateEngine(SurrogateEngine):
         weights: "Sequence[float] | None" = None,
     ):
         if _sparse.issparse(graph):
+            # repro: allow-densify(dense reference engine — densifying is the point)
             adjacency = graph.toarray()
         elif hasattr(graph, "adjacency_csr"):
             # store-backed graphs densify here — the dense reference engine
             # is for small graphs/tests, so the O(n²) copy is intentional
+            # repro: allow-densify(dense reference engine — densifying is the point)
             adjacency = graph.adjacency_csr().toarray()
         elif hasattr(graph, "adjacency_view"):
             adjacency = np.array(graph.adjacency_view, dtype=np.float64)
@@ -1234,6 +1236,7 @@ class SparseSurrogateEngine(SurrogateEngine):
         n = self.n
         pair_keys = rows * n + cols
         if not base.has_sorted_indices:
+            # repro: allow-mmap-write-safety(unreachable for store CSRs — they arrive pre-sorted with has_sorted_indices set)
             base.sort_indices()
         # Row-major CSR keys are strictly increasing, so membership is one
         # C-level binary search instead of a hash-based isin.
@@ -1365,11 +1368,22 @@ class SparseSurrogateEngine(SurrogateEngine):
         return _scatter_pair_gradient(base, d_n, d_e, rows, cols, delta=delta)
 
     def degrees(self) -> np.ndarray:
-        """Maintained degree vector (O(1) — N *is* the degree feature)."""
+        """Maintained degree vector — an O(n) copy of the N feature.
+
+        The values come straight from the maintained features (no
+        recomputation), but the feature engine returns a defensive copy,
+        so the call is O(n), not O(1).
+        """
         return self._features.n_feature
 
     def is_edge(self, u: int, v: int) -> bool:
-        """O(1) neighbour-set membership probe."""
+        """Edge membership probe against the lazily-overridden rows.
+
+        Rows no flip has touched are answered by an O(log deg) binary
+        search of the base CSR (which may be an out-of-core memmap);
+        flip-touched rows have a materialised neighbour set, answered by
+        an O(1) set probe.  No row is materialised just to ask.
+        """
         return self._features.is_edge(int(u), int(v))
 
     def degree(self, u: int) -> float:

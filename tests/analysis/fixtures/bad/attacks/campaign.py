@@ -1,0 +1,15 @@
+"""Fixture: the ``to_dict`` below must fire ``checkpoint-json-purity``."""
+
+
+class Outcome:
+    metadata: dict
+    extras: "list[str]"
+    score: float
+
+    def to_dict(self) -> dict:
+        return {
+            "score": float(self.score),
+            "metadata": self.metadata,
+            "extras": self.extras,
+            "callback": lambda: 1,
+        }

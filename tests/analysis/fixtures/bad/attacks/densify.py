@@ -1,0 +1,13 @@
+"""Fixture: every statement here must fire ``no-densify``."""
+
+import numpy as np
+from scipy import sparse
+
+
+def densify_everywhere(graph):
+    csr = sparse.csr_matrix(graph)
+    dense_one = csr.toarray()
+    dense_two = csr.todense()
+    dense_three = np.asarray(csr)
+    dense_four = np.array(graph.adjacency_csr())
+    return dense_one, dense_two, dense_three, dense_four

@@ -1,0 +1,14 @@
+"""Fixture: every call here must fire ``no-unseeded-random``."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_everywhere(n):
+    legacy = np.random.rand(n)
+    np.random.seed(0)
+    shuffled = np.random.permutation(n)
+    rng = np.random.default_rng()
+    stdlib = random.random()
+    return legacy, shuffled, rng, stdlib

@@ -1,0 +1,9 @@
+"""Fixture: the spec payloads below must fire ``spec-picklability``."""
+
+
+class Engine:
+    def _spec_payload(self) -> tuple:
+        return (self.graph, {edge for edge in self.edges})
+
+    def engine_spec(self, spec_cls):
+        return spec_cls(payload=(lambda: self.graph,))

@@ -1,0 +1,17 @@
+"""Fixture: every statement marked below must fire ``mmap-write-safety``."""
+
+import numpy as np
+
+
+def write_through_mmaps(store, features, path, n):
+    csr = store.adjacency_csr()
+    csr.data[0] = 2.0
+    csr.sort_indices()
+    alias = csr
+    alias.indices[0] = 1
+    base, delta = features.csr_with_delta()
+    base.eliminate_zeros()
+    mapped = np.memmap(path, dtype=np.float64, mode="r", shape=(n,))
+    mapped[0] = 1.0
+    mapped += 1.0
+    return csr, delta, mapped

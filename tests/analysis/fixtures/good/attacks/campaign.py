@@ -1,0 +1,19 @@
+"""Fixture: the ``to_dict`` below must NOT fire ``checkpoint-json-purity``."""
+
+
+def _jsonable_mapping(mapping):
+    return {str(key): value for key, value in mapping.items()}
+
+
+class Outcome:
+    metadata: dict
+    label: str
+    score: float
+
+    def to_dict(self) -> dict:
+        return {
+            "score": float(self.score),
+            "label": self.label,
+            "metadata": _jsonable_mapping(self.metadata),
+            "flips": [[0, 1]],
+        }

@@ -1,0 +1,13 @@
+"""Fixture: nothing here may fire ``no-unseeded-random``."""
+
+import numpy as np
+
+
+def seeded_everywhere(n, seed):
+    rng = np.random.default_rng(seed)
+    explicit = np.random.default_rng(12345)
+    sequence = np.random.SeedSequence(seed)
+    generator = np.random.Generator(np.random.PCG64(seed))
+    draws = rng.random(n)
+    picks = generator.integers(0, n, size=3)
+    return explicit, sequence, draws, picks

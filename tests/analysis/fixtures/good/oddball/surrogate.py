@@ -1,0 +1,17 @@
+"""Fixture: the spec payloads below must NOT fire ``spec-picklability``."""
+
+import numpy as np
+
+
+class Engine:
+    def _spec_payload(self) -> tuple:
+        csr = self.adjacency
+        return (
+            np.asarray(csr.data, dtype=np.float64),
+            np.asarray(csr.indices),
+            csr.shape,
+            self._matrix.copy(),
+        )
+
+    def engine_spec(self, spec_cls, store):
+        return spec_cls(payload=(str(store.path), float(self.floor)))

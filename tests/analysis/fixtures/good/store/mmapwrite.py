@@ -1,0 +1,18 @@
+"""Fixture: nothing here may fire ``mmap-write-safety``."""
+
+import numpy as np
+
+
+def copy_before_mutating(store, features, path, n):
+    csr = store.adjacency_csr()
+    scratch = csr.copy()
+    scratch.data[0] = 2.0
+    scratch.sort_indices()
+    writable = np.memmap(path, dtype=np.float64, mode="w+", shape=(n,))
+    writable[0] = 1.0
+    base, delta = features.csr_with_delta()
+    keys = np.repeat(np.arange(n, dtype=np.intp), np.diff(base.indptr))
+    rebound = csr
+    rebound = scratch  # rebinding drops the taint
+    rebound.data[0] = 3.0
+    return scratch, writable, keys, delta, rebound

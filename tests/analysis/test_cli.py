@@ -1,0 +1,93 @@
+"""CLI behaviour: exit codes, formats, baseline workflow."""
+
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+
+def _run(argv):
+    return main([str(a) for a in argv])
+
+
+class TestExitCodes:
+    def test_repo_is_clean(self):
+        # THE acceptance criterion: the shipped tree passes its own gate
+        assert main([]) == 0
+
+    def test_bad_fixture_fails(self, tmp_path, capsys):
+        code = _run(
+            [BAD, "--root", BAD, "--no-audit",
+             "--baseline", tmp_path / "empty.json"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[no-densify]" in out
+        assert "attacks/densify.py" in out
+
+    def test_good_fixture_passes(self, tmp_path):
+        code = _run(
+            [GOOD, "--root", GOOD, "--no-audit",
+             "--baseline", tmp_path / "empty.json"]
+        )
+        assert code == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "no-densify",
+            "no-unseeded-random",
+            "mmap-write-safety",
+            "checkpoint-json-purity",
+            "spec-picklability",
+        ):
+            assert rule_id in out
+
+
+class TestGithubFormat:
+    def test_error_annotations_emitted(self, tmp_path, capsys):
+        code = _run(
+            [BAD, "--root", BAD, "--no-audit", "--format", "github",
+             "--baseline", tmp_path / "empty.json"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=attacks/densify.py" in out
+        assert "title=repro.analysis no-densify" in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_green(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        wrote = _run(
+            [BAD, "--root", BAD, "--no-audit",
+             "--baseline", baseline, "--write-baseline"]
+        )
+        assert wrote == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        gated = _run([BAD, "--root", BAD, "--no-audit", "--baseline", baseline])
+        assert gated == 0
+        err = capsys.readouterr().err
+        assert "0 new finding(s)" in err
+        assert "baselined" in err
+
+    def test_new_finding_beyond_baseline_still_fails(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        _run(
+            [BAD, "--root", BAD, "--no-audit",
+             "--baseline", baseline, "--write-baseline"]
+        )
+        extra_root = tmp_path / "tree"
+        extra = extra_root / "attacks" / "fresh.py"
+        extra.parent.mkdir(parents=True)
+        extra.write_text("def f(csr):\n    return csr.toarray()\n")
+        code = _run(
+            [extra_root, "--root", extra_root, "--no-audit",
+             "--baseline", baseline]
+        )
+        assert code == 1

@@ -1,0 +1,154 @@
+"""Pragma parsing/auditing and baseline round-trip behaviour."""
+
+from pathlib import Path
+
+import pytest
+
+import repro.analysis  # noqa: F401 — registers the rules
+from repro.analysis import Baseline, Finding, analyze_paths, collect_pragmas
+
+
+def _write_module(root: Path, source: str, name: str = "mod.py") -> Path:
+    module = root / "attacks" / name
+    module.parent.mkdir(exist_ok=True)
+    module.write_text(source)
+    return module
+
+
+class TestPragmaParsing:
+    def test_trailing_pragma_covers_its_own_line(self):
+        pragmas = collect_pragmas(
+            "x = 1\n"
+            "y = csr.toarray()  # repro: allow-densify(reviewed)\n"
+        )
+        assert list(pragmas) == [2]
+        assert pragmas[2][0].allow == "densify"
+        assert pragmas[2][0].reason == "reviewed"
+
+    def test_comment_only_line_covers_the_next_line(self):
+        pragmas = collect_pragmas(
+            "# repro: allow-densify(line too long for a trailing comment)\n"
+            "y = csr.toarray()\n"
+        )
+        assert list(pragmas) == [2]
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        pragmas = collect_pragmas(
+            '"""Example::\n'
+            "\n"
+            "    y = csr.toarray()  # repro: allow-densify(example)\n"
+            '"""\n'
+            "y = 1\n"
+        )
+        assert pragmas == {}
+
+    def test_allow_matches_rule_with_and_without_no_prefix(self):
+        pragmas = collect_pragmas("x = 1  # repro: allow-densify(ok)\n")
+        pragma = pragmas[1][0]
+        assert pragma.suppresses("no-densify")
+        assert pragma.suppresses("densify")
+        assert not pragma.suppresses("mmap-write-safety")
+
+
+class TestPragmaSuppression:
+    def test_pragma_suppresses_the_finding(self, tmp_path):
+        _write_module(
+            tmp_path,
+            "def f(csr):\n"
+            "    # repro: allow-densify(small-graph helper)\n"
+            "    return csr.toarray()\n",
+        )
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert report.findings == []
+
+    def test_pragma_without_reason_is_malformed_and_does_not_suppress(
+        self, tmp_path
+    ):
+        _write_module(
+            tmp_path,
+            "def f(csr):\n"
+            "    return csr.toarray()  # repro: allow-densify()\n",
+        )
+        report = analyze_paths([tmp_path], root=tmp_path)
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["malformed-pragma", "no-densify"]
+
+    def test_pragma_naming_unknown_rule_is_malformed(self, tmp_path):
+        _write_module(
+            tmp_path,
+            "x = 1  # repro: allow-no-such-rule(typo)\n",
+        )
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["malformed-pragma"]
+        assert "no known rule" in report.findings[0].message
+
+    def test_unused_pragma_is_reported(self, tmp_path):
+        _write_module(
+            tmp_path,
+            "def f(x):\n"
+            "    # repro: allow-densify(the densify below was removed)\n"
+            "    return x\n",
+        )
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["unused-pragma"]
+
+    def test_pragma_outside_rule_scope_is_reported(self, tmp_path):
+        module = tmp_path / "experiments" / "driver.py"
+        module.parent.mkdir()
+        module.write_text("x = 1  # repro: allow-densify(not even in scope)\n")
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["unused-pragma"]
+        assert "outside that rule's scope" in report.findings[0].message
+
+
+class TestBaseline:
+    def _finding(self, snippet="y = csr.toarray()", line=3):
+        return Finding(
+            rule="no-densify",
+            path="attacks/mod.py",
+            line=line,
+            message="densified",
+            snippet=snippet,
+        )
+
+    def test_fingerprint_is_line_number_free(self):
+        early, late = self._finding(line=3), self._finding(line=300)
+        assert early.fingerprint() == late.fingerprint()
+        changed = self._finding(snippet="y = other.toarray()")
+        assert changed.fingerprint() != early.fingerprint()
+
+    def test_round_trip_through_disk(self, tmp_path):
+        findings = [self._finding(), self._finding(), self._finding(snippet="z")]
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.counts == baseline.counts
+        assert len(loaded) == 3
+
+    def test_filter_absorbs_up_to_the_recorded_count(self):
+        baseline = Baseline.from_findings([self._finding()])
+        new, absorbed = baseline.filter([self._finding(), self._finding()])
+        assert len(absorbed) == 1
+        assert len(new) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "missing.json")
+        assert len(baseline) == 0
+        assert Baseline.load(None).counts == {}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": {}}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_baselined_finding_keeps_gate_green(self, tmp_path):
+        _write_module(tmp_path, "def f(csr):\n    return csr.toarray()\n")
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert len(report.findings) == 1
+        baseline = Baseline.from_findings(report.findings)
+        again = analyze_paths([tmp_path], root=tmp_path, baseline=baseline)
+        assert again.findings == []
+        assert len(again.baselined) == 1
+        assert again.ok

@@ -1,10 +1,15 @@
 """Backend parity: each attack must select the same flip sets whether its
 PGD/greedy loop runs on the dense autograd engine or the sparse-incremental
-engine, and sparse inputs must stay sparse end-to-end."""
+engine, and sparse inputs must stay sparse end-to-end.
+
+Every sparse-side run executes under the :func:`forbid_densify` runtime guard,
+so "stays sparse" is enforced by a tripwire, not just asserted after the fact.
+"""
 
 import pytest
 from scipy import sparse
 
+from repro.analysis import forbid_densify
 from repro.attacks import (
     BinarizedAttack,
     CandidateSet,
@@ -41,9 +46,10 @@ class TestBinarizedBackendParity:
         dense = BinarizedAttack(iterations=25, backend="dense").attack(
             graph, targets, budget=4, candidates=candidates
         )
-        fast = BinarizedAttack(iterations=25, backend="sparse").attack(
-            graph, targets, budget=4, candidates=candidates
-        )
+        with forbid_densify(context="binarized backend parity"):
+            fast = BinarizedAttack(iterations=25, backend="sparse").attack(
+                graph, targets, budget=4, candidates=candidates
+            )
         assert dense.flips_by_budget == fast.flips_by_budget
         for budget in dense.surrogate_by_budget:
             assert dense.surrogate_by_budget[budget] == pytest.approx(
@@ -58,9 +64,10 @@ class TestBinarizedBackendParity:
     def test_sparse_input_stays_sparse(self, graph_and_targets):
         graph, targets = graph_and_targets
         csr = sparse.csr_matrix(graph.adjacency)
-        result = BinarizedAttack(iterations=25).attack(
-            csr, targets, budget=4, candidates="target_incident"
-        )
+        with forbid_densify(context="binarized sparse input"):
+            result = BinarizedAttack(iterations=25).attack(
+                csr, targets, budget=4, candidates="target_incident"
+            )
         assert result.metadata["backend"] == "sparse"
         assert sparse.issparse(result.original)
         assert sparse.issparse(result.poisoned())
@@ -88,9 +95,10 @@ class TestBinarizedBackendParity:
         dense = BinarizedAttack(iterations=20, backend="dense").attack(
             graph, targets, budget=3, target_weights=weights
         )
-        fast = BinarizedAttack(iterations=20, backend="sparse").attack(
-            graph, targets, budget=3, target_weights=weights
-        )
+        with forbid_densify(context="binarized weighted parity"):
+            fast = BinarizedAttack(iterations=20, backend="sparse").attack(
+                graph, targets, budget=3, target_weights=weights
+            )
         assert dense.flips_by_budget == fast.flips_by_budget
 
     def test_rejects_unknown_backend(self):
@@ -102,16 +110,20 @@ class TestContinuousBackendParity:
     def test_dense_and_sparse_agree(self, graph_and_targets):
         graph, targets = graph_and_targets
         dense = ContinuousA(max_iter=30, backend="dense").attack(graph, targets, budget=4)
-        fast = ContinuousA(max_iter=30, backend="sparse").attack(graph, targets, budget=4)
+        with forbid_densify(context="continuous backend parity"):
+            fast = ContinuousA(max_iter=30, backend="sparse").attack(
+                graph, targets, budget=4
+            )
         assert dense.flips_by_budget == fast.flips_by_budget
         assert dense.metadata["iterations"] == fast.metadata["iterations"]
 
     def test_sparse_input_stays_sparse(self, graph_and_targets):
         graph, targets = graph_and_targets
         csr = sparse.csr_matrix(graph.adjacency)
-        result = ContinuousA(max_iter=30).attack(
-            csr, targets, budget=4, candidates="target_incident"
-        )
+        with forbid_densify(context="continuous sparse input"):
+            result = ContinuousA(max_iter=30).attack(
+                csr, targets, budget=4, candidates="target_incident"
+            )
         assert result.metadata["backend"] == "sparse"
         assert sparse.issparse(result.original)
         assert sparse.issparse(result.poisoned())
@@ -129,9 +141,10 @@ class TestGradMaxBackendParity:
         dense = GradMaxSearch(backend="dense").attack(
             graph, targets, budget=5, candidates=candidate_set
         )
-        fast = GradMaxSearch(backend="sparse").attack(
-            graph, targets, budget=5, candidates=candidate_set
-        )
+        with forbid_densify(context="gradmax backend parity"):
+            fast = GradMaxSearch(backend="sparse").attack(
+                graph, targets, budget=5, candidates=candidate_set
+            )
         assert dense.metadata["engine"] == "candidates"
         assert fast.metadata["engine"] == "candidates"
         assert dense.flips_by_budget == fast.flips_by_budget
@@ -143,7 +156,8 @@ class TestGradMaxBackendParity:
         pair set and must reproduce the legacy dense loop's flips."""
         graph, targets = graph_and_targets
         legacy = GradMaxSearch().attack(graph, targets, budget=5)
-        fast = GradMaxSearch(backend="sparse").attack(graph, targets, budget=5)
+        with forbid_densify(context="gradmax full-pair parity"):
+            fast = GradMaxSearch(backend="sparse").attack(graph, targets, budget=5)
         assert legacy.metadata["engine"] == "dense"
         assert fast.metadata["engine"] == "candidates"
         assert legacy.flips_by_budget == fast.flips_by_budget
@@ -164,9 +178,10 @@ class TestBaselineSparseParity:
         dense = RandomAttack(rng=13, target_biased=target_biased).attack(
             graph.adjacency, targets, budget=5
         )
-        sparse_result = RandomAttack(rng=13, target_biased=target_biased).attack(
-            csr, targets, budget=5
-        )
+        with forbid_densify(context="random attack sparse parity"):
+            sparse_result = RandomAttack(rng=13, target_biased=target_biased).attack(
+                csr, targets, budget=5
+            )
         assert sparse.issparse(sparse_result.original)
         assert sparse.issparse(sparse_result.poisoned())
         assert dense.flips_by_budget == sparse_result.flips_by_budget
@@ -182,9 +197,10 @@ class TestBaselineSparseParity:
         dense = RandomAttack(rng=13).attack(
             graph.adjacency, targets, budget=4, target_weights=weights
         )
-        sparse_result = RandomAttack(rng=13).attack(
-            csr, targets, budget=4, target_weights=weights
-        )
+        with forbid_densify(context="random attack weighted parity"):
+            sparse_result = RandomAttack(rng=13).attack(
+                csr, targets, budget=4, target_weights=weights
+            )
         assert dense.flips_by_budget == sparse_result.flips_by_budget
         for b, loss in dense.surrogate_by_budget.items():
             assert sparse_result.surrogate_by_budget[b] == pytest.approx(
@@ -195,7 +211,8 @@ class TestBaselineSparseParity:
         graph, targets = graph_and_targets
         csr = sparse.csr_matrix(graph.adjacency)
         dense = OddBallHeuristic(rng=13).attack(graph.adjacency, targets, budget=5)
-        sparse_result = OddBallHeuristic(rng=13).attack(csr, targets, budget=5)
+        with forbid_densify(context="oddball heuristic sparse parity"):
+            sparse_result = OddBallHeuristic(rng=13).attack(csr, targets, budget=5)
         assert sparse.issparse(sparse_result.original)
         assert sparse.issparse(sparse_result.poisoned())
         assert dense.flips_by_budget == sparse_result.flips_by_budget

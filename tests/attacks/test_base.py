@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.attacks.base import AttackResult, apply_flips, validate_targets
+from repro.graph import Graph, SparseGraphView
 
 
 class TestValidateTargets:
@@ -94,3 +96,48 @@ class TestAttackResult:
     def test_invalid_original_rejected(self):
         with pytest.raises(ValueError):
             AttackResult(method="bad", original=np.ones((3, 3)), flips_by_budget={0: []})
+
+
+class TestPoisonedGraphRepresentation:
+    """poisoned_graph() must hand back the same representation it was given:
+    dense originals yield Graph, sparse originals yield SparseGraphView."""
+
+    FLIPS = {0: [], 1: [(0, 1)], 2: [(0, 1), (2, 3)]}
+
+    def _dense_result(self, graph):
+        return AttackResult(
+            method="test", original=graph.adjacency, flips_by_budget=self.FLIPS
+        )
+
+    def _sparse_result(self, graph):
+        csr = sparse.csr_matrix(graph.adjacency)
+        return AttackResult(method="test", original=csr, flips_by_budget=self.FLIPS)
+
+    def test_dense_original_returns_graph(self, small_er_graph):
+        poisoned = self._dense_result(small_er_graph).poisoned_graph()
+        assert isinstance(poisoned, Graph)
+
+    def test_sparse_original_returns_sparse_view(self, small_er_graph):
+        poisoned = self._sparse_result(small_er_graph).poisoned_graph()
+        assert isinstance(poisoned, SparseGraphView)
+        assert sparse.issparse(poisoned.adjacency_csr())
+
+    def test_sparse_and_dense_views_agree(self, small_er_graph):
+        dense = self._dense_result(small_er_graph).poisoned_graph()
+        view = self._sparse_result(small_er_graph).poisoned_graph()
+        assert view.number_of_nodes == dense.number_of_nodes
+        assert view.number_of_edges == dense.number_of_edges
+        assert view.edge_set() == dense.edge_set()
+        assert np.array_equal(view.degrees(), dense.degrees())
+
+    def test_sparse_view_per_budget(self, small_er_graph):
+        result = self._sparse_result(small_er_graph)
+        baseline = result.poisoned_graph(0)
+        assert isinstance(baseline, SparseGraphView)
+        assert baseline.edge_set() == Graph(small_er_graph.adjacency).edge_set()
+        assert result.poisoned_graph(1).has_edge(0, 1) != baseline.has_edge(0, 1)
+
+    def test_to_graph_escape_hatch_matches(self, small_er_graph):
+        view = self._sparse_result(small_er_graph).poisoned_graph()
+        dense = self._dense_result(small_er_graph).poisoned_graph()
+        assert np.array_equal(view.to_graph().adjacency, dense.adjacency)

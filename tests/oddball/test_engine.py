@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 from scipy import sparse
 
+from repro.analysis import forbid_densify
 from repro.attacks.candidates import CandidateSet
 from repro.graph.features import egonet_features
 from repro.graph.generators import barabasi_albert, erdos_renyi
@@ -252,6 +253,28 @@ class TestValidation:
     def test_sparse_input_never_densified(self, graph_and_targets):
         graph, targets = graph_and_targets
         csr = sparse.csr_matrix(graph.adjacency)
-        engine = SurrogateEngine.create(csr, targets)
-        assert isinstance(engine, SparseSurrogateEngine)
-        assert engine.current_loss() == surrogate_loss_numpy(csr, targets)
+        with forbid_densify(context="sparse engine construction"):
+            engine = SurrogateEngine.create(csr, targets)
+            assert isinstance(engine, SparseSurrogateEngine)
+            loss = engine.current_loss()
+        assert loss == surrogate_loss_numpy(csr, targets)
+
+    def test_sparse_engine_lifecycle_never_densifies(self, engine_pair):
+        """The full sparse-engine lifecycle — loss, scoring, gradient steps,
+        apply/rollback — runs under the densify tripwire and stays
+        bit-identical to the dense reference computed outside the guard."""
+        dense, sparse_eng = engine_pair
+        flips = [(int(dense.rows[k]), int(dense.cols[k])) for k in range(3)]
+        rng = np.random.default_rng(4)
+        zdot = rng.uniform(0.0, 1.0, size=len(dense.rows))
+        dense_loss, dense_grad, dense_mask = dense.binarized_step(zdot)
+        with forbid_densify(context="sparse engine lifecycle"):
+            assert sparse_eng.current_loss() == dense.current_loss()
+            assert sparse_eng.score_flips(flips) == dense.score_flips(flips)
+            sparse_loss, sparse_grad, sparse_mask = sparse_eng.binarized_step(zdot)
+            sparse_eng.push_flip(*flips[0])
+            sparse_eng.pop_flips(1)
+            assert sparse_eng.current_loss() == dense.current_loss()
+        assert sparse_loss == dense_loss
+        np.testing.assert_array_equal(sparse_mask, dense_mask)
+        np.testing.assert_allclose(sparse_grad, dense_grad, rtol=1e-8, atol=1e-9)

@@ -1,9 +1,14 @@
 """Store-backed engines: bit-identical to in-memory engines, and the mmap
-is never touched — flips live entirely in the Δ-overlay/override rows."""
+is never touched — flips live entirely in the Δ-overlay/override rows.
+
+The no-write contract is enforced by the :func:`assert_readonly_mmap` runtime
+guard (writability check on entry, checksum comparison on exit), not just by
+after-the-fact array comparison."""
 
 import numpy as np
 import pytest
 
+from repro.analysis import assert_readonly_mmap
 from repro.attacks import BinarizedAttack, GradMaxSearch
 from repro.graph.incremental import IncrementalEgonetFeatures
 from repro.oddball.surrogate import SurrogateEngine
@@ -58,9 +63,10 @@ class TestEngineParity:
     def test_attack_flips_identical(self, store, memory_graph, attack_cls):
         targets = top_targets(store)
         kwargs = {"iterations": 30} if attack_cls is BinarizedAttack else {}
-        a = attack_cls(backend="sparse", **kwargs).attack(
-            store.csr(), targets, budget=4, candidates="target_incident"
-        )
+        with assert_readonly_mmap(store, context="store-backed attack"):
+            a = attack_cls(backend="sparse", **kwargs).attack(
+                store.csr(), targets, budget=4, candidates="target_incident"
+            )
         b = attack_cls(backend="sparse", **kwargs).attack(
             memory_graph, targets, budget=4, candidates="target_incident"
         )
@@ -84,9 +90,10 @@ class TestMmapNeverWritten:
             np.array(csr.data), np.array(csr.indices), np.array(csr.indptr)
         )
         targets = top_targets(store)
-        GradMaxSearch(backend="sparse").attack(
-            store, targets, budget=5, candidates="adaptive"
-        )
+        with assert_readonly_mmap(store, context="gradmax over store"):
+            GradMaxSearch(backend="sparse").attack(
+                store, targets, budget=5, candidates="adaptive"
+            )
         assert np.array_equal(before[0], np.asarray(csr.data))
         assert np.array_equal(before[1], np.asarray(csr.indices))
         assert np.array_equal(before[2], np.asarray(csr.indptr))
