@@ -1,0 +1,62 @@
+"""Benchmark environment control: thread pinning + provenance records.
+
+Importing this module pins the BLAS/OpenMP thread-pool environment
+variables (to 1 thread each unless the variable is already set), so wall
+times measure the algorithms rather than a host-dependent thread pool.
+The pinning only works if the import happens **before numpy loads** —
+make ``import _benchenv`` the first import of every benchmark entry point
+(``benchmarks/conftest.py`` does it for the pytest path, each writer
+script for the CLI path).
+
+Every ``BENCH_*.json`` artefact embeds :func:`bench_env` so a recorded
+number can always be traced back to the thread counts, kernel backend and
+interpreter that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+#: The thread-pool knobs of every BLAS/OpenMP runtime numpy/scipy may link.
+THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_threads(count: int = 1) -> None:
+    """Pin every thread-pool variable not already set by the caller.
+
+    ``setdefault`` so an explicit host override (e.g. a scaling study of
+    the thread pools themselves) wins over the benchmark default.
+    """
+    for var in THREAD_ENV_VARS:
+        os.environ.setdefault(var, str(count))
+
+
+# Import-time side effect, by design: the variables only take effect if
+# they are set before the first `import numpy` anywhere in the process.
+pin_threads()
+
+
+def bench_env() -> dict:
+    """Provenance record embedded in every ``BENCH_*.json`` payload."""
+    import numpy as np
+    import scipy
+
+    from repro.kernels import compiled_available, default_kernels
+
+    return {
+        "threads": {var: os.environ.get(var) for var in THREAD_ENV_VARS},
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "kernels_default": default_kernels(),
+        "compiled_kernels_available": compiled_available(),
+    }

@@ -23,6 +23,8 @@ must complete end-to-end and the sparse run must reproduce its loss
 bookkeeping on the materialised poisoned graph.
 """
 
+import _benchenv  # first: pins BLAS/OpenMP threads before numpy loads
+
 import json
 import sys
 import time
@@ -199,6 +201,7 @@ def run_binarized_scaling(smoke: bool = False, output: "Path | None" = None) -> 
         "candidates": "target_incident",
         "edges_per_node": 4,
         "smoke": smoke,
+        "env": _benchenv.bench_env(),
         "results": rows,
     }
     output.parent.mkdir(parents=True, exist_ok=True)

@@ -30,6 +30,8 @@ Every run emits ``benchmarks/results/BENCH_campaign.json`` (smoke runs a
 ``_smoke`` sibling); the full-run artefact is committed.
 """
 
+import _benchenv  # first: pins BLAS/OpenMP threads before numpy loads
+
 import json
 import sys
 import time
@@ -263,6 +265,7 @@ def run_campaign_scaling(smoke: bool = False, output: "Path | None" = None) -> d
         "candidates": _CANDIDATES,
         "edges_per_node": 4,
         "smoke": smoke,
+        "env": _benchenv.bench_env(),
         "results": rows,
         "csr_maintenance": csr_rows,
         "notes": (

@@ -1,0 +1,388 @@
+"""Kernel-layer microbenchmarks: numpy reference vs compiled C backend.
+
+Each row times one :data:`repro.kernels.KERNEL_REGISTRY` primitive in both
+backends on the same inputs and asserts the outputs are **bit-identical**
+before recording the speedup — a compiled kernel that drifts from its
+numpy oracle fails the bench, it does not produce a fast-but-wrong number.
+On top of the micro rows, an end-to-end BinarizedAttack runs numpy vs
+compiled on a 10k-node payload graph and on the full 88.8k-node
+blogcatalog store graph, asserting the flip sets match exactly.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI
+
+Every run emits ``benchmarks/results/BENCH_kernels.json`` (smoke runs a
+``_smoke`` sibling); the full-run artefact is committed.  Graphs come from
+the ``blogcatalog-full`` store recipe (cache honours
+``$REPRO_STORE_CACHE``), so the numbers describe the same heavy-tailed
+degree distribution the attacks actually run on.
+"""
+
+import _benchenv  # first: pins BLAS/OpenMP threads before numpy loads
+
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.attacks import BinarizedAttack
+from repro.graph.incremental import IncrementalEgonetFeatures
+from repro.graph.sparse import egonet_features_sparse
+from repro.kernels import compiled_available, kernel_table
+from repro.oddball.surrogate import _scatter_pair_gradient
+from repro.store import build_store
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_kernels.json"
+
+_FULL_NODES = 88_800  # the blogcatalog-full recipe's node count
+_BUDGET = 5
+_TARGETS = 5
+_ITERATIONS = 30
+_LAMBDAS = (0.2, 0.05)
+
+
+def _store_graph(n: int, cache_dir, seed: int = 7):
+    """The blogcatalog-full recipe scaled to ``n`` nodes (cached store)."""
+    return build_store(
+        "blogcatalog-full", cache_dir=cache_dir, scale=n / _FULL_NODES,
+        seed=seed,
+    )
+
+
+def _random_pairs(n: int, count: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=int(count * 1.1))
+    cols = rng.integers(0, n, size=int(count * 1.1))
+    keep = rows != cols
+    rows, cols = rows[keep][:count], cols[keep][:count]
+    return (
+        np.minimum(rows, cols).astype(np.int64),
+        np.maximum(rows, cols).astype(np.int64),
+    )
+
+
+def _row(kernel: str, shape: str, numpy_s: float, compiled_s: float) -> dict:
+    return {
+        "kernel": kernel,
+        "shape": shape,
+        "numpy_seconds": round(numpy_s, 4),
+        "compiled_seconds": round(compiled_s, 4),
+        "speedup": round(numpy_s / max(compiled_s, 1e-9), 1),
+        "identical": True,  # asserted before the row is built
+    }
+
+
+# --------------------------------------------------------------------- #
+# Microbenchmarks (one per KERNEL_REGISTRY entry)
+# --------------------------------------------------------------------- #
+
+
+def _bench_toggle_batch(csr, flip_count: int, seed: int) -> dict:
+    """Apply-then-rollback a random flip batch through both backends.
+
+    Timed regions run with the cyclic GC paused (like the BLAS thread
+    pinning in ``_benchenv``): the numpy engine materialises tens of
+    thousands of Python sets that stay alive for the cross-backend
+    asserts, and letting collections triggered by those sets land inside
+    the *other* backend's timing would charge one backend for the other's
+    garbage.
+    """
+    rows, cols = _random_pairs(csr.shape[0], flip_count, seed)
+    pairs = list(zip(rows.tolist(), cols.tolist()))
+
+    ref = IncrementalEgonetFeatures(csr, kernels="numpy")
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    for u, v in pairs:
+        ref.flip(u, v)
+    mid_n, mid_e = ref._n_feature.copy(), ref._e_feature.copy()
+    ref.rollback(len(pairs))
+    numpy_s = time.perf_counter() - start
+    gc.enable()
+
+    fast = IncrementalEgonetFeatures(csr, kernels="compiled")
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    fast.flip_batch(pairs)
+    fast_n, fast_e = fast._n_feature.copy(), fast._e_feature.copy()
+    fast.rollback(len(pairs))
+    compiled_s = time.perf_counter() - start
+    gc.enable()
+
+    assert np.array_equal(mid_n, fast_n) and np.array_equal(mid_e, fast_e)
+    assert np.array_equal(ref._n_feature, fast._n_feature)
+    assert np.array_equal(ref._e_feature, fast._e_feature)
+    return _row(
+        "toggle_batch", f"{len(pairs)} random flips + rollback",
+        numpy_s, compiled_s,
+    )
+
+
+def _bench_pair_values(csr, count: int, seed: int) -> dict:
+    """Batch edge membership: Python per-pair loop vs one C pass."""
+    rows, cols = _random_pairs(csr.shape[0], count, seed)
+    engine = IncrementalEgonetFeatures(csr, kernels="numpy")
+    start = time.perf_counter()
+    expected = engine.edge_values(rows, cols)
+    numpy_s = time.perf_counter() - start
+
+    table = kernel_table()
+    start = time.perf_counter()
+    got = table.pair_values(csr, rows, cols)
+    compiled_s = time.perf_counter() - start
+
+    assert np.array_equal(expected, got)
+    return _row("pair_values", f"{rows.size} membership probes", numpy_s, compiled_s)
+
+
+def _bench_scatter(csr, rows, cols, shape: str, seed: int) -> dict:
+    """Candidate-pair gradient scatter, same (d_n, d_e) through both paths."""
+    rng = np.random.default_rng(seed)
+    n = csr.shape[0]
+    d_n = rng.standard_normal(n)
+    d_e = rng.standard_normal(n)
+
+    start = time.perf_counter()
+    expected = _scatter_pair_gradient(csr, d_n, d_e, rows, cols)
+    numpy_s = time.perf_counter() - start
+
+    table = kernel_table()
+    start = time.perf_counter()
+    got = table.scatter_pair_gradient(csr, d_n, d_e, rows, cols)
+    compiled_s = time.perf_counter() - start
+
+    assert np.array_equal(expected, got)
+    return _row("scatter_gradient", shape, numpy_s, compiled_s)
+
+
+def _bench_triangle_counts(csr) -> dict:
+    """Clean-feature triangle term: blocked spgemm vs one C merge pass."""
+    start = time.perf_counter()
+    n_np, e_np = egonet_features_sparse(csr, kernels="numpy")
+    numpy_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    n_c, e_c = egonet_features_sparse(csr, kernels="compiled")
+    compiled_s = time.perf_counter() - start
+
+    assert np.array_equal(n_np, n_c) and np.array_equal(e_np, e_c)
+    return _row(
+        "triangle_counts", f"full (N, E) pass, n={csr.shape[0]}",
+        numpy_s, compiled_s,
+    )
+
+
+# --------------------------------------------------------------------- #
+# End-to-end BinarizedAttack parity + timing
+# --------------------------------------------------------------------- #
+
+
+def _attack(kernels: str) -> BinarizedAttack:
+    return BinarizedAttack(
+        iterations=_ITERATIONS, lambdas=_LAMBDAS, backend="sparse",
+        kernels=kernels,
+    )
+
+
+def _bench_attack(graph, targets, label: str) -> dict:
+    gc.collect()  # don't charge either backend for the other's garbage
+    start = time.perf_counter()
+    ref = _attack("numpy").attack(
+        graph, targets, _BUDGET, candidates="target_incident"
+    )
+    numpy_s = time.perf_counter() - start
+    gc.collect()
+    start = time.perf_counter()
+    fast = _attack("compiled").attack(
+        graph, targets, _BUDGET, candidates="target_incident"
+    )
+    compiled_s = time.perf_counter() - start
+    assert ref.flips_by_budget == fast.flips_by_budget, f"flip mismatch: {label}"
+    assert ref.surrogate_by_budget == fast.surrogate_by_budget
+    row = _row("binarized_attack_end_to_end", label, numpy_s, compiled_s)
+    row["flips"] = len(ref.flips())
+    row["flip_sets_identical"] = True
+    return row
+
+
+# --------------------------------------------------------------------- #
+# CI smoke (pytest entries)
+# --------------------------------------------------------------------- #
+
+pytestmark = pytest.mark.skipif(
+    not compiled_available(),
+    reason="no C toolchain/cffi on this host; compiled backend unavailable",
+)
+
+
+@pytest.fixture(scope="module")
+def small_store(tmp_path_factory):
+    return _store_graph(1500, tmp_path_factory.mktemp("kernel-store"))
+
+
+def test_bench_kernel_micro_smoke(benchmark, small_store):
+    csr = small_store.csr()
+
+    def run():
+        rows, cols = _random_pairs(csr.shape[0], 300, seed=3)
+        return [
+            _bench_toggle_batch(csr, flip_count=300, seed=1),
+            _bench_pair_values(csr, count=2000, seed=2),
+            _bench_scatter(csr, rows, cols, "300 random pairs", seed=4),
+            _bench_triangle_counts(csr),
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert all(row["identical"] for row in rows)
+
+
+def test_bench_kernel_attack_smoke(benchmark, small_store):
+    targets = small_store.top_targets(3)
+    row = benchmark.pedantic(
+        lambda: _bench_attack(small_store.csr(), targets, "smoke store"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert row["flip_sets_identical"]
+
+
+# --------------------------------------------------------------------- #
+# The committed artefact
+# --------------------------------------------------------------------- #
+
+
+def run_kernel_bench(smoke: bool = False, output: "Path | None" = None) -> dict:
+    """Micro + end-to-end numpy-vs-compiled study; print a table, emit JSON.
+
+    Smoke runs write to a ``_smoke`` sibling so CI never clobbers the
+    committed full-run artefact.
+    """
+    if output is None:
+        output = (
+            RESULTS_PATH.with_name("BENCH_kernels_smoke.json")
+            if smoke
+            else RESULTS_PATH
+        )
+    cache_dir = os.environ.get("REPRO_STORE_CACHE", ".repro-store-cache")
+    micro_n = 2000 if smoke else _FULL_NODES
+    payload_n = 2000 if smoke else 10_000
+    flip_count = 2000 if smoke else 20_000
+    probe_count = 20_000 if smoke else 200_000
+    spread_pairs = 500 if smoke else 2000
+    incident_partners = 500 if smoke else 2000
+
+    store = _store_graph(micro_n, cache_dir)
+    csr = store.csr()
+    n = csr.shape[0]
+    print(
+        f"Kernel backends on the blogcatalog-full recipe at n={n} "
+        f"(m={store.number_of_edges}); numpy reference vs compiled C, "
+        "outputs asserted bit-identical per row"
+    )
+    print()
+
+    rows = [
+        _bench_toggle_batch(csr, flip_count=flip_count, seed=1),
+        _bench_pair_values(csr, count=probe_count, seed=2),
+    ]
+    # Spread-hub shape: candidates scattered over many distinct endpoints —
+    # the adaptive/two_hop candidate regime, where the numpy path pays two
+    # O(m) mat-vecs per distinct hub.
+    s_rows, s_cols = _random_pairs(n, spread_pairs, seed=3)
+    rows.append(
+        _bench_scatter(
+            csr, s_rows, s_cols,
+            f"{s_rows.size} pairs, spread hubs", seed=4,
+        )
+    )
+    # Few-hub shape: every pair shares one of a handful of target hubs —
+    # the target_incident regime the numpy mat-vec grouping was built for
+    # (its best case, so this speedup is the honest lower bound).
+    targets = store.top_targets(8)
+    rng = np.random.default_rng(5)
+    hub = np.repeat(np.asarray(targets, dtype=np.int64), incident_partners)
+    partner = rng.integers(0, n, size=hub.size)
+    keep = partner != hub
+    i_rows = np.minimum(hub[keep], partner[keep])
+    i_cols = np.maximum(hub[keep], partner[keep])
+    rows.append(
+        _bench_scatter(
+            csr, i_rows.astype(np.int64), i_cols.astype(np.int64),
+            f"{i_rows.size} pairs, {len(targets)} target hubs", seed=6,
+        )
+    )
+    rows.append(_bench_triangle_counts(csr))
+
+    # End-to-end: payload-graph attack (arrays in memory, store tags
+    # dropped) and, on full runs, the memory-mapped store graph itself.
+    payload_store = _store_graph(payload_n, cache_dir)
+    rows.append(
+        _bench_attack(
+            payload_store.detached_csr(),
+            payload_store.top_targets(_TARGETS),
+            f"n={payload_store.number_of_nodes} payload graph",
+        )
+    )
+    if not smoke:
+        rows.append(
+            _bench_attack(
+                store,
+                store.top_targets(_TARGETS),
+                f"n={n} store graph (mmap)",
+            )
+        )
+
+    header = (
+        f"{'kernel':>28} {'shape':>36} {'numpy':>9} {'compiled':>9} {'x':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['kernel']:>28} {row['shape']:>36} "
+            f"{row['numpy_seconds']:>9.4f} {row['compiled_seconds']:>9.4f} "
+            f"{row['speedup']:>6.1f}x"
+        )
+
+    payload = {
+        "benchmark": "kernel_backends",
+        "graph_recipe": "blogcatalog-full",
+        "micro_n": n,
+        "attack": {
+            "name": "binarizedattack",
+            "budget": _BUDGET,
+            "targets": _TARGETS,
+            "iterations": _ITERATIONS,
+            "lambdas": list(_LAMBDAS),
+            "candidates": "target_incident",
+        },
+        "smoke": smoke,
+        "env": _benchenv.bench_env(),
+        "results": rows,
+        "notes": (
+            "Every row asserts bit-identical outputs between the numpy "
+            "reference and the compiled backend before timing is recorded "
+            "(features, gradients, flip sets). toggle_batch times apply + "
+            "full rollback. The two scatter shapes bracket the candidate "
+            "regimes: spread hubs (adaptive/two_hop) is the compiled "
+            "backend's headline win because the numpy path pays two O(m) "
+            "mat-vecs per distinct hub; few-hub target_incident is the "
+            "numpy path's best case and bounds the speedup from below."
+        ),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return payload
+
+
+if __name__ == "__main__":
+    run_kernel_bench(smoke="--smoke" in sys.argv[1:])

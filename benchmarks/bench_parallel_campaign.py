@@ -37,6 +37,8 @@ Every run emits ``benchmarks/results/BENCH_parallel_campaign.json`` (smoke
 runs a ``_smoke`` sibling); the full-run artefact is committed.
 """
 
+import _benchenv  # first: pins BLAS/OpenMP threads before numpy loads
+
 import json
 import os
 import sys
@@ -247,6 +249,7 @@ def run_parallel_scaling(smoke: bool = False, output: "Path | None" = None) -> d
         "candidates": _CANDIDATES,
         "edges_per_node": 4,
         "smoke": smoke,
+        "env": _benchenv.bench_env(),
         "results": rows,
         "notes": (
             "Flip sets, losses and rank shifts are asserted bit-identical "

@@ -32,6 +32,8 @@ Every run emits ``benchmarks/results/BENCH_store.json`` (smoke runs a
 ``_smoke`` sibling); the full-run artefact is committed.
 """
 
+import _benchenv  # first: pins BLAS/OpenMP threads before numpy loads
+
 import json
 import os
 import sys
@@ -198,6 +200,7 @@ def run_store_scaling(smoke: bool = False, output: "Path | None" = None) -> dict
         "candidates": _CANDIDATES,
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
+        "env": _benchenv.bench_env(),
         "results": rows,
         "notes": (
             "store = workers rebuild engines from a store-kind EngineSpec "

@@ -13,6 +13,9 @@ for overnight runs.
 
 from __future__ import annotations
 
+import _benchenv  # noqa: F401  (import-time side effect: pins BLAS/OpenMP
+#                   thread pools to 1 before numpy loads, so every bench
+#                   number below is single-thread-comparable)
 import pytest
 
 from repro.experiments.config import CI, PAPER, SMOKE

@@ -18,7 +18,12 @@ Run ``python -m repro.analysis`` for the CLI the CI gate uses.
 """
 
 from repro.analysis import rules as _rules  # noqa: F401 — registers the rules
-from repro.analysis.audit import audit_engine_api, audit_parity_coverage, run_audits
+from repro.analysis.audit import (
+    audit_engine_api,
+    audit_kernel_parity_coverage,
+    audit_parity_coverage,
+    run_audits,
+)
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import (
     RULE_REGISTRY,
@@ -49,6 +54,7 @@ __all__ = [
     "analyze_paths",
     "assert_readonly_mmap",
     "audit_engine_api",
+    "audit_kernel_parity_coverage",
     "audit_parity_coverage",
     "collect_pragmas",
     "forbid_densify",

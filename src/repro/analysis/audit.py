@@ -14,6 +14,11 @@ The linter checks source; these audits check the *live objects*:
   AST-scanning the parity test modules).  An attack wired into the
   campaign without a parity test is an attack whose sparse path is
   untested by construction.
+* :func:`audit_kernel_parity_coverage` — every compiled kernel in
+  :data:`repro.kernels.KERNEL_REGISTRY` must be exercised by a
+  numpy-vs-compiled ``*Parity*`` test class.  The compiled backend's whole
+  contract is bit-identity with the numpy oracle; a kernel without a
+  parity test has no contract.
 
 Audit findings reuse the :class:`~repro.analysis.findings.Finding` shape
 so the CLI reports them alongside lint findings.
@@ -27,10 +32,16 @@ from pathlib import Path
 
 from repro.analysis.findings import Finding
 
-__all__ = ["audit_engine_api", "audit_parity_coverage", "run_audits"]
+__all__ = [
+    "audit_engine_api",
+    "audit_kernel_parity_coverage",
+    "audit_parity_coverage",
+    "run_audits",
+]
 
 _ENGINE_RULE = "engine-api-parity"
 _COVERAGE_RULE = "parity-test-coverage"
+_KERNEL_RULE = "kernel-parity-coverage"
 _SURROGATE_PATH = "oddball/surrogate.py"
 
 
@@ -194,6 +205,71 @@ def audit_parity_coverage(test_paths: "list[Path] | None" = None) -> "list[Findi
     return findings
 
 
+def _default_kernel_test_dir() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / "tests" / "kernels"
+
+
+def audit_kernel_parity_coverage(
+    test_paths: "list[Path] | None" = None,
+) -> "list[Finding]":
+    """Every ``KERNEL_REGISTRY`` entry needs a numpy-vs-compiled parity test.
+
+    Reflects the kernel registry (the authoritative list of compiled
+    primitives) and AST-scans ``tests/kernels`` for classes whose name
+    contains ``Parity``; a kernel whose registry name never appears inside
+    one is reported.  The scan intentionally mirrors
+    :func:`audit_parity_coverage` so adding a kernel without its oracle
+    test fails the same CI gate as adding an attack without one.
+    """
+    from repro.kernels import KERNEL_REGISTRY
+
+    if test_paths is None:
+        test_dir = _default_kernel_test_dir()
+        if not test_dir.is_dir():
+            return [
+                Finding(
+                    rule=_KERNEL_RULE,
+                    path="tests/kernels",
+                    line=1,
+                    message=(
+                        f"kernel parity test directory {test_dir} not found; "
+                        "cannot verify KERNEL_REGISTRY coverage"
+                    ),
+                )
+            ]
+        test_paths = sorted(test_dir.glob("test_*.py"))
+
+    tokens: set[str] = set()
+    for path in test_paths:
+        try:
+            tokens |= _identifiers_in_parity_classes(ast.parse(Path(path).read_text()))
+        except (OSError, SyntaxError):
+            continue
+
+    findings: list[Finding] = []
+    for kernel_name in KERNEL_REGISTRY:
+        if kernel_name not in tokens:
+            findings.append(
+                Finding(
+                    rule=_KERNEL_RULE,
+                    path="kernels/__init__.py",
+                    line=1,
+                    message=(
+                        f"kernel {kernel_name!r} has no numpy-vs-compiled "
+                        "*Parity* test class referencing it; every "
+                        "KERNEL_REGISTRY member needs one"
+                    ),
+                )
+            )
+    return findings
+
+
 def run_audits() -> "list[Finding]":
     """Run every reflection audit and concatenate the findings."""
-    return audit_engine_api() + audit_parity_coverage()
+    return (
+        audit_engine_api()
+        + audit_parity_coverage()
+        + audit_kernel_parity_coverage()
+    )

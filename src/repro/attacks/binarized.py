@@ -67,6 +67,7 @@ import numpy as np
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import filter_valid_flips_engine
+from repro.kernels import validate_kernels
 from repro.oddball.surrogate import SurrogateEngine, resolve_backend, validate_backend
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_budget
@@ -144,6 +145,7 @@ class BinarizedAttack(StructuralAttack):
         init: float = 0.0,
         normalize_gradient: bool = True,
         backend: str = "auto",
+        kernels: str = "auto",
     ):
         if not lambdas:
             raise ValueError("lambda sweep must not be empty")
@@ -160,6 +162,7 @@ class BinarizedAttack(StructuralAttack):
         self.init = init
         self.normalize_gradient = normalize_gradient
         self.backend = validate_backend(backend)
+        self.kernels = validate_kernels(kernels)
 
     # ------------------------------------------------------------------ #
     def attack(
@@ -192,6 +195,7 @@ class BinarizedAttack(StructuralAttack):
                 backend=backend,
                 floor=self.floor,
                 weights=target_weights,
+                kernels=self.kernels,
             )
         else:
             # Shared (campaign) engine: repoint it at this job's targets and

@@ -58,6 +58,7 @@ from repro.graph.graph import Graph
 from repro.graph.sparse import to_sparse
 from repro.oddball.regression import fit_power_law
 from repro.oddball.scores import rank_positions, score_from_features
+from repro.kernels import validate_kernels
 from repro.oddball.surrogate import SurrogateEngine, resolve_backend, validate_backend
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_adjacency, check_budget
@@ -249,11 +250,17 @@ class AttackJob:
             **{k: v for k, v in payload.get("params", [])},
         )
 
-    def build_attack(self, backend: str):
-        """Instantiate the attack this job describes."""
+    def build_attack(self, backend: str, kernels: str = "auto"):
+        """Instantiate the attack this job describes.
+
+        ``backend`` and ``kernels`` are campaign-level defaults injected
+        via ``setdefault`` — a job that pinned either in its ``params``
+        keeps its own value (and its ``job_id`` already reflects it).
+        """
         params = {k: v for k, v in self.params}
         if self.attack in ENGINE_ATTACKS:
             params.setdefault("backend", backend)
+            params.setdefault("kernels", kernels)
         return _registry()[self.attack](**params)
 
 
@@ -659,6 +666,12 @@ class AttackCampaign:
     backend:
         Surrogate engine backend (``"auto"``/``"dense"``/``"sparse"``).
         Resolved once against the graph; every engine job shares it.
+    kernels:
+        Hot-loop kernel backend (``"auto"``/``"numpy"``/``"compiled"``,
+        see :mod:`repro.kernels`).  Injected as the default for every
+        engine job (a job pinning ``kernels`` in its params wins) and
+        passed to the lazily-built shared engine.  Both backends produce
+        bit-identical flip sets, so checkpoints are kernel-agnostic.
     checkpoint_path:
         Optional JSONL checkpoint file: one header line (graph fingerprint
         + backend) followed by one completed-job record per line, appended
@@ -694,11 +707,13 @@ class AttackCampaign:
         graph: "Graph | np.ndarray | sparse.spmatrix",
         *,
         backend: str = "auto",
+        kernels: str = "auto",
         checkpoint_path: "Path | str | None" = None,
         compute_ranks: bool = True,
         engine: "SurrogateEngine | None" = None,
     ):
         validate_backend(backend)
+        self.kernels = validate_kernels(kernels)
         store_backed = hasattr(graph, "adjacency_csr")
         self._original = _normalize_graph(graph)
         self.backend = resolve_backend(backend, self._original)
@@ -768,7 +783,7 @@ class AttackCampaign:
     # ------------------------------------------------------------------ #
     def _run_job(self, job: AttackJob) -> JobOutcome:
         """Run one job on the shared engine, restoring it afterwards."""
-        attack = job.build_attack(self.backend)
+        attack = job.build_attack(self.backend, self.kernels)
         engine = self._ensure_engine(job)
         start = time.perf_counter()
         if job.attack in SHARED_ENGINE_ATTACKS:
@@ -820,6 +835,7 @@ class AttackCampaign:
                 job.targets,
                 empty,
                 backend=self.backend,
+                kernels=self.kernels,
             )
         if self._clean_scores is None:
             n_feature, e_feature = self._engine.node_features()

@@ -27,6 +27,7 @@ import numpy as np
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import filter_valid_flips_engine
+from repro.kernels import validate_kernels
 from repro.oddball.surrogate import SurrogateEngine, resolve_backend, validate_backend
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_budget
@@ -58,7 +59,7 @@ class ContinuousA(StructuralAttack):
     name = "continuousa"
 
     def __init__(self, lr: float = 0.01, max_iter: int = 200, tol: float = 1e-6,
-                 floor: float = 0.5, backend: str = "auto"):
+                 floor: float = 0.5, backend: str = "auto", kernels: str = "auto"):
         if max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {max_iter}")
         self.lr = lr
@@ -66,6 +67,7 @@ class ContinuousA(StructuralAttack):
         self.tol = tol
         self.floor = floor
         self.backend = validate_backend(backend)
+        self.kernels = validate_kernels(kernels)
 
     def attack(
         self,
@@ -97,6 +99,7 @@ class ContinuousA(StructuralAttack):
                 backend=backend,
                 floor=self.floor,
                 weights=target_weights,
+                kernels=self.kernels,
             )
         else:
             # Shared (campaign) engine: repoint instead of rebuilding.  The

@@ -64,6 +64,7 @@ from repro.attacks.campaign import (
     graph_fingerprint,
     validate_jobs,
 )
+from repro.kernels import validate_kernels
 from repro.oddball.surrogate import (
     EngineSpec,
     SurrogateEngine,
@@ -82,6 +83,7 @@ def build_campaign(
     *,
     workers: int = 1,
     backend: str = "auto",
+    kernels: str = "auto",
     checkpoint_path=None,
     compute_ranks: bool = True,
 ):
@@ -90,12 +92,15 @@ def build_campaign(
     The one switch the experiment drivers call: ``workers <= 1`` returns
     the serial campaign, anything larger the parallel executor.  Both
     expose the same ``run(jobs) -> CampaignResult`` surface and produce
-    bit-identical results, so callers never branch again.
+    bit-identical results, so callers never branch again.  ``kernels``
+    selects the hot-loop kernel backend (see :mod:`repro.kernels`);
+    either value yields the same flips.
     """
     if workers <= 1:
         return AttackCampaign(
             graph,
             backend=backend,
+            kernels=kernels,
             checkpoint_path=checkpoint_path,
             compute_ranks=compute_ranks,
         )
@@ -103,6 +108,7 @@ def build_campaign(
         graph,
         workers=workers,
         backend=backend,
+        kernels=kernels,
         checkpoint_path=checkpoint_path,
         compute_ranks=compute_ranks,
     )
@@ -142,6 +148,10 @@ def _worker_main(
     campaign = AttackCampaign(
         graph,
         backend=spec.backend,
+        # The spec carries the REQUESTED kernels flag (possibly "auto");
+        # the engine build above resolved it against THIS host, and the
+        # campaign default keeps per-job attack params consistent with it.
+        kernels=spec.kernels,
         checkpoint_path=shard_path,
         compute_ranks=compute_ranks,
         engine=engine,
@@ -192,6 +202,13 @@ class ParallelCampaignExecutor:
         Surrogate backend (``"auto"``/``"dense"``/``"sparse"``), resolved
         once in the parent and baked into the :class:`EngineSpec` every
         worker receives — all workers run the identical engine class.
+    kernels:
+        Hot-loop kernel backend (``"auto"``/``"numpy"``/``"compiled"``,
+        see :mod:`repro.kernels`).  Unlike ``backend`` it is shipped
+        **unresolved**: each worker resolves it against its own host at
+        engine-build time, so an ``"auto"`` fleet mixing hosts with and
+        without a C toolchain still produces bit-identical results, while
+        an explicit ``"compiled"`` is enforced on every worker.
     checkpoint_path:
         Optional JSONL checkpoint (same single-file format as the serial
         campaign — the two are interchangeable run-over-run).  Worker
@@ -225,11 +242,13 @@ class ParallelCampaignExecutor:
         *,
         workers: int = 2,
         backend: str = "auto",
+        kernels: str = "auto",
         checkpoint_path=None,
         compute_ranks: bool = True,
         mp_context: "str | None" = None,
     ):
         validate_backend(backend)
+        self.kernels = validate_kernels(kernels)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         # A GraphStore-backed executor ships a ``store``-kind EngineSpec (a
@@ -347,9 +366,11 @@ class ParallelCampaignExecutor:
         # starts.
         shard_dir.mkdir(parents=True, exist_ok=True)
         if self._graph_store is not None:
-            spec = EngineSpec.from_store(self._graph_store)
+            spec = EngineSpec.from_store(self._graph_store, kernels=self.kernels)
         else:
-            spec = EngineSpec.from_graph(self._original, backend=self.backend)
+            spec = EngineSpec.from_graph(
+                self._original, backend=self.backend, kernels=self.kernels
+            )
         drain_start = time.perf_counter()
         processes = []
         for index, shard in enumerate(shards):

@@ -34,6 +34,7 @@ import numpy as np
 from repro.attacks.base import AttackResult, StructuralAttack, validate_targets
 from repro.attacks.candidates import CandidateSet
 from repro.attacks.constraints import no_singleton_mask, sign_valid_mask
+from repro.kernels import validate_kernels
 from repro.oddball.surrogate import (
     SurrogateEngine,
     adjacency_gradient,
@@ -81,9 +82,11 @@ class GradMaxSearch(StructuralAttack):
 
     name = "gradmaxsearch"
 
-    def __init__(self, floor: float = 1.0, backend: str = "auto"):
+    def __init__(self, floor: float = 1.0, backend: str = "auto",
+                 kernels: str = "auto"):
         self.floor = floor
         self.backend = validate_backend(backend)
+        self.kernels = validate_kernels(kernels)
 
     def attack(
         self,
@@ -197,6 +200,7 @@ class GradMaxSearch(StructuralAttack):
                 backend=backend,
                 floor=self.floor,
                 weights=target_weights,
+                kernels=self.kernels,
             )
         else:
             engine.retarget(

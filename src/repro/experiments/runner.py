@@ -20,6 +20,10 @@ e.g.::
     python -m repro.experiments.runner -e fig4 --backend sparse \
         --candidates target_incident
 
+``--kernels {auto,numpy,compiled}`` sets the process-wide default for the
+hot-loop kernel backend (:mod:`repro.kernels`); flip sets are bit-identical
+either way, ``compiled`` is purely a wall-clock lever.
+
 ``--campaign-checkpoint DIR`` makes the campaign-driven sweeps (fig4)
 persist per-panel job checkpoints under DIR, so an interrupted sweep
 resumes from the last completed job::
@@ -144,6 +148,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--backend", choices=["auto", "dense", "sparse"], default="auto",
                         help="surrogate engine for the attack-driven figures")
+    parser.add_argument("--kernels", choices=["auto", "numpy", "compiled"],
+                        default=None,
+                        help="hot-loop kernel backend (repro.kernels); sets "
+                             "the process-wide default, so every engine the "
+                             "drivers build picks it up")
     parser.add_argument("--candidates",
                         choices=["full", "target_incident", "two_hop",
                                  "adaptive", "adaptive_gradient"],
@@ -168,6 +177,13 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.list:
         print(_list_experiments())
         return 0
+    if args.kernels is not None:
+        from repro.kernels import set_default_kernels
+
+        # Process-wide default: drivers build engines many layers down, so
+        # one switch here beats threading the flag through every driver
+        # signature (workers inherit it through the EngineSpec they get).
+        set_default_kernels(args.kernels)
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
     if names == [None]:
         parser.error("provide --experiment NAME, --all or --list")

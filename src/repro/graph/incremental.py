@@ -53,6 +53,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.graph.sparse import egonet_features_sparse, to_sparse
+from repro.kernels import kernel_table, resolve_kernels
 
 __all__ = ["IncrementalEgonetFeatures"]
 
@@ -68,6 +69,13 @@ class IncrementalEgonetFeatures:
         A :class:`~repro.graph.graph.Graph`, dense adjacency array or scipy
         sparse matrix.  Validated through :func:`repro.graph.sparse.to_sparse`
         (square, symmetric, binary, zero diagonal).
+    kernels:
+        ``{"auto", "numpy", "compiled"}`` — which hot-kernel backend runs
+        the per-flip feature updates (see :mod:`repro.kernels`).  The
+        resolved choice is exposed as :attr:`kernels`.  Both backends
+        perform the same integer arithmetic in float64, so features,
+        rollbacks and materialised CSRs are bit-identical either way;
+        ``numpy`` (pure Python sets + numpy) is the parity oracle.
 
     Example
     -------
@@ -81,19 +89,25 @@ class IncrementalEgonetFeatures:
     True
     """
 
-    def __init__(self, graph):
+    def __init__(self, graph, kernels: str = "auto"):
         csr = to_sparse(graph)
         if not csr.has_sorted_indices:
             csr.sort_indices()
         self.n = int(csr.shape[0])
+        #: Resolved kernel backend ("numpy" or "compiled") actually in use.
+        self.kernels = resolve_kernels(kernels)
+        self._kt = kernel_table() if self.kernels == "compiled" else None
         #: Read-only clean-graph CSR: rows not present in ``_rows`` are
         #: exactly this matrix's rows.  May be backed by np.memmap arrays
         #: (a GraphStore); nothing in this class ever writes to it.
         self._base = csr
-        #: Mutable neighbour sets, materialised lazily — only for nodes a
-        #: flip has touched.  Invariant: ``u not in _rows`` ⇒ ``u``'s
+        #: Mutable neighbour overrides, materialised lazily — only for nodes
+        #: a flip has touched.  Invariant: ``u not in _rows`` ⇒ ``u``'s
         #: neighbourhood equals the base CSR row (no flip ever touched it).
-        self._rows: dict[int, set[int]] = {}
+        #: numpy kernels store Python sets; the compiled backend stores
+        #: arena slot indices into :class:`~repro.kernels.compiled.ToggleState`
+        #: (the C side materialises and edits the rows in place).
+        self._rows: "dict[int, set[int] | int]" = {}
         precomputed = getattr(csr, "_repro_egonet_features", None)
         if precomputed is not None:
             # A GraphStore CSR ships its clean (N, E) precomputed at build
@@ -107,6 +121,16 @@ class IncrementalEgonetFeatures:
         # these arrays are mutated in place by every flip.
         self._n_feature = np.array(n_feature, dtype=np.float64, copy=True)
         self._e_feature = np.array(e_feature, dtype=np.float64, copy=True)
+        #: Persistent compiled flip state (arena + cached cffi pointers);
+        #: None on the numpy backend.  Mutates ``_n_feature``/``_e_feature``
+        #: in place and keeps ``_rows`` mapped to its arena slots.
+        self._ts = (
+            self._kt.toggle_state(
+                csr, self._n_feature, self._e_feature, self._rows
+            )
+            if self._kt is not None
+            else None
+        )
         self._flips: list[Edge] = []
         # Monotone state version: every flip advances it, every rollback
         # restores the pre-flip value.  Because rollback really does return
@@ -159,11 +183,14 @@ class IncrementalEgonetFeatures:
 
     def is_edge(self, u: int, v: int) -> bool:
         row = self._rows.get(u)
-        if row is not None:
+        if row is None:
+            row = self._base_row(u)
+        elif isinstance(row, set):
             return v in row
-        base_row = self._base_row(u)
-        index = int(np.searchsorted(base_row, v))
-        return index < base_row.size and int(base_row[index]) == v
+        else:
+            row = self._ts.row(row)
+        index = int(np.searchsorted(row, v))
+        return index < row.size and int(row[index]) == v
 
     def degree(self, u: int) -> int:
         # N *is* the degree feature, maintained exactly as an integer.
@@ -176,9 +203,11 @@ class IncrementalEgonetFeatures:
         access never materialises a mutable override row).
         """
         row = self._rows.get(u)
-        if row is not None:
+        if row is None:
+            return set(self._base_row(u).tolist())
+        if isinstance(row, set):
             return row
-        return set(self._base_row(u).tolist())
+        return set(self._ts.row(row).tolist())
 
     def common_neighbors(self, u: int, v: int) -> "set[int]":
         """``Γ(u) ∩ Γ(v)`` (never contains ``u`` or ``v`` — no self-loops)."""
@@ -213,24 +242,70 @@ class IncrementalEgonetFeatures:
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
-    def flip(self, u: int, v: int) -> None:
-        """Toggle the pair ``{u, v}``, updating features in O(deg)."""
-        u, v = int(u), int(v)
+    def _check_pair(self, u: int, v: int) -> Edge:
+        """Validate one flip pair, returning it in canonical (min, max) form."""
         if u == v:
             raise ValueError(f"cannot flip the diagonal pair ({u}, {u})")
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"pair ({u}, {v}) out of range for n={self.n}")
-        self._toggle(u, v)
-        self._flips.append((u, v) if u < v else (v, u))
+        return (u, v) if u < v else (v, u)
+
+    def _bump_version(self, pair: Edge) -> None:
+        """Record one applied flip on the stack and advance the version."""
+        self._flips.append(pair)
         self._prev_versions.append(self._version)
         self._version = self._version_counter
         self._version_counter += 1
+
+    def flip(self, u: int, v: int) -> None:
+        """Toggle the pair ``{u, v}``, updating features in O(deg)."""
+        u, v = int(u), int(v)
+        pair = self._check_pair(u, v)
+        if self._ts is not None:
+            self._ts.toggle_one(u, v)
+        else:
+            self._toggle(u, v)
+        self._bump_version(pair)
+
+    def flip_batch(self, pairs) -> None:
+        """Apply many flips in order with one kernel call (compiled backend).
+
+        Semantically identical to ``for u, v in pairs: self.flip(u, v)`` —
+        flips land strictly in sequence, each on the stack with its own
+        version — but the compiled backend crosses the Python/C boundary
+        once for the whole batch instead of once per flip.  The numpy
+        backend simply loops.
+        """
+        pairs = list(pairs)
+        if self._ts is not None and len(pairs) > 1:
+            arr = np.array(pairs, dtype=np.int64)
+            u, v = arr[:, 0], arr[:, 1]
+            invalid = (u == v) | (u < 0) | (u >= self.n) | (v < 0) | (v >= self.n)
+            if invalid.any():
+                # Raise before any mutation, with the same message
+                # _check_pair would produce for the first bad pair.
+                i = int(np.flatnonzero(invalid)[0])
+                self._check_pair(int(u[i]), int(v[i]))
+            node_u = np.ascontiguousarray(np.minimum(u, v))
+            node_v = np.ascontiguousarray(np.maximum(u, v))
+            self._ts.toggle_pairs(node_u, node_v)
+            self._flips.extend(zip(node_u.tolist(), node_v.tolist()))
+            # Bulk equivalent of len(pairs) _bump_version calls.
+            counter = self._version_counter
+            count = len(pairs)
+            self._prev_versions.append(self._version)
+            self._prev_versions.extend(range(counter, counter + count - 1))
+            self._version = counter + count - 1
+            self._version_counter = counter + count
+            return
+        for u, v in pairs:
+            self.flip(int(u), int(v))
 
     def rollback(self, count: int = 1) -> None:
         """Undo the last ``count`` flips exactly (reverse order, O(deg) each).
 
         Toggling is an involution with integer deltas, so rolling back
-        returns ``(N, E)`` and the neighbour sets to *bit-identical* state.
+        returns ``(N, E)`` and the neighbour rows to *bit-identical* state.
         The state version is restored too, so a CSR cached before the flips
         (e.g. the clean graph's) becomes valid again without a rebuild.
         """
@@ -240,9 +315,22 @@ class IncrementalEgonetFeatures:
             raise ValueError(
                 f"cannot roll back {count} flips, only {len(self._flips)} applied"
             )
+        if self._ts is not None and count > 1:
+            arr = np.array(self._flips[-count:], dtype=np.int64)[::-1]
+            del self._flips[-count:]
+            self._ts.toggle_pairs(
+                np.ascontiguousarray(arr[:, 0]),
+                np.ascontiguousarray(arr[:, 1]),
+            )
+            self._version = self._prev_versions[-count]
+            del self._prev_versions[-count:]
+            return
         for _ in range(count):
             u, v = self._flips.pop()
-            self._toggle(u, v)
+            if self._ts is not None:
+                self._ts.toggle_one(u, v)
+            else:
+                self._toggle(u, v)
             self._version = self._prev_versions.pop()
 
     def _toggle(self, u: int, v: int) -> None:
@@ -361,16 +449,30 @@ class IncrementalEgonetFeatures:
         return folded
 
     def _rebuild_csr(self) -> sparse.csr_matrix:
-        """Full rebuild from base rows + overrides (fallback, O(n + m) Python)."""
+        """Full rebuild from base rows + overrides (fallback, O(n + m) Python).
+
+        Degrees come from the base CSR's ``np.diff(indptr)`` with one
+        correction per override row — only the touched nodes cost Python
+        work, not all ``n`` (the old per-node ``self.degree`` loop).
+        """
         indptr = np.zeros(self.n + 1, dtype=np.intp)
-        degrees = np.fromiter(
-            (self.degree(i) for i in range(self.n)), dtype=np.intp, count=self.n
-        )
+        degrees = np.diff(self._base.indptr).astype(np.intp)
+        for i, override in self._rows.items():
+            degrees[i] = (
+                len(override)
+                if isinstance(override, set)
+                else int(self._ts.lens[override])
+            )
         np.cumsum(degrees, out=indptr[1:])
         indices = np.empty(int(indptr[-1]), dtype=np.intp)
         for i in range(self.n):
             override = self._rows.get(i)
-            row = self._base_row(i) if override is None else sorted(override)
+            if override is None:
+                row = self._base_row(i)
+            elif isinstance(override, set):
+                row = sorted(override)
+            else:
+                row = self._ts.row(override)
             indices[indptr[i] : indptr[i + 1]] = row
         data = np.ones(len(indices), dtype=np.float64)
         return sparse.csr_matrix((data, indices, indptr), shape=(self.n, self.n))

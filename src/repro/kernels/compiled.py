@@ -1,0 +1,523 @@
+"""numpy <-> C marshalling for the compiled kernel backend.
+
+:class:`CompiledKernels` wraps the shared library built by
+:mod:`repro.kernels.capi` with numpy-facing methods that mirror the pure
+numpy/Python reference implementations exactly:
+
+- ``pair_values``       — batch edge membership against a base CSR
+  (:meth:`IncrementalEgonetFeatures.is_edge` / engine ``_pair_values``);
+- ``triangle_counts``   — per-node diag(A^3), the triangle term of
+  :func:`repro.graph.sparse.egonet_features_sparse`;
+- ``toggle_batch`` / ``toggle_one`` — apply edge flips to the (N, E)
+  feature arrays (``IncrementalEgonetFeatures`` hot loop), driven through
+  :class:`ToggleState`, the persistent arena that keeps override rows and
+  cffi pointers alive across calls so a single flip costs one C call;
+- ``scatter_pair_gradient`` — the closed-form candidate-pair gradient,
+  call-compatible with ``repro.oddball.surrogate._scatter_pair_gradient``
+  including the Δ-overlay semantics.
+
+All integer feature updates are exact in float64, and the gradient kernel
+replicates the reference's summation order (see kernels.c), so results are
+expected to be bit-identical to the numpy oracle — the property the parity
+suites assert.
+
+CSR inputs may be backed by read-only memory maps; this module never
+writes to them (``indptr`` is copied to int64 when needed, ``indices`` and
+``data`` are passed as const pointers in their native layout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .capi import load_kernel_lib
+
+
+def _require_sorted(csr) -> None:
+    """Reject CSRs without sorted column indices (merge kernels need them)."""
+    if not csr.has_sorted_indices:
+        raise ValueError(
+            "compiled kernels require CSR matrices with sorted indices"
+        )
+
+
+class CompiledKernels:
+    """Typed numpy front-end over the compiled kernel shared library."""
+
+    def __init__(self):
+        """Load (building if necessary) the shared library."""
+        self._ffi, self._lib = load_kernel_lib()
+
+    # -- small marshalling helpers ----------------------------------------
+
+    def _in_i64(self, arr):
+        """Const ``long long*`` view of an int64 array (no copy if aligned)."""
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        return self._ffi.from_buffer("long long[]", arr, require_writable=False), arr
+
+    def _in_f64(self, arr):
+        """Const ``double*`` view of a float64 array (no copy if aligned)."""
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+        return self._ffi.from_buffer("double[]", arr, require_writable=False), arr
+
+    def _out_f64(self, arr):
+        """Writable ``double*`` view of a float64 output array."""
+        if not (arr.dtype == np.float64 and arr.flags.c_contiguous):
+            raise ValueError("output array must be contiguous float64")
+        return self._ffi.from_buffer("double[]", arr, require_writable=True)
+
+    def _csr_views(self, csr):
+        """Return (indptr_ptr, indices_ptr, suffix, keepalive) for a CSR."""
+        indptr = np.ascontiguousarray(csr.indptr, dtype=np.int64)
+        indices = csr.indices
+        if indices.dtype == np.int32 and indices.flags.c_contiguous:
+            suffix = "i32"
+            idx_ptr = self._ffi.from_buffer(
+                "int[]", indices, require_writable=False
+            )
+        else:
+            indices = np.ascontiguousarray(indices, dtype=np.int64)
+            suffix = "i64"
+            idx_ptr = self._ffi.from_buffer(
+                "long long[]", indices, require_writable=False
+            )
+        ptr_ptr = self._ffi.from_buffer(
+            "long long[]", indptr, require_writable=False
+        )
+        return ptr_ptr, idx_ptr, suffix, (indptr, indices)
+
+    # -- kernels ----------------------------------------------------------
+
+    def pair_values(self, csr, rows, cols) -> np.ndarray:
+        """Base-CSR edge membership (1.0/0.0) for each canonical pair."""
+        _require_sorted(csr)
+        rows_ptr, rows_keep = self._in_i64(rows)
+        cols_ptr, cols_keep = self._in_i64(cols)
+        out = np.empty(rows_keep.size, dtype=np.float64)
+        if rows_keep.size:
+            ptr_ptr, idx_ptr, suffix, keep = self._csr_views(csr)
+            fn = getattr(self._lib, f"repro_pair_values_{suffix}")
+            fn(ptr_ptr, idx_ptr, rows_ptr, cols_ptr, rows_keep.size,
+               self._out_f64(out))
+            del keep
+        return out
+
+    def triangle_counts(self, csr) -> np.ndarray:
+        """``diag(A^3)`` per node — twice the triangle count at each node."""
+        _require_sorted(csr)
+        n = csr.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        ptr_ptr, idx_ptr, suffix, keep = self._csr_views(csr)
+        fn = getattr(self._lib, f"repro_triangle_counts_{suffix}")
+        fn(ptr_ptr, idx_ptr, n, self._out_f64(out))
+        del keep
+        return out
+
+    def toggle_state(self, base_csr, n_feat, e_feat, registry) -> "ToggleState":
+        """Create the persistent flip state backing one feature engine."""
+        return ToggleState(self._ffi, self._lib, base_csr, n_feat, e_feat,
+                           registry)
+
+    def scatter_pair_gradient(
+        self,
+        csr,
+        d_n: np.ndarray,
+        d_e: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        delta=(),
+    ) -> np.ndarray:
+        """Compiled mirror of ``surrogate._scatter_pair_gradient``.
+
+        Hub selection (more-frequent endpoint via occurrence counts) and
+        the Δ-overlay fold replicate the numpy reference; pairs are
+        grouped by hub with a stable argsort — like the reference — so
+        the kernel scatters each hub's effective row into its dense
+        workspace once per group, and per-pair sums run in ascending
+        column order to match the CSR mat-vec. See kernels.c for the
+        order-equivalence argument.
+        """
+        _require_sorted(csr)
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        gradient = d_n[rows] + d_n[cols] + d_e[rows] + d_e[cols]
+        if rows.size == 0:
+            return gradient
+        n = csr.shape[0]
+        occurrences = (
+            np.bincount(rows, minlength=n) + np.bincount(cols, minlength=n)
+        )
+        by_row = occurrences[rows] >= occurrences[cols]
+        order = np.argsort(np.where(by_row, rows, cols), kind="stable")
+        by_row = by_row[order]
+        rows_g, cols_g = rows[order], cols[order]
+        hubs = np.ascontiguousarray(np.where(by_row, rows_g, cols_g))
+        partners = np.ascontiguousarray(np.where(by_row, cols_g, rows_g))
+
+        delta = list(delta)
+        eff_off = np.full(rows.size, -1, dtype=np.int64)
+        eff_len = np.zeros(rows.size, dtype=np.int64)
+        aux_idx = np.empty(0, dtype=np.int64)
+        aux_val = np.empty(0, dtype=np.float64)
+        if delta:
+            aux_idx, aux_val = self._fold_hub_rows(
+                csr, delta, hubs, eff_off, eff_len
+            )
+        if delta:
+            du = np.array([u for u, _, _ in delta], dtype=np.int64)
+            dv = np.array([v for _, v, _ in delta], dtype=np.int64)
+            dd = np.array([d for _, _, d in delta], dtype=np.float64)
+        else:
+            du = np.empty(0, dtype=np.int64)
+            dv = np.empty(0, dtype=np.int64)
+            dd = np.empty(0, dtype=np.float64)
+
+        grad_grouped = np.ascontiguousarray(gradient[order])
+        work = np.zeros(n, dtype=np.float64)  # kernel restores to zeros
+        ptr_ptr, idx_ptr, suffix, keep = self._csr_views(csr)
+        data_ptr, data_keep = self._in_f64(csr.data)
+        de_ptr, de_keep = self._in_f64(d_e)
+        hubs_ptr, hubs_keep = self._in_i64(hubs)
+        part_ptr, part_keep = self._in_i64(partners)
+        off_ptr, off_keep = self._in_i64(eff_off)
+        len_ptr, len_keep = self._in_i64(eff_len)
+        aidx_ptr, aidx_keep = self._in_i64(aux_idx)
+        aval_ptr, aval_keep = self._in_f64(aux_val)
+        du_ptr, du_keep = self._in_i64(du)
+        dv_ptr, dv_keep = self._in_i64(dv)
+        dd_ptr, dd_keep = self._in_f64(dd)
+        fn = getattr(self._lib, f"repro_scatter_gradient_{suffix}")
+        fn(
+            ptr_ptr, idx_ptr, data_ptr, de_ptr, hubs_ptr, part_ptr,
+            off_ptr, len_ptr, aidx_ptr, aval_ptr, du_ptr, dv_ptr, dd_ptr,
+            len(delta), rows.size, self._out_f64(work),
+            self._out_f64(grad_grouped),
+        )
+        del (keep, data_keep, de_keep, hubs_keep, part_keep, off_keep,
+             len_keep, aidx_keep, aval_keep, du_keep, dv_keep, dd_keep)
+        gradient[order] = grad_grouped
+        return gradient
+
+    @staticmethod
+    def _fold_hub_rows(csr, delta, hubs, eff_off, eff_len):
+        """Materialise Δ-folded effective rows for Δ-touched hubs.
+
+        For every hub that appears as a Δ endpoint, builds a sorted
+        (index, value) sparse row equal to the reference's dense
+        ``hub_row`` after the ``hub_row[other] += d`` fold (base CSR
+        values plus cumulative Δ adjustments, zero-valued entries kept so
+        the merge adds the same ±0.0 terms the mat-vec does).  Writes the
+        per-pair (offset, length) table in place and returns the
+        concatenated aux arrays.
+        """
+        touched = {}
+        for u, v, _ in delta:
+            touched.setdefault(int(u), None)
+            touched.setdefault(int(v), None)
+        indptr = csr.indptr
+        chunks_idx, chunks_val = [], []
+        offsets = {}
+        total = 0
+        for hub in touched:
+            start, stop = int(indptr[hub]), int(indptr[hub + 1])
+            base_idx = np.asarray(csr.indices[start:stop], dtype=np.int64)
+            base_val = np.asarray(csr.data[start:stop], dtype=np.float64)
+            adjust = {}
+            for u, v, d in delta:
+                if u == hub:
+                    other = int(v)
+                elif v == hub:
+                    other = int(u)
+                else:
+                    continue
+                adjust[other] = adjust.get(other, 0.0) + d
+            if adjust:
+                # Equivalent to np.setdiff1d(adjust keys, base_idx) but a
+                # binary search against the already-sorted base row instead
+                # of two sorts: adj_keys is sorted unique, so the filtered
+                # result is too.
+                adj_keys = np.fromiter(
+                    sorted(adjust), dtype=np.int64, count=len(adjust)
+                )
+                pos = np.searchsorted(base_idx, adj_keys)
+                present = np.zeros(adj_keys.size, dtype=bool)
+                inb = pos < base_idx.size
+                present[inb] = base_idx[pos[inb]] == adj_keys[inb]
+                extra = adj_keys[~present]
+                idx = np.concatenate([base_idx, extra])
+                val = np.concatenate(
+                    [base_val, np.zeros(extra.size, dtype=np.float64)]
+                )
+                order = np.argsort(idx, kind="stable")
+                idx, val = idx[order], val[order]
+                positions = np.searchsorted(idx, sorted(adjust))
+                for pos, key in zip(positions, sorted(adjust)):
+                    val[pos] += adjust[key]
+            else:
+                idx, val = base_idx, base_val
+            offsets[hub] = (total, idx.size)
+            chunks_idx.append(idx)
+            chunks_val.append(val)
+            total += idx.size
+        if offsets:
+            # Scatter the (offset, length) table onto the pair list with a
+            # sorted lookup — the pair list can be tens of thousands of
+            # entries while only the Δ-touched hubs (a handful) fold, so a
+            # per-pair Python loop would dominate the whole gradient call.
+            t_nodes = np.fromiter(offsets, dtype=np.int64, count=len(offsets))
+            t_entries = np.array(list(offsets.values()), dtype=np.int64)
+            order = np.argsort(t_nodes)
+            t_sorted = t_nodes[order]
+            pos = np.minimum(
+                np.searchsorted(t_sorted, hubs), t_sorted.size - 1
+            )
+            match = t_sorted[pos] == hubs
+            sel = order[pos[match]]
+            eff_off[match] = t_entries[sel, 0]
+            eff_len[match] = t_entries[sel, 1]
+        if chunks_idx:
+            return (
+                np.ascontiguousarray(np.concatenate(chunks_idx)),
+                np.ascontiguousarray(np.concatenate(chunks_val)),
+            )
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+
+
+class ToggleState:
+    """Persistent arena backing the compiled flip path of one engine.
+
+    Override neighbour rows (sorted int64 column lists) live in a single
+    growing arena; per-slot ``offs``/``lens``/``caps`` tables describe
+    each row's window.  All cffi pointers — arena, tables, the (N, E)
+    feature arrays, the base CSR — are created once and refreshed only on
+    (re)allocation, so the steady-state cost of a flip is one C call with
+    zero per-flip numpy marshalling.  Rows get slack capacity
+    (``len + 2*occurrences + 2``) when placed, so the canonical
+    apply-then-rollback cycle of the attack loop never relocates a row.
+
+    The engine's ``_rows`` dict is passed in as ``registry`` and kept in
+    sync (node -> slot index), preserving the membership semantics the
+    engine's read paths and the test-suite rely on.
+    """
+
+    def __init__(self, ffi, lib, base_csr, n_feat, e_feat, registry):
+        """Wrap ``base_csr`` + the engine's feature arrays and rows dict."""
+        self._ffi = ffi
+        self._lib = lib
+        self._registry = registry
+        n = int(base_csr.shape[0])
+        self._base_indptr = np.ascontiguousarray(base_csr.indptr,
+                                                 dtype=np.int64)
+        indices = base_csr.indices
+        if indices.dtype == np.int32 and indices.flags.c_contiguous:
+            self._base_indices = indices
+            self._idx_c = ffi.from_buffer("int[]", indices,
+                                          require_writable=False)
+            self._place = lib.repro_place_rows_i32
+        else:
+            self._base_indices = np.ascontiguousarray(indices,
+                                                      dtype=np.int64)
+            self._idx_c = ffi.from_buffer("long long[]", self._base_indices,
+                                          require_writable=False)
+            self._place = lib.repro_place_rows_i64
+        self._ptr_c = ffi.from_buffer("long long[]", self._base_indptr,
+                                      require_writable=False)
+        self._n_feat = n_feat
+        self._e_feat = e_feat
+        self._nf_c = ffi.from_buffer("double[]", n_feat,
+                                     require_writable=True)
+        self._ef_c = ffi.from_buffer("double[]", e_feat,
+                                     require_writable=True)
+        self.slot_of = np.full(n, -1, dtype=np.int64)
+        self._nslots = 0
+        self.offs = np.zeros(256, dtype=np.int64)
+        self.lens = np.zeros(256, dtype=np.int64)
+        self.caps = np.zeros(256, dtype=np.int64)
+        self._offs_c = self._wr_i64(self.offs)
+        self._lens_c = self._wr_i64(self.lens)
+        self._caps_c = self._wr_i64(self.caps)
+        self._arena = np.empty(4096, dtype=np.int64)
+        self._arena_c = self._wr_i64(self._arena)
+        self._free = 0
+
+    # -- pointer helpers ---------------------------------------------------
+
+    def _wr_i64(self, arr):
+        """Writable ``long long*`` over a contiguous int64 array."""
+        return self._ffi.from_buffer("long long[]", arr,
+                                     require_writable=True)
+
+    def _in_i64(self, arr):
+        """Const ``long long*`` view plus its keepalive array."""
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        return (
+            self._ffi.from_buffer("long long[]", arr,
+                                  require_writable=False),
+            arr,
+        )
+
+    # -- row access (engine read paths) ------------------------------------
+
+    def row(self, slot) -> np.ndarray:
+        """Sorted int64 neighbour row stored in slot ``slot`` (a view)."""
+        off = int(self.offs[slot])
+        return self._arena[off:off + int(self.lens[slot])]
+
+    # -- capacity management -----------------------------------------------
+
+    def _ensure_tables(self, min_slots: int) -> None:
+        """Grow the per-slot tables to hold at least ``min_slots`` rows."""
+        if min_slots <= self.offs.size:
+            return
+        new_cap = max(2 * self.offs.size, min_slots)
+        for name in ("offs", "lens", "caps"):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[:old.size] = old
+            setattr(self, name, grown)
+        self._offs_c = self._wr_i64(self.offs)
+        self._lens_c = self._wr_i64(self.lens)
+        self._caps_c = self._wr_i64(self.caps)
+
+    def _ensure_arena(self, needed: int) -> None:
+        """Make room for ``needed`` arena slots, compacting or growing."""
+        if needed <= self._arena.size:
+            return
+        live = int(self.caps[:self._nslots].sum())
+        incoming = needed - self._free
+        if 2 * (live + incoming) <= self._arena.size:
+            self._compact()
+            return
+        new_size = max(2 * self._arena.size, 2 * (live + incoming))
+        grown = np.empty(new_size, dtype=np.int64)
+        grown[:self._free] = self._arena[:self._free]
+        self._arena = grown
+        self._arena_c = self._wr_i64(grown)
+
+    def _compact(self) -> None:
+        """Repack every slot's capacity window to the arena's start."""
+        ns = self._nslots
+        if ns == 0:
+            self._free = 0
+            return
+        caps = self.caps[:ns]
+        new_offs = np.zeros(ns, dtype=np.int64)
+        np.cumsum(caps[:-1], out=new_offs[1:])
+        total = int(caps.sum())
+        src = (
+            np.repeat(self.offs[:ns] - new_offs, caps)
+            + np.arange(total, dtype=np.int64)
+        )
+        packed = self._arena[src]
+        self._arena[:total] = packed
+        self.offs[:ns] = new_offs
+        self._free = total
+
+    def _ensure_rows(self, uniq: np.ndarray, need: np.ndarray) -> None:
+        """Guarantee slots for ``uniq`` nodes with ``need`` spare capacity.
+
+        Creates slots for nodes seen for the first time (materialising
+        their base-CSR rows in C), and relocates rows whose spare
+        capacity cannot absorb ``need`` additional entries.  New windows
+        get ``len + 2*need + 2`` capacity so the subsequent toggles plus
+        their rollback fit without another relocation.
+        """
+        slots = self.slot_of[uniq]
+        new_mask = slots < 0
+        if new_mask.any():
+            new_nodes = uniq[new_mask]
+            k = int(new_nodes.size)
+            self._ensure_tables(self._nslots + k)
+            new_slots = np.arange(self._nslots, self._nslots + k,
+                                  dtype=np.int64)
+            self.slot_of[new_nodes] = new_slots
+            self._nslots += k
+            self._registry.update(
+                zip(new_nodes.tolist(), new_slots.tolist())
+            )
+            slots = self.slot_of[uniq]
+        cur_len = np.where(
+            new_mask,
+            self._base_indptr[uniq + 1] - self._base_indptr[uniq],
+            self.lens[slots],
+        )
+        spare = np.where(new_mask, np.int64(-1), self.caps[slots] - cur_len)
+        place = spare < need
+        if not place.any():
+            return
+        p_slots = slots[place]
+        p_caps = cur_len[place] + 2 * need[place] + 2
+        p_src = np.where(new_mask[place], uniq[place], np.int64(-1))
+        total = int(p_caps.sum())
+        self._ensure_arena(self._free + total)
+        dst = self._free + np.concatenate(
+            ([np.int64(0)], np.cumsum(p_caps[:-1]))
+        )
+        self._free += total
+        slots_ptr, slots_keep = self._in_i64(p_slots)
+        dst_ptr, dst_keep = self._in_i64(dst)
+        caps_ptr, caps_keep = self._in_i64(p_caps)
+        src_ptr, src_keep = self._in_i64(p_src)
+        self._place(
+            self._arena_c, self._offs_c, self._lens_c, self._caps_c,
+            slots_ptr, dst_ptr, caps_ptr, src_ptr, slots_keep.size,
+            self._ptr_c, self._idx_c,
+        )
+        del slots_keep, dst_keep, caps_keep, src_keep
+
+    # -- flip entry points -------------------------------------------------
+
+    def toggle_one(self, u: int, v: int) -> None:
+        """Toggle edge (u, v), updating rows and feature arrays in C."""
+        slot_of = self.slot_of
+        su = int(slot_of[u])
+        sv = int(slot_of[v])
+        if (
+            su < 0
+            or sv < 0
+            or self.caps[su] - self.lens[su] < 1
+            or self.caps[sv] - self.lens[sv] < 1
+        ):
+            uniq, counts = np.unique(
+                np.array([u, v], dtype=np.int64), return_counts=True
+            )
+            self._ensure_rows(uniq, counts)
+            su = int(slot_of[u])
+            sv = int(slot_of[v])
+        rc = self._lib.repro_toggle_one(
+            self._arena_c, self._offs_c, self._lens_c, self._caps_c,
+            su, sv, u, v, self._nf_c, self._ef_c,
+        )
+        if rc != 0:
+            raise RuntimeError("compiled toggle overflowed its arena row")
+
+    def toggle_pairs(
+        self, node_u: np.ndarray, node_v: np.ndarray
+    ) -> np.ndarray:
+        """Toggle every (node_u[k], node_v[k]) edge; return edge deltas.
+
+        The returned float64 array holds the per-pair edge-weight delta
+        (+1.0 insert / -1.0 remove), matching what the numpy path derives
+        from its per-row membership checks.
+        """
+        both = np.concatenate([node_u, node_v])
+        uniq, counts = np.unique(both, return_counts=True)
+        self._ensure_rows(uniq, counts)
+        slot_u = self.slot_of[node_u]
+        slot_v = self.slot_of[node_v]
+        deltas = np.empty(node_u.size, dtype=np.float64)
+        su_ptr, su_keep = self._in_i64(slot_u)
+        sv_ptr, sv_keep = self._in_i64(slot_v)
+        u_ptr, u_keep = self._in_i64(node_u)
+        v_ptr, v_keep = self._in_i64(node_v)
+        rc = self._lib.repro_toggle_batch(
+            self._arena_c, self._offs_c, self._lens_c, self._caps_c,
+            su_ptr, sv_ptr, u_ptr, v_ptr, u_keep.size,
+            self._nf_c, self._ef_c,
+            self._ffi.from_buffer("double[]", deltas,
+                                  require_writable=True),
+        )
+        del su_keep, sv_keep, u_keep, v_keep
+        if rc != 0:
+            raise RuntimeError("compiled toggle overflowed its arena row")
+        return deltas

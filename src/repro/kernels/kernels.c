@@ -1,0 +1,334 @@
+/* Compiled hot kernels for the BinarizedAttack reproduction.
+ *
+ * Built at first use by src/repro/kernels/capi.py:  cc -O2 -fPIC -shared
+ * -ffp-contract=off  (the contract flag matters: fused multiply-adds would
+ * change the float results away from the numpy parity oracle's).
+ *
+ * Conventions shared by every kernel:
+ *   - `indptr` is always int64 (the Python wrapper normalises it);
+ *   - `indices` comes in the CSR's native dtype — every row-walking kernel
+ *     is generated for int32 (`_i32`) and int64 (`_i64`) via DEFINE_* macros;
+ *   - all arrays are C-contiguous; base-CSR arrays (possibly read-only
+ *     memory maps) are only ever read — `const` enforces it at compile time;
+ *   - feature updates are ±1-integer arithmetic in float64, so results are
+ *     bit-identical to the pure-Python reference regardless of order;
+ *   - the gradient kernel mirrors the numpy hub-mat-vec summation order
+ *     term for term (see scatter_gradient below).
+ *
+ * `long long` is used instead of <stdint.h> int64_t so the cffi cdef and
+ * this file agree on the exact token (both are 8-byte integers on every
+ * supported LP64/LLP64 platform).
+ */
+
+#include <string.h>
+
+typedef long long i64;
+typedef int i32;
+
+/* ------------------------------------------------------------------ */
+/* sorted-array primitives                                            */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_LOWER_BOUND(SUF, IDX)                                      \
+    static i64 lower_bound_##SUF(const IDX *a, i64 lo, i64 hi, i64 key) { \
+        while (lo < hi) {                                                 \
+            i64 mid = lo + ((hi - lo) >> 1);                              \
+            if ((i64)a[mid] < key) lo = mid + 1; else hi = mid;           \
+        }                                                                 \
+        return lo;                                                        \
+    }
+
+DEFINE_LOWER_BOUND(i32, i32)
+DEFINE_LOWER_BOUND(i64, i64)
+
+/* Count of common elements of two sorted index arrays.  Walks the shorter
+ * array with galloping binary search when the lengths are lopsided (hub
+ * rows on heavy-tailed graphs), plain merge otherwise. */
+#define DEFINE_INTERSECT_COUNT(SUF, IDX)                                  \
+    static i64 intersect_count_##SUF(                                     \
+            const IDX *a, i64 la, const IDX *b, i64 lb) {                 \
+        if (la > lb) {                                                    \
+            const IDX *t = a; a = b; b = t;                               \
+            i64 tl = la; la = lb; lb = tl;                                \
+        }                                                                 \
+        i64 count = 0;                                                    \
+        if (lb > 32 * la) {                                               \
+            i64 lo = 0;                                                   \
+            for (i64 i = 0; i < la; i++) {                                \
+                lo = lower_bound_##SUF(b, lo, lb, (i64)a[i]);             \
+                if (lo < lb && (i64)b[lo] == (i64)a[i]) { count++; lo++; }\
+            }                                                             \
+            return count;                                                 \
+        }                                                                 \
+        i64 i = 0, j = 0;                                                 \
+        while (i < la && j < lb) {                                        \
+            if ((i64)a[i] < (i64)b[j]) i++;                               \
+            else if ((i64)a[i] > (i64)b[j]) j++;                          \
+            else { count++; i++; j++; }                                   \
+        }                                                                 \
+        return count;                                                     \
+    }
+
+DEFINE_INTERSECT_COUNT(i32, i32)
+DEFINE_INTERSECT_COUNT(i64, i64)
+
+/* ------------------------------------------------------------------ */
+/* pair_values: batch edge-membership reads against a base CSR         */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_PAIR_VALUES(SUF, IDX)                                      \
+    void repro_pair_values_##SUF(                                         \
+            const i64 *indptr, const IDX *indices,                        \
+            const i64 *rows, const i64 *cols, i64 npairs, double *out) {  \
+        for (i64 k = 0; k < npairs; k++) {                                \
+            i64 s = indptr[rows[k]], e = indptr[rows[k] + 1];             \
+            i64 p = lower_bound_##SUF(indices, s, e, cols[k]);            \
+            out[k] = (p < e && (i64)indices[p] == cols[k]) ? 1.0 : 0.0;   \
+        }                                                                 \
+    }
+
+DEFINE_PAIR_VALUES(i32, i32)
+DEFINE_PAIR_VALUES(i64, i64)
+
+/* ------------------------------------------------------------------ */
+/* triangle_counts: diag(A^3) per node, for egonet E features          */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_TRIANGLE_COUNTS(SUF, IDX)                                  \
+    void repro_triangle_counts_##SUF(                                     \
+            const i64 *indptr, const IDX *indices, i64 n, double *out) {  \
+        for (i64 u = 0; u < n; u++) {                                     \
+            i64 s = indptr[u], e = indptr[u + 1];                         \
+            i64 t = 0;                                                    \
+            for (i64 p = s; p < e; p++) {                                 \
+                i64 v = (i64)indices[p];                                  \
+                t += intersect_count_##SUF(                               \
+                    indices + s, e - s,                                   \
+                    indices + indptr[v], indptr[v + 1] - indptr[v]);      \
+            }                                                             \
+            out[u] = (double)t;                                           \
+        }                                                                 \
+    }
+
+DEFINE_TRIANGLE_COUNTS(i32, i32)
+DEFINE_TRIANGLE_COUNTS(i64, i64)
+
+/* ------------------------------------------------------------------ */
+/* toggle_batch: apply k edge flips to the (N, E) features in one call */
+/* ------------------------------------------------------------------ */
+
+/* `arena + offs[t]` is the working neighbour row of the batch's t-th
+ * distinct endpoint (sorted int64, length lens[t], capacity caps[t] — the
+ * wrapper sizes capacity as current length + occurrences in the batch, so
+ * the overflow return below is a can't-happen guard, not a resize
+ * protocol).  One flat arena instead of a pointer table lets the wrapper
+ * build the whole thing with vectorised numpy (a concatenate plus one
+ * fancy-index scatter) and hand the edited rows back as zero-copy views.
+ * Pairs arrive as slot indices into that table plus the raw node ids.
+ * Flips are applied strictly in order, so a pair repeated in one batch is
+ * an apply-then-undo exactly as in the per-flip Python loop.
+ *
+ * Returns 0 on success, -(k+1) if pair k overflowed a buffer. */
+i64 repro_toggle_batch(
+        i64 *arena, const i64 *offs, i64 *lens, const i64 *caps,
+        const i64 *slot_u, const i64 *slot_v,
+        const i64 *node_u, const i64 *node_v, i64 npairs,
+        double *n_feat, double *e_feat, double *deltas_out) {
+    for (i64 k = 0; k < npairs; k++) {
+        i64 su = slot_u[k], sv = slot_v[k];
+        i64 u = node_u[k], v = node_v[k];
+        i64 *a = arena + offs[su], la = lens[su];
+        i64 *b = arena + offs[sv], lb = lens[sv];
+        i64 pa = lower_bound_i64(a, 0, la, v);
+        int edge = pa < la && a[pa] == v;
+        double delta = edge ? -1.0 : 1.0;
+        /* common neighbours: every w in Gamma(u) & Gamma(v) gains/loses the
+         * flipped edge inside its egonet.  Counted before the row update,
+         * exactly like the Python reference. */
+        i64 common = 0;
+        {
+            i64 i = 0, j = 0;
+            while (i < la && j < lb) {
+                if (a[i] < b[j]) i++;
+                else if (a[i] > b[j]) j++;
+                else { e_feat[a[i]] += delta; common++; i++; j++; }
+            }
+        }
+        n_feat[u] += delta;
+        n_feat[v] += delta;
+        {
+            double inc = delta * (1.0 + (double)common);
+            e_feat[u] += inc;
+            e_feat[v] += inc;
+        }
+        if (edge) {
+            memmove(a + pa, a + pa + 1, (size_t)(la - pa - 1) * sizeof(i64));
+            lens[su] = la - 1;
+        } else {
+            if (la + 1 > caps[su]) return -(k + 1);
+            memmove(a + pa + 1, a + pa, (size_t)(la - pa) * sizeof(i64));
+            a[pa] = v;
+            lens[su] = la + 1;
+        }
+        {
+            i64 lb2 = lens[sv];
+            i64 pb = lower_bound_i64(b, 0, lb2, u);
+            if (edge) {
+                memmove(b + pb, b + pb + 1,
+                        (size_t)(lb2 - pb - 1) * sizeof(i64));
+                lens[sv] = lb2 - 1;
+            } else {
+                if (lb2 + 1 > caps[sv]) return -(k + 1);
+                memmove(b + pb + 1, b + pb, (size_t)(lb2 - pb) * sizeof(i64));
+                b[pb] = u;
+                lens[sv] = lb2 + 1;
+            }
+        }
+        deltas_out[k] = delta;
+    }
+    return 0;
+}
+
+/* Single-flip fast path: one pair, scalar arguments, no batch arrays.
+ * Greedy attacks apply/rollback one permanent flip per step, so this
+ * call happens millions of times per campaign — the wrapper keeps
+ * persistent table pointers and passes plain ints, making the Python
+ * overhead a dict-free slot lookup instead of eight array allocations. */
+i64 repro_toggle_one(
+        i64 *arena, const i64 *offs, i64 *lens, const i64 *caps,
+        i64 su, i64 sv, i64 u, i64 v,
+        double *n_feat, double *e_feat) {
+    i64 slot_u[1], slot_v[1], node_u[1], node_v[1];
+    double delta;
+    slot_u[0] = su; slot_v[0] = sv; node_u[0] = u; node_v[0] = v;
+    return repro_toggle_batch(arena, offs, lens, caps, slot_u, slot_v,
+                              node_u, node_v, 1, n_feat, e_feat, &delta);
+}
+
+/* ------------------------------------------------------------------ */
+/* place_rows: (re)materialise override rows inside the arena          */
+/* ------------------------------------------------------------------ */
+
+/* For each of the nplace slots, install its neighbour row at dst_off[t]
+ * with capacity new_cap[t] and update the offs/lens/caps tables:
+ *   - src_node[t] >= 0: first touch — copy that node's base-CSR row
+ *     (read-only, possibly memory-mapped) into the arena;
+ *   - src_node[t] <  0: relocation — move the slot's current arena row
+ *     to the new position (the old region is abandoned; the wrapper
+ *     compacts the arena when dead space accumulates).
+ * Destination regions never overlap each other or any live row (the
+ * wrapper carves them from the arena tail), so plain copies suffice. */
+#define DEFINE_PLACE_ROWS(SUF, IDX)                                       \
+    void repro_place_rows_##SUF(                                          \
+            i64 *arena, i64 *offs, i64 *lens, i64 *caps,                  \
+            const i64 *slots, const i64 *dst_off, const i64 *new_cap,     \
+            const i64 *src_node, i64 nplace,                              \
+            const i64 *indptr, const IDX *indices) {                      \
+        for (i64 t = 0; t < nplace; t++) {                                \
+            i64 s = slots[t];                                             \
+            i64 dst = dst_off[t];                                         \
+            if (src_node[t] >= 0) {                                       \
+                i64 b = indptr[src_node[t]];                              \
+                i64 len = indptr[src_node[t] + 1] - b;                    \
+                for (i64 j = 0; j < len; j++)                             \
+                    arena[dst + j] = (i64)indices[b + j];                 \
+                lens[s] = len;                                            \
+            } else {                                                      \
+                memmove(arena + dst, arena + offs[s],                     \
+                        (size_t)lens[s] * sizeof(i64));                   \
+            }                                                             \
+            offs[s] = dst;                                                \
+            caps[s] = new_cap[t];                                         \
+        }                                                                 \
+    }
+
+DEFINE_PLACE_ROWS(i32, i32)
+DEFINE_PLACE_ROWS(i64, i64)
+
+/* ------------------------------------------------------------------ */
+/* scatter_gradient: per-pair closed-form gradient over candidates     */
+/* ------------------------------------------------------------------ */
+
+/* The numpy reference (_scatter_pair_gradient) groups pairs by hub and, per
+ * hub, runs two O(m) sparse mat-vecs against a densified hub row.  This
+ * kernel amortises the hub row the same way: the wrapper sorts pairs by
+ * hub (stable, like the reference's grouping argsort), and for each run of
+ * pairs sharing a hub the hub's effective row is scattered ONCE into the
+ * dense `work` array (caller-zeroed, size n), then each partner's CSR row
+ * is walked against it in ascending column order — exactly the term
+ * sequence of `csr @ hub_row`, zero-valued positions included, so the
+ * float results are bit-identical to the reference.  The row is cleared
+ * (same index walk) when the hub changes, so `work` returns to all-zeros.
+ *
+ * The hub's effective row is either its base CSR slice (eff_off[k] < 0) or
+ * a wrapper-built (aux_idx, aux_val) slice with the Δ-overlay folded in,
+ * mirroring `hub_row[v] += d`.  Overlay corrections for partners that are
+ * themselves Δ endpoints are applied after the walk, in overlay order,
+ * exactly like the reference's post-mat-vec fixups; `work[other]` IS the
+ * effective hub row value the reference looks up.
+ *
+ * grad[k] arrives pre-filled with the dn/de endpoint terms and is
+ * incremented with (d_e[hub] + d_e[partner]) * cc + cw. */
+#define DEFINE_SCATTER_GRADIENT(SUF, IDX)                                 \
+    static void set_hub_row_##SUF(                                        \
+            const i64 *indptr, const IDX *indices, const double *data,    \
+            const i64 *aux_idx, const double *aux_val,                    \
+            i64 hub, i64 off, i64 len, double *work, double value_or) {   \
+        /* value_or < 0: restore zeros; otherwise scatter row values. */  \
+        if (off >= 0) {                                                   \
+            for (i64 j = 0; j < len; j++)                                 \
+                work[aux_idx[off + j]] =                                  \
+                    value_or < 0.0 ? 0.0 : aux_val[off + j];              \
+        } else {                                                          \
+            for (i64 j = indptr[hub]; j < indptr[hub + 1]; j++)           \
+                work[(i64)indices[j]] = value_or < 0.0 ? 0.0 : data[j];   \
+        }                                                                 \
+    }                                                                     \
+                                                                          \
+    void repro_scatter_gradient_##SUF(                                    \
+            const i64 *indptr, const IDX *indices, const double *data,    \
+            const double *d_e,                                            \
+            const i64 *hubs, const i64 *partners,                         \
+            const i64 *eff_off, const i64 *eff_len,                       \
+            const i64 *aux_idx, const double *aux_val,                    \
+            const i64 *du, const i64 *dv, const double *dd, i64 ndelta,   \
+            i64 npairs, double *work, double *grad) {                     \
+        i64 cur = -1, cur_off = -1, cur_len = 0;                          \
+        for (i64 k = 0; k < npairs; k++) {                                \
+            i64 h = hubs[k], p = partners[k];                             \
+            i64 off = eff_off[k];                                         \
+            if (h != cur) {                                               \
+                if (cur >= 0)                                             \
+                    set_hub_row_##SUF(indptr, indices, data, aux_idx,     \
+                                      aux_val, cur, cur_off, cur_len,     \
+                                      work, -1.0);                        \
+                set_hub_row_##SUF(indptr, indices, data, aux_idx,         \
+                                  aux_val, h, off, eff_len[k],            \
+                                  work, 1.0);                             \
+                cur = h; cur_off = off; cur_len = eff_len[k];             \
+            }                                                             \
+            double cc = 0.0, cw = 0.0;                                    \
+            for (i64 i = indptr[p]; i < indptr[p + 1]; i++) {             \
+                i64 c = (i64)indices[i];                                  \
+                double hv = work[c];                                      \
+                cc += data[i] * hv;                                       \
+                cw += data[i] * (hv * d_e[c]);                            \
+            }                                                             \
+            for (i64 t = 0; t < ndelta; t++) {                           \
+                i64 other = -1;                                           \
+                if (du[t] == p) other = dv[t];                            \
+                else if (dv[t] == p) other = du[t];                       \
+                if (other < 0) continue;                                  \
+                double hv = work[other];                                  \
+                cc += dd[t] * hv;                                         \
+                cw += dd[t] * hv * d_e[other];                            \
+            }                                                             \
+            grad[k] += (d_e[h] + d_e[p]) * cc + cw;                       \
+        }                                                                 \
+        if (cur >= 0)                                                     \
+            set_hub_row_##SUF(indptr, indices, data, aux_idx, aux_val,    \
+                              cur, cur_off, cur_len, work, -1.0);         \
+    }
+
+DEFINE_SCATTER_GRADIENT(i32, i32)
+DEFINE_SCATTER_GRADIENT(i64, i64)

@@ -64,6 +64,7 @@ from scipy import sparse as _sparse
 from repro.autograd.ops import apply_pair_flips, binarize_ste, maximum, symmetric_from_upper
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.graph.features import egonet_features_tensor
+from repro.kernels import validate_kernels
 from repro.oddball.regression import DEFAULT_RIDGE, fit_power_law_tensor
 
 __all__ = [
@@ -552,6 +553,15 @@ class EngineSpec(NamedTuple):
         worker rebuilding from byte payload would derive a *different*
         checkpoint fingerprint than its parent and every shard merge
         would be rejected.
+    kernels : str
+        The *requested* hot-kernel flag (``auto``/``numpy``/``compiled``
+        — see :mod:`repro.kernels`).  Unlike ``backend``, this is
+        deliberately NOT pre-resolved: availability of the compiled
+        backend is a property of the executing host, so each worker
+        resolves ``auto`` for itself at engine build (both backends are
+        bit-identical, so a heterogeneous fleet still agrees on results).
+        An explicit ``"compiled"`` is enforced — a worker without the
+        toolchain raises instead of silently degrading.
     """
 
     backend: str
@@ -560,6 +570,7 @@ class EngineSpec(NamedTuple):
     floor: float
     ridge: float
     fingerprint: "str | None" = None
+    kernels: str = "auto"
 
     @classmethod
     def from_graph(
@@ -569,13 +580,17 @@ class EngineSpec(NamedTuple):
         backend: str = "auto",
         floor: float = 1.0,
         ridge: float = DEFAULT_RIDGE,
+        kernels: str = "auto",
     ) -> "EngineSpec":
         """Capture a graph (dense array or scipy sparse) as an engine spec.
 
         ``backend="auto"`` is resolved against the graph here, once, so
-        every consumer of the spec agrees on the engine class.
+        every consumer of the spec agrees on the engine class.  ``kernels``
+        is carried as requested and resolved per worker (see the class
+        docstring).
         """
         resolved = resolve_backend(backend, graph)
+        validate_kernels(kernels)
         if _sparse.issparse(graph):
             csr = graph.tocsr()
             payload = (
@@ -594,6 +609,7 @@ class EngineSpec(NamedTuple):
             backend=resolved, kind=kind, payload=payload,
             floor=float(floor), ridge=float(ridge),
             fingerprint=getattr(graph, "_repro_fingerprint", None),
+            kernels=kernels,
         )
 
     @classmethod
@@ -603,6 +619,7 @@ class EngineSpec(NamedTuple):
         *,
         floor: float = 1.0,
         ridge: float = DEFAULT_RIDGE,
+        kernels: str = "auto",
     ) -> "EngineSpec":
         """Capture a :class:`~repro.store.GraphStore` as a path-payload spec.
 
@@ -615,6 +632,7 @@ class EngineSpec(NamedTuple):
             backend="sparse", kind="store", payload=(str(store.path),),
             floor=float(floor), ridge=float(ridge),
             fingerprint=f"graph-store:{store.digest}",
+            kernels=validate_kernels(kernels),
         )
 
     def to_graph(self):
@@ -684,6 +702,7 @@ class SurrogateEngine(abc.ABC):
         floor: float = 1.0,
         ridge: float = DEFAULT_RIDGE,
         weights: "Sequence[float] | None" = None,
+        kernels: str = "auto",
     ):
         if floor <= 0.0:
             raise ValueError(f"floor must be positive to keep logs finite, got {floor}")
@@ -692,6 +711,9 @@ class SurrogateEngine(abc.ABC):
         self.floor = float(floor)
         self.ridge = float(ridge)
         self._weights = weights
+        #: The *requested* hot-kernel flag, exported unresolved by
+        #: :meth:`engine_spec` so workers re-resolve ``auto`` per host.
+        self.kernels_flag = validate_kernels(kernels)
         self.set_candidates(candidates)
 
     # ------------------------------------------------------------------ #
@@ -708,6 +730,7 @@ class SurrogateEngine(abc.ABC):
         floor: float = 1.0,
         ridge: float = DEFAULT_RIDGE,
         weights: "Sequence[float] | None" = None,
+        kernels: str = "auto",
     ) -> "SurrogateEngine":
         """Build the backend picked by :func:`resolve_backend`.
 
@@ -715,12 +738,14 @@ class SurrogateEngine(abc.ABC):
         scipy sparse matrix; ``candidates`` a
         :class:`~repro.attacks.candidates.CandidateSet`, a ``(rows, cols)``
         pair of canonical index arrays, or ``None`` for every upper-triangle
-        pair.
+        pair.  ``kernels`` selects the hot-kernel backend for the sparse
+        engine's flip/score/gradient primitives (:mod:`repro.kernels`).
         """
         resolved = resolve_backend(backend, graph)
         engine_cls = DenseSurrogateEngine if resolved == "dense" else SparseSurrogateEngine
         return engine_cls(
-            graph, targets, candidates, floor=floor, ridge=ridge, weights=weights
+            graph, targets, candidates, floor=floor, ridge=ridge, weights=weights,
+            kernels=kernels,
         )
 
     @classmethod
@@ -754,6 +779,7 @@ class SurrogateEngine(abc.ABC):
         return engine_cls(
             spec.to_graph() if graph is None else graph, targets, candidates,
             floor=spec.floor, ridge=spec.ridge, weights=weights,
+            kernels=spec.kernels,
         )
 
     def engine_spec(self) -> "EngineSpec":
@@ -769,6 +795,7 @@ class SurrogateEngine(abc.ABC):
             payload=self._spec_payload(),
             floor=self.floor,
             ridge=self.ridge,
+            kernels=self.kernels_flag,
         )
 
     @abc.abstractmethod
@@ -1007,6 +1034,7 @@ class DenseSurrogateEngine(SurrogateEngine):
         floor: float = 1.0,
         ridge: float = DEFAULT_RIDGE,
         weights: "Sequence[float] | None" = None,
+        kernels: str = "auto",
     ):
         if _sparse.issparse(graph):
             # repro: allow-densify(dense reference engine — densifying is the point)
@@ -1026,9 +1054,13 @@ class DenseSurrogateEngine(SurrogateEngine):
         self._transient: list[tuple[int, int]] = []
         self._permanent: list[tuple[int, int]] = []
         self._frozen: "Tensor | None" = None
+        #: The dense reference path has no compiled primitives — the flag is
+        #: accepted (and round-tripped through specs) for API parity with
+        #: the sparse engine, but evaluation is always the autograd oracle.
+        self.kernels = "numpy"
         super().__init__(
             adjacency.shape[0], targets, candidates,
-            floor=floor, ridge=ridge, weights=weights,
+            floor=floor, ridge=ridge, weights=weights, kernels=kernels,
         )
 
     def _pair_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
@@ -1213,17 +1245,22 @@ class SparseSurrogateEngine(SurrogateEngine):
         floor: float = 1.0,
         ridge: float = DEFAULT_RIDGE,
         weights: "Sequence[float] | None" = None,
+        kernels: str = "auto",
     ):
         from repro.graph.incremental import IncrementalEgonetFeatures
 
-        self._features = IncrementalEgonetFeatures(graph)
+        self._features = IncrementalEgonetFeatures(graph, kernels=kernels)
+        #: Resolved hot-kernel backend ("numpy" or "compiled") in use for
+        #: flip application, pair reads and the gradient scatter.
+        self.kernels = self._features.kernels
+        self._kt = self._features._kt
         # push_flip/apply_flip share one rollback stack; this counter is the
         # only record of which stack entries are *transient* (pushed, not
         # yet popped) — engine_spec() refuses to export around them.
         self._transient_count = 0
         super().__init__(
             self._features.n, targets, candidates,
-            floor=floor, ridge=ridge, weights=weights,
+            floor=floor, ridge=ridge, weights=weights, kernels=kernels,
         )
 
     def _pair_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
@@ -1238,17 +1275,22 @@ class SparseSurrogateEngine(SurrogateEngine):
         if not base.has_sorted_indices:
             # repro: allow-mmap-write-safety(unreachable for store CSRs — they arrive pre-sorted with has_sorted_indices set)
             base.sort_indices()
-        # Row-major CSR keys are strictly increasing, so membership is one
-        # C-level binary search instead of a hash-based isin.
-        edge_keys = (
-            np.repeat(np.arange(n, dtype=np.intp), np.diff(base.indptr)) * n
-            + base.indices
-        )
-        positions = np.searchsorted(edge_keys, pair_keys)
-        positions_clipped = np.minimum(positions, max(edge_keys.size - 1, 0))
-        values = np.zeros(pair_keys.size, dtype=np.float64)
-        if edge_keys.size:
-            values[edge_keys[positions_clipped] == pair_keys] = 1.0
+        if self._kt is not None:
+            # Compiled path: one binary search per pair inside the base
+            # CSR's rows — no O(m) edge-key array build per call.
+            values = self._kt.pair_values(base, rows, cols)
+        else:
+            # Row-major CSR keys are strictly increasing, so membership is
+            # one C-level binary search instead of a hash-based isin.
+            edge_keys = (
+                np.repeat(np.arange(n, dtype=np.intp), np.diff(base.indptr)) * n
+                + base.indices
+            )
+            positions = np.searchsorted(edge_keys, pair_keys)
+            positions_clipped = np.minimum(positions, max(edge_keys.size - 1, 0))
+            values = np.zeros(pair_keys.size, dtype=np.float64)
+            if edge_keys.size:
+                values[edge_keys[positions_clipped] == pair_keys] = 1.0
         if delta:
             sorter = None
             if np.any(np.diff(pair_keys) < 0):
@@ -1261,6 +1303,29 @@ class SparseSurrogateEngine(SurrogateEngine):
                     if pair_keys[idx] == key:
                         values[idx] = 1.0 if sign > 0 else 0.0
         return values
+
+    def _scatter(
+        self,
+        csr,
+        d_n: np.ndarray,
+        d_e: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        delta=(),
+    ) -> np.ndarray:
+        """Gradient scatter through the selected kernel backend.
+
+        The compiled kernel replicates the numpy reference's hub grouping
+        and summation order, so both paths return bit-identical gradients
+        (asserted by the kernel parity suite); unsorted-index matrices
+        (never produced by the engine's own materialisations) fall back to
+        the reference path, which tolerates them.
+        """
+        if self._kt is not None and csr.has_sorted_indices:
+            return self._kt.scatter_pair_gradient(
+                csr, d_n, d_e, rows, cols, delta=delta
+            )
+        return _scatter_pair_gradient(csr, d_n, d_e, rows, cols, delta=delta)
 
     def current_loss(self) -> float:
         """Surrogate from the maintained features, in O(n)."""
@@ -1282,11 +1347,14 @@ class SparseSurrogateEngine(SurrogateEngine):
         flipped = np.flatnonzero(flip_mask)
         features = self._features
         base_csr = features.adjacency_csr()  # materialised BEFORE the flips
-        delta: list[tuple[int, int, float]] = []
-        for k in flipped:
-            u, v = int(self.rows[k]), int(self.cols[k])
-            features.flip(u, v)
-            delta.append((u, v, float(self.flip_direction[k])))
+        pairs = [(int(self.rows[k]), int(self.cols[k])) for k in flipped]
+        delta: list[tuple[int, int, float]] = [
+            (u, v, float(self.flip_direction[k]))
+            for (u, v), k in zip(pairs, flipped)
+        ]
+        # One batched call applies the whole iterate's flip set (compiled:
+        # a single Python->C crossing; numpy: the historical per-flip loop).
+        features.flip_batch(pairs)
         n_feature, e_feature = features.features()
         loss = surrogate_loss_from_features(
             n_feature, e_feature, self._targets,
@@ -1297,7 +1365,7 @@ class SparseSurrogateEngine(SurrogateEngine):
             floor=self.floor, ridge=self.ridge, weights=self._weights,
         )
         features.rollback(len(delta))
-        pair_gradient = _scatter_pair_gradient(
+        pair_gradient = self._scatter(
             base_csr, d_n, d_e, self.rows, self.cols, delta=delta
         )
         # Straight-through chain: ∂L/∂Ż = (∂L/∂A_uv + ∂L/∂A_vu) · direction.
@@ -1335,7 +1403,7 @@ class SparseSurrogateEngine(SurrogateEngine):
             n_feature, e_feature, self._targets,
             floor=self.floor, ridge=self.ridge, weights=self._weights,
         )
-        gradient = _scatter_pair_gradient(matrix, d_n, d_e, self.rows, self.cols)
+        gradient = self._scatter(matrix, d_n, d_e, self.rows, self.cols)
         return float(loss), gradient
 
     def candidate_gradient(self) -> np.ndarray:
@@ -1351,9 +1419,7 @@ class SparseSurrogateEngine(SurrogateEngine):
             n_feature, e_feature, self._targets,
             floor=self.floor, ridge=self.ridge, weights=self._weights,
         )
-        return _scatter_pair_gradient(
-            base, d_n, d_e, self.rows, self.cols, delta=delta
-        )
+        return self._scatter(base, d_n, d_e, self.rows, self.cols, delta=delta)
 
     def pair_gradient(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Closed-form gradient scattered onto arbitrary canonical pairs."""
@@ -1365,7 +1431,7 @@ class SparseSurrogateEngine(SurrogateEngine):
             n_feature, e_feature, self._targets,
             floor=self.floor, ridge=self.ridge, weights=self._weights,
         )
-        return _scatter_pair_gradient(base, d_n, d_e, rows, cols, delta=delta)
+        return self._scatter(base, d_n, d_e, rows, cols, delta=delta)
 
     def degrees(self) -> np.ndarray:
         """Maintained degree vector — an O(n) copy of the N feature.

@@ -127,7 +127,7 @@ def _cmd_campaign(args) -> int:
         candidates="target_incident",
     )
     campaign = build_campaign(
-        store, workers=args.workers, backend="sparse",
+        store, workers=args.workers, backend="sparse", kernels=args.kernels,
         checkpoint_path=args.checkpoint,
     )
     start = time.perf_counter()
@@ -175,6 +175,10 @@ def main(argv: "list[str] | None" = None) -> int:
                           help="attack the top-K OddBall-scored nodes")
     campaign.add_argument("--checkpoint", type=Path, default=None,
                           help="resumable campaign checkpoint file")
+    campaign.add_argument("--kernels", choices=["auto", "numpy", "compiled"],
+                          default="auto",
+                          help="hot-loop kernel backend (repro.kernels); "
+                               "flips are identical either way")
     campaign.set_defaults(handler=_cmd_campaign)
 
     args = parser.parse_args(argv)

@@ -1,6 +1,11 @@
 """Reflection audits: engine API parity and parity-test coverage."""
 
-from repro.analysis import audit_engine_api, audit_parity_coverage, run_audits
+from repro.analysis import (
+    audit_engine_api,
+    audit_kernel_parity_coverage,
+    audit_parity_coverage,
+    run_audits,
+)
 
 
 class TestEngineApiAudit:
@@ -44,6 +49,46 @@ class TestParityCoverageAudit:
         findings = audit_parity_coverage(test_paths=[module])
         named = " ".join(f.message for f in findings)
         assert "binarizedattack" in named
+
+
+class TestKernelParityCoverageAudit:
+    def test_live_test_suite_covers_every_registry_kernel(self):
+        assert audit_kernel_parity_coverage() == []
+
+    def test_empty_test_set_reports_every_kernel(self):
+        from repro.kernels import KERNEL_REGISTRY
+
+        findings = audit_kernel_parity_coverage(test_paths=[])
+        assert len(findings) == len(KERNEL_REGISTRY)
+        assert all(f.rule == "kernel-parity-coverage" for f in findings)
+        named = " ".join(f.message for f in findings)
+        for kernel_name in KERNEL_REGISTRY:
+            assert kernel_name in named
+
+    def test_partial_coverage_reports_only_the_missing(self, tmp_path):
+        partial = tmp_path / "test_partial.py"
+        partial.write_text(
+            "class TestToggleBatchParity:\n"
+            '    KERNEL = "toggle_batch"\n'
+            "    def test_it(self):\n"
+            "        pass\n"
+        )
+        findings = audit_kernel_parity_coverage(test_paths=[partial])
+        missing = {f.message.split("'")[1] for f in findings}
+        assert "toggle_batch" not in missing
+        assert "scatter_gradient" in missing
+
+    def test_class_without_parity_in_name_does_not_count(self, tmp_path):
+        module = tmp_path / "test_other.py"
+        module.write_text(
+            "class TestToggleBatchSpeed:\n"
+            '    KERNEL = "toggle_batch"\n'
+            "    def test_it(self):\n"
+            "        pass\n"
+        )
+        findings = audit_kernel_parity_coverage(test_paths=[module])
+        named = " ".join(f.message for f in findings)
+        assert "toggle_batch" in named
 
 
 def test_run_audits_is_clean_on_this_repo():

@@ -253,6 +253,22 @@ class TestIncrementalCsrFold:
             base.toarray(), engine._rebuild_csr().toarray()
         )
 
+    def test_rebuild_degrees_match_per_node_loop(self, small_ba_graph):
+        # _rebuild_csr derives degrees vectorised (np.diff over the base
+        # indptr + one correction per override row); pin it against the
+        # obvious per-node loop it replaced.
+        engine = IncrementalEgonetFeatures(small_ba_graph)
+        for u, v in [(0, 1), (2, 9), (0, 2), (7, 11), (0, 1)]:
+            engine.flip(u, v)
+        rebuilt = engine._rebuild_csr()
+        loop_degrees = np.array(
+            [engine.degree(i) for i in range(engine.n)], dtype=np.intp
+        )
+        np.testing.assert_array_equal(np.diff(rebuilt.indptr), loop_degrees)
+        np.testing.assert_array_equal(
+            rebuilt.toarray(), engine.to_dense()
+        )
+
     def test_depth_tracks_flip_stack(self, small_ba_graph):
         engine = IncrementalEgonetFeatures(small_ba_graph)
         assert engine.depth == 0

@@ -1,0 +1,269 @@
+"""numpy-vs-compiled kernel parity: every KERNEL_REGISTRY primitive.
+
+The compiled backend's entire contract is *bit-identity* with the numpy
+reference paths — same features, same gradients, same flips, down to the
+last float64 bit.  Each ``*Parity*`` class below pins one registry kernel
+to its oracle; the ``repro.analysis`` kernel-parity audit fails CI if a
+registry entry loses its class here.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.incremental import IncrementalEgonetFeatures
+from repro.graph.sparse import egonet_features_sparse, to_sparse
+from repro.kernels import compiled_available, kernel_table
+from repro.oddball.surrogate import (
+    SurrogateEngine,
+    _scatter_pair_gradient,
+)
+
+pytestmark = pytest.mark.skipif(
+    not compiled_available(),
+    reason="no C toolchain/cffi on this host; compiled backend unavailable",
+)
+
+
+def _graphs():
+    return [
+        barabasi_albert(80, 3, rng=11),
+        erdos_renyi(60, 0.12, rng=7),
+    ]
+
+
+def _pairs(n, rng, count=200):
+    rows = rng.integers(0, n, size=count)
+    cols = rng.integers(0, n, size=count)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    return np.minimum(rows, cols), np.maximum(rows, cols)
+
+
+class TestPairValuesParity:
+    """``pair_values`` against numpy CSR membership."""
+
+    KERNEL = "pair_values"
+
+    @pytest.mark.parametrize("index_dtype", [np.int32, np.int64])
+    def test_matches_dense_lookup(self, index_dtype):
+        rng = np.random.default_rng(0)
+        for graph in _graphs():
+            csr = to_sparse(graph)
+            csr.indices = csr.indices.astype(index_dtype)
+            csr.indptr = csr.indptr.astype(index_dtype)
+            rows, cols = _pairs(csr.shape[0], rng)
+            dense = csr.toarray()
+            expected = dense[rows, cols]
+            got = kernel_table().pair_values(
+                csr, rows.astype(np.int64), cols.astype(np.int64)
+            )
+            assert got.dtype == np.float64
+            assert np.array_equal(got, expected)
+
+    def test_empty_batch(self):
+        csr = to_sparse(_graphs()[0])
+        out = kernel_table().pair_values(
+            csr, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert out.size == 0
+
+    def test_unsorted_csr_rejected(self):
+        csr = to_sparse(_graphs()[0]).copy()
+        csr.indices[:2] = csr.indices[:2][::-1]
+        csr.has_sorted_indices = False
+        with pytest.raises(ValueError, match="sorted"):
+            kernel_table().pair_values(
+                csr, np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+            )
+
+
+class TestTriangleCountsParity:
+    """``triangle_counts`` against the scipy spgemm triangle term."""
+
+    KERNEL = "triangle_counts"
+
+    def test_matches_sparse_product(self):
+        for graph in _graphs():
+            csr = to_sparse(graph)
+            expected = np.asarray(
+                ((csr @ csr).multiply(csr)).sum(axis=1)
+            ).ravel()
+            got = kernel_table().triangle_counts(csr)
+            assert np.array_equal(got, expected)
+
+    def test_egonet_features_sparse_agrees_across_kernels(self):
+        for graph in _graphs():
+            n_np, e_np = egonet_features_sparse(graph, kernels="numpy")
+            n_c, e_c = egonet_features_sparse(graph, kernels="compiled")
+            assert np.array_equal(n_np, n_c)
+            assert np.array_equal(e_np, e_c)
+
+    def test_triangle_free_graph_is_zero(self):
+        star = sparse.csr_matrix(
+            (np.ones(6), ([0, 0, 0, 1, 2, 3], [1, 2, 3, 0, 0, 0])),
+            shape=(4, 4),
+        )
+        assert np.array_equal(
+            kernel_table().triangle_counts(to_sparse(star)), np.zeros(4)
+        )
+
+
+class TestToggleBatchParity:
+    """``toggle_batch`` against the per-flip Python set reference."""
+
+    KERNEL = "toggle_batch"
+
+    def _engines(self, graph):
+        return (
+            IncrementalEgonetFeatures(graph, kernels="numpy"),
+            IncrementalEgonetFeatures(graph, kernels="compiled"),
+        )
+
+    def _assert_state_equal(self, ref, fast):
+        assert np.array_equal(ref._n_feature, fast._n_feature)
+        assert np.array_equal(ref._e_feature, fast._e_feature)
+        assert (ref.adjacency_csr() != fast.adjacency_csr()).nnz == 0
+
+    def test_interleaved_flips_batches_rollbacks(self):
+        graph = _graphs()[0]
+        ref, fast = self._engines(graph)
+        assert ref.kernels == "numpy" and fast.kernels == "compiled"
+        rng = np.random.default_rng(3)
+        rows, cols = _pairs(graph.number_of_nodes, rng, count=40)
+        pairs = list(zip(rows.tolist(), cols.tolist()))
+
+        for u, v in pairs[:5]:
+            ref.flip(u, v)
+            fast.flip(u, v)
+        self._assert_state_equal(ref, fast)
+
+        ref.flip_batch(pairs[5:25])
+        fast.flip_batch(pairs[5:25])
+        self._assert_state_equal(ref, fast)
+
+        ref.rollback(7)
+        fast.rollback(7)
+        self._assert_state_equal(ref, fast)
+
+        ref.flip_batch(pairs[25:])
+        fast.flip_batch(pairs[25:])
+        self._assert_state_equal(ref, fast)
+
+        ref.rollback(ref.depth)
+        fast.rollback(fast.depth)
+        self._assert_state_equal(ref, fast)
+        clean_n, clean_e = egonet_features_sparse(graph)
+        assert np.array_equal(fast._n_feature, clean_n)
+        assert np.array_equal(fast._e_feature, clean_e)
+
+    def test_repeated_pair_in_one_batch_is_apply_then_undo(self):
+        graph = _graphs()[1]
+        ref, fast = self._engines(graph)
+        batch = [(1, 2), (3, 4), (1, 2), (1, 2)]
+        ref.flip_batch(batch)
+        fast.flip_batch(batch)
+        self._assert_state_equal(ref, fast)
+        assert fast.is_edge(1, 2) == ref.is_edge(1, 2)
+
+    def test_membership_and_neighbors_match_after_flips(self):
+        graph = _graphs()[0]
+        ref, fast = self._engines(graph)
+        batch = [(0, 1), (0, 2), (5, 9), (0, 1)]
+        ref.flip_batch(batch)
+        fast.flip_batch(batch)
+        for node in (0, 1, 2, 5, 9, 17):
+            assert ref.neighbors(node) == fast.neighbors(node)
+            assert ref.degree(node) == fast.degree(node)
+
+
+class TestScatterGradientParity:
+    """``scatter_gradient`` against ``_scatter_pair_gradient``."""
+
+    KERNEL = "scatter_gradient"
+
+    def _inputs(self, graph, rng):
+        csr = to_sparse(graph)
+        n = csr.shape[0]
+        rows, cols = _pairs(n, rng, count=300)
+        d_n = rng.standard_normal(n)
+        d_e = rng.standard_normal(n)
+        return csr, d_n, d_e, rows.astype(np.int64), cols.astype(np.int64)
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(5)
+        for graph in _graphs():
+            csr, d_n, d_e, rows, cols = self._inputs(graph, rng)
+            expected = _scatter_pair_gradient(csr, d_n, d_e, rows, cols)
+            got = kernel_table().scatter_pair_gradient(csr, d_n, d_e, rows, cols)
+            assert np.array_equal(got, expected)
+
+    def test_matches_numpy_reference_with_delta_overlay(self):
+        rng = np.random.default_rng(6)
+        for graph in _graphs():
+            csr, d_n, d_e, rows, cols = self._inputs(graph, rng)
+            delta = [
+                (int(rows[0]), int(cols[0]), 1.0),
+                (int(rows[1]), int(cols[1]), -1.0),
+                (3, 7, 1.0),
+            ]
+            expected = _scatter_pair_gradient(
+                csr, d_n, d_e, rows, cols, delta=delta
+            )
+            got = kernel_table().scatter_pair_gradient(
+                csr, d_n, d_e, rows, cols, delta=delta
+            )
+            assert np.array_equal(got, expected)
+
+    def test_empty_candidates(self):
+        csr = to_sparse(_graphs()[0])
+        n = csr.shape[0]
+        out = kernel_table().scatter_pair_gradient(
+            csr,
+            np.zeros(n),
+            np.zeros(n),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert out.size == 0
+
+
+class TestEngineKernelParity:
+    """End-to-end: the sparse engine is bit-identical under both backends."""
+
+    def _engine(self, graph, kernels):
+        csr = to_sparse(graph)
+        n = csr.shape[0]
+        rng = np.random.default_rng(9)
+        rows, cols = _pairs(n, rng, count=250)
+        return SurrogateEngine.create(
+            csr,
+            [0, 3, 5],
+            (rows, cols),
+            backend="sparse",
+            kernels=kernels,
+        )
+
+    def test_gradients_and_steps_match(self):
+        for graph in _graphs():
+            ref = self._engine(graph, "numpy")
+            fast = self._engine(graph, "compiled")
+            assert ref.kernels == "numpy" and fast.kernels == "compiled"
+            assert np.array_equal(
+                ref.candidate_gradient(), fast.candidate_gradient()
+            )
+            values = np.clip(
+                ref.edge_values + 0.25 * np.sign(0.5 - ref.edge_values), 0, 1
+            )
+            loss_ref, grad_ref = ref.relaxed_step(values)
+            loss_fast, grad_fast = fast.relaxed_step(values)
+            assert loss_ref == loss_fast
+            assert np.array_equal(grad_ref, grad_fast)
+            for u, v in [(0, 1), (3, 9), (5, 12)]:
+                ref.apply_flip(u, v)
+                fast.apply_flip(u, v)
+            assert ref.current_loss() == fast.current_loss()
+            assert np.array_equal(
+                ref.candidate_gradient(), fast.candidate_gradient()
+            )

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.oddball",
     "repro.attacks",
     "repro.gad",
+    "repro.kernels",
     "repro.ml",
     "repro.experiments",
     "repro.store",
