@@ -460,7 +460,15 @@ class CheckpointJsonPurityRule(LintRule):
         "values written via CheckpointStore (to_dict payloads) must be "
         "JSON-primitive expressions"
     )
-    scope = ("attacks/campaign.py", "attacks/executor.py")
+    scope = (
+        "attacks/campaign.py",
+        "attacks/executor.py",
+        # Scheduler state (lease files, queue manifests, done markers) is
+        # parsed by concurrent workers on possibly different Python builds:
+        # a numpy scalar that survives json.dumps would still change the
+        # bytes another worker compares, so the same purity bar applies.
+        "attacks/scheduler.py",
+    )
 
     def check(self, module: ModuleContext) -> "list[Finding]":
         """Audit every ``to_dict`` method's returned dict literal."""

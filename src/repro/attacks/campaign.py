@@ -482,6 +482,41 @@ def graph_fingerprint(adjacency, backend: str) -> str:
     return digest.hexdigest()
 
 
+def checkpoint_aliases(adjacency, fingerprint: str) -> frozenset:
+    """Alias fingerprints a checkpoint for ``adjacency`` may legitimately carry.
+
+    Store-backed CSRs are fingerprinted from the store's content-addressing
+    digest (O(1)); the byte-identical detached payload hashes its coo
+    arrays instead — two names for one graph.  The store layer records that
+    equivalence in a per-cache-directory alias table
+    (:func:`repro.store.fingerprints.record_alias_group`); this helper
+    looks the table up from the campaign side so
+    :meth:`CheckpointStore.load` can accept either name.
+
+    Consulted tables: the alias table next to the matrix's originating
+    store (matrices tagged ``_repro_store_path`` by
+    :meth:`~repro.store.GraphStore.csr`), then the default store cache
+    directory (``$REPRO_STORE_CACHE`` or ``./.repro-store-cache``) — which
+    is how a *payload-backed* campaign, holding an untagged matrix, still
+    finds aliases recorded at store-build time.  Missing tables simply
+    yield no aliases; resume then requires exact fingerprint equality,
+    which is the pre-alias behaviour.
+    """
+    try:
+        from repro.store.fingerprints import alias_fingerprints
+    except ImportError:  # pragma: no cover - store layer always present
+        return frozenset()
+    roots: "list[Path | None]" = []
+    store_path = getattr(adjacency, "_repro_store_path", None)
+    if store_path is not None:
+        roots.append(Path(store_path).parent)
+    roots.append(None)  # the default cache directory
+    aliases: set = set()
+    for root in roots:
+        aliases |= alias_fingerprints(fingerprint, cache_dir=root)
+    return frozenset(aliases) - {fingerprint}
+
+
 def validate_jobs(jobs: Iterable[AttackJob], n: int) -> list[AttackJob]:
     """Check a job list (types, duplicate specs, target ranges) up front.
 
@@ -520,13 +555,31 @@ class CheckpointStore:
     Appends are O(1) per job (never a rewrite); a trailing line torn by a
     hard kill is skipped on load and overwritten safely on the next append,
     costing exactly that one job.
+
+    ``aliases`` are additional fingerprints accepted (but never written) by
+    :meth:`load`: a GraphStore's CSR is fingerprinted from its O(1)
+    content-addressing token while the byte-identical detached payload is
+    fingerprinted from its coo arrays, so the *same graph* legitimately
+    carries two names.  The store layer records that equivalence in a
+    fingerprint alias table (:mod:`repro.store.fingerprints`), and passing
+    the alias set here lets a store-backed run resume a payload-backed
+    checkpoint of the same graph — and vice versa — instead of refusing it
+    as a different graph.
     """
 
-    def __init__(self, path: "Path | str", fingerprint: str, backend: str, n: int):
+    def __init__(
+        self,
+        path: "Path | str",
+        fingerprint: str,
+        backend: str,
+        n: int,
+        aliases: Iterable[str] = (),
+    ):
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.backend = backend
         self.n = int(n)
+        self.aliases = frozenset(aliases) - {fingerprint}
 
     def exists(self) -> bool:
         """Whether the checkpoint file is present on disk."""
@@ -570,7 +623,7 @@ class CheckpointStore:
                 f"checkpoint {self.path} has unsupported version "
                 f"{header.get('version')!r}"
             )
-        if header.get("fingerprint") != self.fingerprint:
+        if header.get("fingerprint") not in ({self.fingerprint} | self.aliases):
             raise ValueError(
                 f"checkpoint {self.path} was written for a different "
                 "graph/backend; delete it or point the campaign elsewhere"
@@ -600,6 +653,18 @@ class CheckpointStore:
                 _log.warning(
                     "checkpoint %s has an unreadable entry (%s); "
                     "ignoring that job", self.path, error,
+                )
+                continue
+            if outcome.job_id in outcomes:
+                # A requeued job completed twice (its first worker was slow
+                # but alive, or crashed between the shard append and the
+                # done marker): both records describe the same deterministic
+                # computation, so keep the FIRST durable one.  Dedupe key is
+                # the job *content hash*, never write order.
+                _log.warning(
+                    "checkpoint %s holds a duplicate record for job %s; "
+                    "keeping the first (dedupe key: job content hash)",
+                    self.path, outcome.job_id,
                 )
                 continue
             outcomes[outcome.job_id] = outcome
@@ -781,6 +846,20 @@ class AttackCampaign:
     # ------------------------------------------------------------------ #
     # Single job
     # ------------------------------------------------------------------ #
+    def run_job(self, job: AttackJob) -> JobOutcome:
+        """Run ONE validated job on the shared engine and return its outcome.
+
+        Unlike :meth:`run`, no checkpoint is read or written: the caller
+        owns durability.  The work-stealing scheduler's workers drain a
+        queue through this — claim a job, run it here under a lease
+        heartbeat, append the outcome to their shard checkpoint, then mark
+        the queue's done marker (in that order, so a crash between the two
+        durable steps requeues a job whose record already exists and the
+        merge dedupes it by job content hash).
+        """
+        job, = validate_jobs([job], self.n)
+        return self._run_job(job)
+
     def _run_job(self, job: AttackJob) -> JobOutcome:
         """Run one job on the shared engine, restoring it afterwards."""
         attack = job.build_attack(self.backend, self.kernels)
@@ -885,5 +964,9 @@ class AttackCampaign:
         if self.checkpoint_path is None:
             return None
         return CheckpointStore(
-            self.checkpoint_path, self._fingerprint(), self.backend, self.n
+            self.checkpoint_path,
+            self._fingerprint(),
+            self.backend,
+            self.n,
+            aliases=checkpoint_aliases(self._original, self._fingerprint()),
         )

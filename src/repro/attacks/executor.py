@@ -61,6 +61,7 @@ from repro.attacks.campaign import (
     CheckpointStore,
     JobOutcome,
     _normalize_graph,
+    checkpoint_aliases,
     graph_fingerprint,
     validate_jobs,
 )
@@ -86,15 +87,22 @@ def build_campaign(
     kernels: str = "auto",
     checkpoint_path=None,
     compute_ranks: bool = True,
+    scheduler: bool = False,
+    lease_ttl: "float | None" = None,
 ):
     """Serial :class:`AttackCampaign` or a :class:`ParallelCampaignExecutor`.
 
     The one switch the experiment drivers call: ``workers <= 1`` returns
-    the serial campaign, anything larger the parallel executor.  Both
-    expose the same ``run(jobs) -> CampaignResult`` surface and produce
-    bit-identical results, so callers never branch again.  ``kernels``
-    selects the hot-loop kernel backend (see :mod:`repro.kernels`);
-    either value yields the same flips.
+    the serial campaign, anything larger the parallel executor — with
+    ``scheduler=True`` the work-stealing
+    :class:`~repro.attacks.scheduler.SchedulingCampaignExecutor`, whose
+    shared queue keeps workers busy on cost-skewed grids and requeues a
+    killed worker's jobs (``lease_ttl`` bounds the requeue latency; ``None``
+    defers to ``$REPRO_LEASE_TTL``, then 30 s).  All three expose the same
+    ``run(jobs) -> CampaignResult`` surface and produce bit-identical
+    results, so callers never branch again.  ``kernels`` selects the
+    hot-loop kernel backend (see :mod:`repro.kernels`); either value
+    yields the same flips.
     """
     if workers <= 1:
         return AttackCampaign(
@@ -103,6 +111,19 @@ def build_campaign(
             kernels=kernels,
             checkpoint_path=checkpoint_path,
             compute_ranks=compute_ranks,
+        )
+    if scheduler:
+        # Imported lazily: scheduler.py imports from this module.
+        from repro.attacks.scheduler import SchedulingCampaignExecutor
+
+        return SchedulingCampaignExecutor(
+            graph,
+            workers=workers,
+            backend=backend,
+            kernels=kernels,
+            checkpoint_path=checkpoint_path,
+            compute_ranks=compute_ranks,
+            lease_ttl=lease_ttl,
         )
     return ParallelCampaignExecutor(
         graph,
@@ -427,7 +448,10 @@ class ParallelCampaignExecutor:
         return shard_dir / f"{stem}.shard{index}"
 
     def _store(self, path: Path) -> CheckpointStore:
-        return CheckpointStore(path, self._fingerprint, self.backend, self.n)
+        return CheckpointStore(
+            path, self._fingerprint, self.backend, self.n,
+            aliases=checkpoint_aliases(self._original, self._fingerprint),
+        )
 
     def _leftover_shards(self) -> "list[Path]":
         # Literal prefix match, NOT a glob: a checkpoint named e.g.

@@ -59,6 +59,8 @@ def run(
     candidates: "str | None" = None,
     campaign_checkpoint: "Path | str | None" = None,
     workers: int = 1,
+    scheduler: bool = False,
+    lease_ttl: "float | None" = None,
 ) -> dict:
     """Sweep every panel; returns per-panel series (mean over repeats).
 
@@ -79,6 +81,11 @@ def run(
     per worker process, sharded job queue) — results are bit-identical to
     the serial campaign, and checkpoints interoperate across worker
     counts.
+
+    ``scheduler=True`` (with ``workers > 1``) swaps the static shards for
+    the work-stealing :class:`~repro.attacks.scheduler.SchedulingCampaignExecutor`
+    — same results, but the mixed-cost panel grids drain without idle
+    workers and a killed worker's jobs requeue after ``lease_ttl`` seconds.
     """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
@@ -118,6 +125,7 @@ def run(
         campaign = build_campaign(
             graph, backend=backend, checkpoint_path=checkpoint_path,
             compute_ranks=False, workers=workers,
+            scheduler=scheduler, lease_ttl=lease_ttl,
         )
         sweep = campaign.run(unique_jobs.values())
 

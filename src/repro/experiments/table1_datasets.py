@@ -49,6 +49,8 @@ def run(
     workers: int = 1,
     store_datasets: "Sequence[str] | bool" = False,
     store_cache=None,
+    scheduler: bool = False,
+    lease_ttl: "float | None" = None,
 ) -> dict:
     """Generate all five graphs; collect statistics + attackability.
 
@@ -59,7 +61,9 @@ def run(
     an explicit name list (``["blogcatalog-full"]`` is the one the paper
     attacks at 88.8k nodes).  Store rows run their attackability sweep
     through ``store``-kind engine specs — workers mmap the graph instead
-    of receiving an array payload.
+    of receiving an array payload.  ``scheduler=True`` drains the sweeps
+    through the work-stealing scheduler instead of static shards (same
+    outcomes; crash-requeue and better balance on skewed grids).
     """
     seeds = SeedSequenceFactory(seed)
     detector = OddBall()
@@ -75,7 +79,10 @@ def run(
         graph = dataset.graph
         budget = scale.budgets_for(graph.number_of_edges)[0]
         targets = detector.analyze(graph).top_k(ATTACK_TARGETS).tolist()
-        rows.append(_attackability(stats, graph, targets, budget, workers))
+        rows.append(
+            _attackability(stats, graph, targets, budget, workers,
+                           scheduler, lease_ttl)
+        )
 
     if store_datasets:
         from repro.store import STORE_DATASET_NAMES
@@ -85,16 +92,19 @@ def run(
         )
         for name in names:
             rows.append(
-                _store_row(name, scale, seed, workers, store_cache)
+                _store_row(name, scale, seed, workers, store_cache,
+                           scheduler, lease_ttl)
             )
     return {"scale": scale.name, "seed": seed, "rows": rows}
 
 
 def _attackability(
-    stats: dict, graph, targets: "list[int]", budget: int, workers: int
+    stats: dict, graph, targets: "list[int]", budget: int, workers: int,
+    scheduler: bool = False, lease_ttl: "float | None" = None,
 ) -> dict:
     """Fill the attackability columns of one table row in place."""
-    campaign = build_campaign(graph, workers=workers)
+    campaign = build_campaign(graph, workers=workers,
+                              scheduler=scheduler, lease_ttl=lease_ttl)
     sweep = campaign.run(
         grid_jobs(
             "gradmaxsearch",
@@ -115,7 +125,8 @@ def _attackability(
 
 
 def _store_row(
-    name: str, scale: Scale, seed: int, workers: int, store_cache
+    name: str, scale: Scale, seed: int, workers: int, store_cache,
+    scheduler: bool = False, lease_ttl: "float | None" = None,
 ) -> dict:
     """One paper-scale row: store-backed stats + a budget-5 sweep."""
     from repro.graph.datasets import load_dataset
@@ -127,7 +138,8 @@ def _store_row(
     stats["paper_nodes"] = store.recipe["nodes"]
     stats["paper_edges"] = store.recipe["edges"]
     targets = store.top_targets(ATTACK_TARGETS)
-    return _attackability(stats, store, targets, STORE_ATTACK_BUDGET, workers)
+    return _attackability(stats, store, targets, STORE_ATTACK_BUDGET,
+                          workers, scheduler, lease_ttl)
 
 
 def format_results(payload: dict) -> str:

@@ -163,6 +163,12 @@ def build_store(
         store = GraphStore.open(path)
         if store.digest == digest:
             _log.debug("store cache hit: %s", path)
+            if (path / "payload-fingerprint.json").exists():
+                # Cheap (sidecar hit): re-record the alias group in case
+                # the cache directory was copied without its table.  Cold
+                # stores skip it — computing the payload fingerprint would
+                # page the whole graph in on every cache hit.
+                store.register_fingerprint_aliases()
             return store
         raise ValueError(
             f"store directory {path} holds a different recipe "
@@ -202,7 +208,12 @@ def build_store(
         "built store %s: n=%d m=%d (%.2fs)",
         path, recipe["nodes"], keys.size, build_seconds,
     )
-    return GraphStore.open(path)
+    store = GraphStore.open(path)
+    # Record the token↔payload fingerprint equivalence while the arrays
+    # are page-hot from the build — checkpoints written against this store
+    # then resume payload-backed runs of the same graph and vice versa.
+    store.register_fingerprint_aliases()
+    return store
 
 
 # --------------------------------------------------------------------- #

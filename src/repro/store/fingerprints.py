@@ -1,0 +1,165 @@
+"""Fingerprint alias table: one graph, two checkpoint names, one identity.
+
+:func:`repro.attacks.campaign.graph_fingerprint` names a checkpoint from
+its graph.  A :class:`~repro.store.GraphStore` CSR is named from the
+store's content-addressing *token* in O(1) (hashing 2.1M mmap'd edges just
+to title a file would page the whole graph in); the byte-identical
+detached payload is named from its coo arrays.  Same graph, different
+fingerprints — so before this module a payload-backed checkpoint refused
+to resume a store-backed run of the very same graph, and vice versa.
+
+This module records the equivalence: a tiny JSON **alias table**
+(``fingerprint-aliases.json``) living in each store cache directory, mapping
+fingerprints into groups that name the same graph.  :func:`record_alias_group`
+is called at store-build time (and by
+:meth:`~repro.store.GraphStore.register_fingerprint_aliases`);
+:func:`repro.attacks.campaign.checkpoint_aliases` reads it back so
+:class:`~repro.attacks.campaign.CheckpointStore` accepts any fingerprint in
+the group.  The table is advisory — when it is missing, resume simply
+requires exact fingerprint equality, the pre-alias behaviour.
+
+Schema (version 1)::
+
+    {"version": 1, "groups": [["<fp_a>", "<fp_b>", ...], ...]}
+
+Groups are disjoint sorted lists; recording a group that intersects
+existing ones union-merges them.  Writes are atomic (temp file + rename)
+under an ``flock`` on a sidecar lock file, so concurrent store builds
+cannot tear or drop each other's entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable
+
+try:  # Unix-only stdlib module; degrades to lock-free elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "ALIAS_TABLE_NAME",
+    "alias_fingerprints",
+    "alias_table_path",
+    "record_alias_group",
+]
+
+_log = get_logger("store.fingerprints")
+
+_TABLE_VERSION = 1
+
+#: File name of the alias table inside a store cache directory.
+ALIAS_TABLE_NAME = "fingerprint-aliases.json"
+
+
+def alias_table_path(cache_dir: "Path | str | None" = None) -> Path:
+    """Where the alias table lives (``None`` → the default store cache dir)."""
+    if cache_dir is None:
+        from repro.store.builder import default_cache_dir
+
+        cache_dir = default_cache_dir()
+    return Path(cache_dir) / ALIAS_TABLE_NAME
+
+
+def _load_groups(path: Path) -> "list[set[str]]":
+    """The table's groups as sets; tolerant of absent or corrupt files.
+
+    A torn table (killed mid-rename-window writer, hand edit) is treated as
+    empty rather than failing the campaign that consulted it: aliases are
+    an affordance, exact-fingerprint resume still works without them.
+    """
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        return []
+    except (json.JSONDecodeError, OSError):
+        _log.warning("fingerprint alias table %s is unreadable; ignoring it", path)
+        return []
+    if not isinstance(document, dict) or document.get("version") != _TABLE_VERSION:
+        _log.warning(
+            "fingerprint alias table %s has unsupported version %r; ignoring it",
+            path, document.get("version") if isinstance(document, dict) else None,
+        )
+        return []
+    groups = []
+    for group in document.get("groups", []):
+        if isinstance(group, list) and len(group) >= 2:
+            groups.append({str(fp) for fp in group})
+    return groups
+
+
+@contextmanager
+def _locked(path: Path):
+    """Exclusive flock on the table's sidecar lock file (no-op sans fcntl)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with lock_path.open("a") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def record_alias_group(
+    fingerprints: Iterable[str],
+    cache_dir: "Path | str | None" = None,
+) -> Path:
+    """Record that ``fingerprints`` all name the same graph; returns the path.
+
+    Union-merges with any existing groups sharing a member (recording
+    ``{a, b}`` then ``{b, c}`` yields one ``{a, b, c}`` group), writes the
+    table atomically under the table lock, and is idempotent — re-recording
+    an already-known group changes nothing.
+    """
+    group = {str(fp) for fp in fingerprints}
+    if len(group) < 2:
+        raise ValueError(
+            f"an alias group needs at least two distinct fingerprints, got {group}"
+        )
+    path = alias_table_path(cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with _locked(path):
+        merged: "list[set[str]]" = []
+        for existing in _load_groups(path):
+            if existing & group:
+                group |= existing
+            else:
+                merged.append(existing)
+        merged.append(group)
+        table = {
+            "version": _TABLE_VERSION,
+            "groups": sorted(
+                (sorted(g) for g in merged), key=lambda g: g[0]
+            ),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(table, indent=2) + "\n")
+        tmp.rename(path)
+    return path
+
+
+def alias_fingerprints(
+    fingerprint: str,
+    cache_dir: "Path | str | None" = None,
+) -> frozenset:
+    """Every recorded alias of ``fingerprint`` (itself excluded).
+
+    Returns the union of all groups containing it — empty when the table
+    is absent or the fingerprint is unknown, in which case callers fall
+    back to exact-fingerprint matching.
+    """
+    fingerprint = str(fingerprint)
+    aliases: set = set()
+    for group in _load_groups(alias_table_path(cache_dir)):
+        if fingerprint in group:
+            aliases |= group
+    return frozenset(aliases) - {fingerprint}

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -255,6 +256,9 @@ class GraphStore:
             matrix.has_sorted_indices = True
             matrix._repro_validated = True
             matrix._repro_fingerprint = f"graph-store:{self.digest}"
+            # Lets the campaign layer find this store's fingerprint alias
+            # table (checkpoint_aliases) without a global registry.
+            matrix._repro_store_path = str(self.path)
             features = self.features()
             if features is not None:
                 # IncrementalEgonetFeatures picks these up and skips its
@@ -297,6 +301,56 @@ class GraphStore:
             (np.array(csr.data), np.array(csr.indices), np.array(csr.indptr)),
             shape=csr.shape,
         )
+
+    def payload_fingerprint(self) -> str:
+        """The byte-derived fingerprint a payload-backed campaign computes.
+
+        :func:`~repro.attacks.campaign.graph_fingerprint` names this
+        store's CSR from its content-addressing token in O(1); the same
+        graph fed through :meth:`detached_csr` (or built without the store
+        subsystem at all) is named by hashing its coo arrays instead.  This
+        method computes that second name — the one O(m) pass is paid once
+        and cached in a ``payload-fingerprint.json`` sidecar inside the
+        store directory (a sidecar, not a manifest field, so existing
+        stores gain it without a manifest version bump).
+        """
+        sidecar = self.path / "payload-fingerprint.json"
+        try:
+            cached = json.loads(sidecar.read_text())
+            if cached.get("version") == 1:
+                return str(cached["fingerprint"])
+        except (FileNotFoundError, json.JSONDecodeError, KeyError):
+            pass
+        from repro.attacks.campaign import graph_fingerprint
+
+        fingerprint = graph_fingerprint(self.detached_csr(), "sparse")
+        tmp = self.path / f"payload-fingerprint.json.{os.getpid()}.tmp"
+        tmp.write_text(
+            json.dumps({"version": 1, "backend": "sparse",
+                        "fingerprint": fingerprint}) + "\n"
+        )
+        tmp.rename(sidecar)
+        return fingerprint
+
+    def register_fingerprint_aliases(self) -> frozenset:
+        """Record this store's token↔payload fingerprint equivalence.
+
+        Writes the alias group into the ``fingerprint-aliases.json`` table
+        of the cache directory holding this store (see
+        :mod:`repro.store.fingerprints`), so checkpoints written against
+        the store resume payload-backed runs of the same graph and vice
+        versa.  Called automatically at :func:`~repro.store.build_store`
+        time; idempotent.  Returns the recorded group.
+        """
+        from repro.attacks.campaign import graph_fingerprint
+        from repro.store.fingerprints import record_alias_group
+
+        token_fp = graph_fingerprint(self.csr(), "sparse")
+        payload_fp = self.payload_fingerprint()
+        group = frozenset({token_fp, payload_fp})
+        if len(group) > 1:
+            record_alias_group(group, cache_dir=self.path.parent)
+        return group
 
     def degrees(self) -> np.ndarray:
         """Per-node degree vector, O(n) from ``indptr`` (no row scan)."""

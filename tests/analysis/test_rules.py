@@ -105,6 +105,13 @@ class TestScoping:
             assert rule.description
             assert rule.scope and rule.scope != ("*",)
 
+    def test_json_purity_scope_covers_the_scheduler(self):
+        # lease files, queue manifests and done markers must stay JSON-pure
+        # (inspectable with cat, diffable across runs) just like checkpoints
+        assert "attacks/scheduler.py" in RULE_REGISTRY[
+            "checkpoint-json-purity"
+        ].scope
+
     def test_unparseable_file_reported_not_crashed(self, tmp_path):
         broken = tmp_path / "attacks" / "broken.py"
         broken.parent.mkdir()
