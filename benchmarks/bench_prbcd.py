@@ -1,0 +1,284 @@
+"""PRBCD block candidates at paper scale: unconstrained attacks in O(block).
+
+The claim this artefact records: with ``candidates="block"`` the gradient
+attacks run **budget-5 campaigns on the full Blogcatalog store (88.8k
+nodes, ~2.1M edges)** with per-worker peak RSS bounded by the block size,
+not by the n(n−1)/2 ≈ 3.9e9 pair count the ``full`` strategy would need —
+while staying fully deterministic: two identical-seed runs are asserted to
+select bit-identical flip sets (the block seed and size are content-hashed
+into every job id, so checkpoints resume the exact same blocks).
+
+Two sections per run:
+
+* **full scale** — GradMaxSearch and BinarizedAttack budget-5 block
+  campaigns on ``blogcatalog-full``, each executed TWICE with the same
+  seed (the determinism assertion), with peak per-worker ``ru_maxrss``
+  asserted under a fixed bound;
+* **quality-vs-memory curve** — GradMaxSearch at a mid scale over the
+  locality baselines (``two_hop``, ``adaptive_gradient``) and a ladder of
+  block sizes, recording mean score decrease τ against peak worker RSS:
+  the trade the block size knob buys.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_prbcd.py            # full (slow)
+    PYTHONPATH=src python benchmarks/bench_prbcd.py --smoke    # CI
+
+Every run emits ``benchmarks/results/BENCH_prbcd.json`` (smoke runs a
+``_smoke`` sibling); the full-run artefact is committed.
+"""
+
+import _benchenv  # first: pins BLAS/OpenMP threads before numpy loads
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.attacks import ParallelCampaignExecutor, grid_jobs
+from repro.kernels import compiled_available
+from repro.store import build_store
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_prbcd.json"
+
+_BUDGET = 5
+_WORKERS = 2
+_TARGETS = 4
+_FULL_NODES = 88_800  # the blogcatalog-full recipe's node count
+_RSS_BOUND_MB = 512   # the "bounded RSS" acceptance line at full scale
+
+#: The numpy scatter kernel is O(m) per distinct hub row, which a random
+#: block hits constantly at 2.1M edges — the compiled O(deg) kernels are
+#: the intended pairing for full-scale blocks.  Fall back for hosts
+#: without a C toolchain (the mid-scale curve still completes there).
+_KERNELS = "compiled" if compiled_available() else "numpy"
+
+
+def _attack_jobs(attack, targets, *, candidates, **params):
+    return grid_jobs(
+        attack, [[int(t)] for t in targets], budgets=[_BUDGET],
+        candidates=candidates, **params,
+    )
+
+
+def _run_jobs(store, jobs) -> dict:
+    executor = ParallelCampaignExecutor(
+        store, workers=_WORKERS, backend="sparse", kernels=_KERNELS
+    )
+    start = time.perf_counter()
+    result = executor.run(jobs)
+    seconds = time.perf_counter() - start
+    rss = [s["max_rss_kb"] for s in executor.last_worker_stats]
+    taus = [o.score_decrease for o in result]
+    return {
+        "attack_seconds_wall": round(seconds, 3),
+        "worker_max_rss_kb": rss,
+        "peak_worker_rss_mb": round(max(rss) / 1024.0, 1),
+        "tau_mean": sum(taus) / len(taus),
+        "_result": result,
+    }
+
+
+def _flip_sets(result) -> dict:
+    return {o.job_id: o.flips_by_budget for o in result}
+
+
+def _block_attack_case(
+    n: int, cache_dir, block_size: int, iterations: int = 15, seed: int = 7
+) -> dict:
+    """Both gradient attacks, block strategy, run twice for determinism."""
+    start = time.perf_counter()
+    store = build_store(
+        "blogcatalog-full", cache_dir=cache_dir, scale=n / _FULL_NODES,
+        seed=seed,
+    )
+    build_seconds = time.perf_counter() - start
+    targets = store.top_targets(_TARGETS)
+    case = {
+        "n": store.number_of_nodes,
+        "edges": store.number_of_edges,
+        "budget": _BUDGET,
+        "workers": _WORKERS,
+        "block_size": block_size,
+        "build_seconds": round(build_seconds, 3),
+        "attacks": {},
+    }
+    for attack, params in (
+        ("gradmaxsearch", {}),
+        ("binarizedattack", {"iterations": iterations}),
+    ):
+        jobs = _attack_jobs(
+            attack, targets, candidates="block",
+            block_size=block_size, block_seed=1, **params,
+        )
+        first = _run_jobs(store, jobs)
+        second = _run_jobs(store, jobs)
+        assert _flip_sets(first["_result"]) == _flip_sets(second["_result"]), (
+            f"{attack}: identical-seed block runs diverged"
+        )
+        peak = max(first["peak_worker_rss_mb"], second["peak_worker_rss_mb"])
+        assert peak < _RSS_BOUND_MB, (
+            f"{attack}: peak worker RSS {peak}MB breaches {_RSS_BOUND_MB}MB"
+        )
+        case["attacks"][attack] = {
+            "deterministic_flips": True,
+            "jobs": len(jobs),
+            "tau_mean": round(first["tau_mean"], 6),
+            "attack_seconds_wall": [
+                first["attack_seconds_wall"], second["attack_seconds_wall"]
+            ],
+            "peak_worker_rss_mb": peak,
+        }
+    return case
+
+
+def _quality_memory_curve(n: int, cache_dir, block_sizes, seed: int = 7) -> dict:
+    """GradMaxSearch τ vs peak worker RSS: blocks against locality baselines."""
+    store = build_store(
+        "blogcatalog-full", cache_dir=cache_dir, scale=n / _FULL_NODES,
+        seed=seed,
+    )
+    targets = store.top_targets(_TARGETS)
+    points = []
+    sweeps = [("two_hop", {}), ("adaptive_gradient", {})]
+    sweeps += [
+        ("block", {"block_size": size, "block_seed": 1})
+        for size in block_sizes
+    ]
+    for strategy, params in sweeps:
+        stats = _run_jobs(
+            store, _attack_jobs("gradmaxsearch", targets,
+                                candidates=strategy, **params)
+        )
+        points.append(
+            {
+                "candidates": strategy,
+                "block_size": params.get("block_size"),
+                "tau_mean": round(stats["tau_mean"], 6),
+                "attack_seconds_wall": stats["attack_seconds_wall"],
+                "peak_worker_rss_mb": stats["peak_worker_rss_mb"],
+            }
+        )
+    return {
+        "n": store.number_of_nodes,
+        "edges": store.number_of_edges,
+        "attack": "gradmaxsearch",
+        "budget": _BUDGET,
+        "points": points,
+    }
+
+
+# --------------------------------------------------------------------- #
+# CI smoke (pytest entry)
+# --------------------------------------------------------------------- #
+
+
+def test_bench_prbcd_smoke(tmp_path, benchmark):
+    case = benchmark.pedantic(
+        lambda: _block_attack_case(
+            n=1500, cache_dir=tmp_path, block_size=4096, iterations=8
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    for attack in ("gradmaxsearch", "binarizedattack"):
+        assert case["attacks"][attack]["deterministic_flips"]
+        assert case["attacks"][attack]["peak_worker_rss_mb"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Full run (the committed artefact)
+# --------------------------------------------------------------------- #
+
+
+def run_prbcd(smoke: bool = False, output: "Path | None" = None) -> dict:
+    """Full-scale block campaigns + the quality-vs-memory curve.
+
+    Smoke runs write to a ``_smoke`` sibling so CI never clobbers the
+    committed full-run artefact.  The store cache honours
+    ``$REPRO_STORE_CACHE`` (CI caches it keyed on the build-recipe hash).
+    """
+    if output is None:
+        output = (
+            RESULTS_PATH.with_name("BENCH_prbcd_smoke.json")
+            if smoke
+            else RESULTS_PATH
+        )
+    cache_dir = os.environ.get("REPRO_STORE_CACHE", ".repro-store-cache")
+    if smoke:
+        # 2000/88800: the exact scale the CI store-cache key is built for
+        full_case = (2000, 4096, 8)
+        curve_case = (2000, (1024, 4096))
+    else:
+        full_case = (_FULL_NODES, 32_768, 15)
+        curve_case = (10_000, (4096, 32_768, 131_072))
+
+    print("PRBCD block candidates: full-store attacks in O(block_size) memory")
+    print(
+        f"(budget={_BUDGET}, {_TARGETS} targets, workers={_WORKERS}, "
+        f"kernels={_KERNELS}; cpus={os.cpu_count()})"
+    )
+    print()
+    n, block_size, iterations = full_case
+    case = _block_attack_case(
+        n=n, cache_dir=cache_dir, block_size=block_size, iterations=iterations
+    )
+    print(
+        f"n={case['n']}  m={case['edges']}  block={case['block_size']}  "
+        f"build={case['build_seconds']:.2f}s"
+    )
+    for attack, row in case["attacks"].items():
+        seconds = "/".join(f"{s:.2f}s" for s in row["attack_seconds_wall"])
+        print(
+            f"  {attack:>16}: tau={row['tau_mean']:.6f}  runs={seconds}  "
+            f"peak-worker-rss={row['peak_worker_rss_mb']:>6.1f}MB  "
+            f"deterministic={row['deterministic_flips']}"
+        )
+
+    n, block_sizes = curve_case
+    curve = _quality_memory_curve(n=n, cache_dir=cache_dir,
+                                  block_sizes=block_sizes)
+    print(f"\nquality-vs-memory (gradmaxsearch, n={curve['n']}):")
+    for point in curve["points"]:
+        label = point["candidates"]
+        if point["block_size"]:
+            label += f"@{point['block_size']}"
+        print(
+            f"  {label:>24}: tau={point['tau_mean']:.6f}  "
+            f"attack={point['attack_seconds_wall']:>7.2f}s  "
+            f"peak-worker-rss={point['peak_worker_rss_mb']:>6.1f}MB"
+        )
+
+    payload = {
+        "benchmark": "prbcd_block_candidates",
+        "budget": _BUDGET,
+        "targets": _TARGETS,
+        "workers": _WORKERS,
+        "kernels": _KERNELS,
+        "rss_bound_mb": _RSS_BOUND_MB,
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "env": _benchenv.bench_env(),
+        "full_scale": case,
+        "quality_vs_memory": curve,
+        "notes": (
+            "full_scale = gradmaxsearch + binarizedattack budget-5 block "
+            "campaigns on blogcatalog-full, each executed twice with the "
+            "same block seed; flip sets asserted bit-identical between the "
+            "two runs and peak per-worker ru_maxrss asserted under "
+            "rss_bound_mb. quality_vs_memory = gradmaxsearch tau (mean "
+            "score decrease over the top targets) against peak worker RSS "
+            "for the two_hop / adaptive_gradient locality baselines and a "
+            "ladder of block sizes — the block is the only strategy whose "
+            "memory is independent of n, so it is the only one that runs "
+            "unconstrained attacks at the 88.8k-node scale at all."
+        ),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return payload
+
+
+if __name__ == "__main__":
+    run_prbcd(smoke="--smoke" in sys.argv[1:])

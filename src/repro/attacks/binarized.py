@@ -121,6 +121,13 @@ class BinarizedAttack(StructuralAttack):
         Surrogate engine backend: ``"dense"`` (exact historical autograd
         path), ``"sparse"`` (incremental features + rollback, for large or
         scipy-sparse graphs) or ``"auto"`` (pick by input size/type).
+    block_size, block_seed:
+        Parameters of the ``candidates="block"`` strategy (PRBCD): the
+        random block's size cap (default:
+        :func:`~repro.attacks.candidates.default_block_size` of the
+        budget) and its sampling seed.  Part of the attack's campaign-job
+        identity, so block runs checkpoint/resume deterministically.
+        Ignored for every other strategy.
 
     Example
     -------
@@ -146,6 +153,8 @@ class BinarizedAttack(StructuralAttack):
         normalize_gradient: bool = True,
         backend: str = "auto",
         kernels: str = "auto",
+        block_size: "int | None" = None,
+        block_seed: int = 0,
     ):
         if not lambdas:
             raise ValueError("lambda sweep must not be empty")
@@ -163,6 +172,8 @@ class BinarizedAttack(StructuralAttack):
         self.normalize_gradient = normalize_gradient
         self.backend = validate_backend(backend)
         self.kernels = validate_kernels(kernels)
+        self.block_size = None if block_size is None else int(block_size)
+        self.block_seed = int(block_seed)
 
     # ------------------------------------------------------------------ #
     def attack(
@@ -182,7 +193,10 @@ class BinarizedAttack(StructuralAttack):
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
 
-        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        candidate_set = self._resolve_candidates(
+            candidates, adjacency, targets, n,
+            budget=budget, block_size=self.block_size, block_seed=self.block_seed,
+        )
         if candidate_set is None:
             rows, cols = np.triu_indices(n, k=1)
         else:
@@ -240,19 +254,25 @@ class BinarizedAttack(StructuralAttack):
                 gradient = gradient + lam
                 zdot = np.clip(zdot - self.lr * gradient, 0.0, 1.0)
                 # Per-step adaptation: a recorded (validated) iterate counts
-                # as landed flips; remap Ż onto the grown set, seeding new
-                # entries at ``init``.
-                if landed and candidate_set is not None:
-                    refreshed = candidate_set.refresh(landed, engine)
+                # as landed flips.  Refresh runs every iteration — adaptive
+                # sets only react to landed flips (and return ``self``
+                # otherwise), while a block set resamples its low-gradient
+                # half each step, PRBCD-style.  Ż survives through
+                # ``transfer_positions``: surviving pairs keep their state,
+                # evicted pairs drop theirs, fresh entries start at ``init``
+                # (a membership change can keep |C| constant, so the old
+                # length check is not a valid shortcut here).
+                if candidate_set is not None:
+                    refreshed = candidate_set.refresh(landed or [], engine)
                     if refreshed is not candidate_set:
-                        if len(refreshed) != len(candidate_set):
-                            grown_zdot = np.full(
+                        if not refreshed.same_pairs(candidate_set):
+                            migrated = np.full(
                                 len(refreshed), self.init, dtype=np.float64
                             )
-                            grown_zdot[
-                                refreshed.remap_positions(rows, cols)
-                            ] = zdot
-                            zdot = grown_zdot
+                            positions = refreshed.transfer_positions(rows, cols)
+                            survived = positions >= 0
+                            migrated[positions[survived]] = zdot[survived]
+                            zdot = migrated
                             engine.set_candidates(refreshed)
                             rows, cols = refreshed.rows, refreshed.cols
                         candidate_set = refreshed

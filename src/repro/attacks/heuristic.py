@@ -123,7 +123,9 @@ class OddBallHeuristic(StructuralAttack):
         targets = validate_targets(targets, n)
         budget = check_budget(budget)
         generator = as_generator(self.rng)
-        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        candidate_set = self._resolve_candidates(
+            candidates, adjacency, targets, n, budget=budget
+        )
         # the heuristic only ever flips neighbour pairs of a target, so a
         # full candidate set imposes no restriction — skip membership tests
         allowed = (

@@ -72,7 +72,9 @@ class RandomAttack(StructuralAttack):
 
         if candidates is None:
             candidates = "target_incident" if self.target_biased else "full"
-        candidate_set = self._resolve_candidates(candidates, adjacency, targets, n)
+        candidate_set = self._resolve_candidates(
+            candidates, adjacency, targets, n, budget=budget
+        )
         assert candidate_set is not None
         pairs = candidate_set.pairs()
         order = generator.permutation(len(pairs))

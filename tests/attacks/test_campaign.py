@@ -20,16 +20,10 @@ from repro.attacks import (
     grid_jobs,
 )
 from repro.attacks.candidates import AdaptiveCandidateSet
-from repro.graph.generators import barabasi_albert, erdos_renyi
-from repro.oddball.detector import OddBall
+from repro.graph.generators import erdos_renyi
 from repro.oddball.surrogate import SurrogateEngine
 
-
-@pytest.fixture(scope="module")
-def graph_and_targets():
-    graph = barabasi_albert(90, 3, rng=11)
-    targets = OddBall().analyze(graph).top_k(6).tolist()
-    return graph, targets
+# graph_and_targets comes from tests/conftest.py (shared campaign fixture)
 
 
 def _mixed_jobs(targets):

@@ -211,7 +211,7 @@ class TestGradientGrowth:
         engine.apply_flip(0, hub)
         grown = candidate_set.refresh([(0, hub)], engine)
         added = set(grown.pairs()) - set(candidate_set.pairs())
-        cap = AdaptiveCandidateSet.GRADIENT_ADMIT_CAP
+        cap = candidate_set.admit_cap
         assert 0 < len(added) <= cap
         # adjacency growth over the same pool admits strictly more
         adjacency_grown = AdaptiveCandidateSet(

@@ -23,56 +23,34 @@ from repro.graph.generators import barabasi_albert
 from repro.oddball.detector import OddBall
 from repro.oddball.surrogate import EngineSpec, SurrogateEngine
 
-
-@pytest.fixture(scope="module")
-def graph_and_targets():
-    graph = barabasi_albert(90, 3, rng=11)
-    targets = OddBall().analyze(graph).top_k(8).tolist()
-    return graph, targets
-
-
-def _sweep_jobs(targets, count=8, budget=3):
-    return grid_jobs(
-        "gradmaxsearch", [[t] for t in targets[:count]], budgets=[budget],
-        candidates="target_incident",
-    )
-
-
-def _assert_outcomes_identical(serial, parallel):
-    assert len(serial) == len(parallel)
-    for a, b in zip(serial, parallel):
-        assert a.job_id == b.job_id
-        assert a.flips_by_budget == b.flips_by_budget
-        assert a.surrogate_by_budget == b.surrogate_by_budget
-        assert a.rank_shifts == b.rank_shifts
-        assert a.score_before == b.score_before
-        assert a.score_after == b.score_after
+# graph_and_targets / sweep_jobs / assert_outcomes_identical come from
+# tests/conftest.py (shared campaign fixtures)
 
 
 class TestParallelSerialParity:
     @pytest.mark.parametrize("backend", ["dense", "sparse"])
-    def test_identical_result_1_vs_4_workers(self, graph_and_targets, backend):
+    def test_identical_result_1_vs_4_workers(self, graph_and_targets, backend, sweep_jobs, assert_outcomes_identical):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         serial = build_campaign(graph, backend=backend, workers=1).run(jobs)
         parallel = build_campaign(graph, backend=backend, workers=4).run(jobs)
-        _assert_outcomes_identical(serial, parallel)
+        assert_outcomes_identical(serial, parallel)
         assert serial.backend == parallel.backend
         assert serial.n == parallel.n
 
-    def test_sparse_input_parity(self, graph_and_targets):
+    def test_sparse_input_parity(self, graph_and_targets, sweep_jobs, assert_outcomes_identical):
         graph, targets = graph_and_targets
         csr = sparse.csr_matrix(graph.adjacency)
-        jobs = _sweep_jobs(targets, count=5)
+        jobs = sweep_jobs(targets, count=5)
         serial = AttackCampaign(csr).run(jobs)
         parallel = ParallelCampaignExecutor(csr, workers=3).run(jobs)
         assert parallel.backend == "sparse"
-        _assert_outcomes_identical(serial, parallel)
+        assert_outcomes_identical(serial, parallel)
 
-    def test_mixed_attack_grid_with_baselines(self, graph_and_targets):
+    def test_mixed_attack_grid_with_baselines(self, graph_and_targets, sweep_jobs, assert_outcomes_identical):
         """Gradient attacks AND injected-engine baselines shard identically."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=3)
+        jobs = sweep_jobs(targets, count=3)
         jobs += grid_jobs(
             "binarizedattack", [targets[:3]], budgets=[3],
             lambdas=[0.3, 0.05], candidates="target_incident", iterations=15,
@@ -83,17 +61,17 @@ class TestParallelSerialParity:
                           budgets=[3], rng=3)
         serial = AttackCampaign(graph).run(jobs)
         parallel = ParallelCampaignExecutor(graph, workers=3).run(jobs)
-        _assert_outcomes_identical(serial, parallel)
+        assert_outcomes_identical(serial, parallel)
 
-    def test_more_workers_than_jobs(self, graph_and_targets):
+    def test_more_workers_than_jobs(self, graph_and_targets, sweep_jobs):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=2)
+        jobs = sweep_jobs(targets, count=2)
         result = ParallelCampaignExecutor(graph, workers=6).run(jobs)
         assert len(result) == 2
 
-    def test_worker_observability(self, graph_and_targets):
+    def test_worker_observability(self, graph_and_targets, sweep_jobs):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=6)
+        jobs = sweep_jobs(targets, count=6)
         executor = ParallelCampaignExecutor(graph, workers=3)
         executor.run(jobs)
         assert [len(s) for s in executor.last_shards] == [2, 2, 2]
@@ -119,7 +97,7 @@ class TestParallelSerialParity:
 
 class TestCheckpointInterop:
     def test_kill_and_resume_with_different_worker_count(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs, assert_outcomes_identical
     ):
         """A parallel run killed mid-shard resumes under a new worker count.
 
@@ -131,7 +109,7 @@ class TestCheckpointInterop:
         bit-for-bit.
         """
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         fresh = AttackCampaign(graph).run(jobs)
 
         checkpoint = tmp_path / "campaign.jsonl"
@@ -146,15 +124,15 @@ class TestCheckpointInterop:
         ).run(jobs)
         assert resumed.resumed_jobs == 5
         assert not list(tmp_path.glob("*.shard*"))  # shards merged + removed
-        _assert_outcomes_identical(fresh, resumed)
+        assert_outcomes_identical(fresh, resumed)
 
     def test_glob_metacharacters_in_checkpoint_name(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs
     ):
         """Shard discovery is a literal prefix match, not a glob — a name
         like ``fig4[ci].json`` must not turn into a character class."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=4)
+        jobs = sweep_jobs(targets, count=4)
         checkpoint = tmp_path / "fig4[ci].json"
         first = ParallelCampaignExecutor(
             graph, workers=2, checkpoint_path=checkpoint
@@ -166,20 +144,20 @@ class TestCheckpointInterop:
         ).run(jobs)
         assert resumed.resumed_jobs == 4
 
-    def test_parallel_resumes_serial_checkpoint(self, graph_and_targets, tmp_path):
+    def test_parallel_resumes_serial_checkpoint(self, graph_and_targets, tmp_path, sweep_jobs, assert_outcomes_identical):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         checkpoint = tmp_path / "campaign.jsonl"
         AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs[:4])
         resumed = ParallelCampaignExecutor(
             graph, workers=4, checkpoint_path=checkpoint
         ).run(jobs)
         assert resumed.resumed_jobs == 4
-        _assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
+        assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
 
-    def test_serial_resumes_parallel_checkpoint(self, graph_and_targets, tmp_path):
+    def test_serial_resumes_parallel_checkpoint(self, graph_and_targets, tmp_path, sweep_jobs):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         checkpoint = tmp_path / "campaign.jsonl"
         ParallelCampaignExecutor(
             graph, workers=3, checkpoint_path=checkpoint
@@ -188,10 +166,10 @@ class TestCheckpointInterop:
         assert resumed.resumed_jobs == len(jobs)
 
     def test_fully_checkpointed_run_spawns_no_workers(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs
     ):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=3)
+        jobs = sweep_jobs(targets, count=3)
         checkpoint = tmp_path / "campaign.jsonl"
         ParallelCampaignExecutor(
             graph, workers=2, checkpoint_path=checkpoint
@@ -203,9 +181,9 @@ class TestCheckpointInterop:
         assert replay.resumed_jobs == 3
         assert executor.last_shards == []
 
-    def test_checkpoint_rejects_different_graph(self, graph_and_targets, tmp_path):
+    def test_checkpoint_rejects_different_graph(self, graph_and_targets, tmp_path, sweep_jobs):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=2)
+        jobs = sweep_jobs(targets, count=2)
         checkpoint = tmp_path / "campaign.jsonl"
         ParallelCampaignExecutor(
             graph, workers=2, checkpoint_path=checkpoint
@@ -214,7 +192,7 @@ class TestCheckpointInterop:
         with pytest.raises(ValueError, match="different"):
             ParallelCampaignExecutor(
                 other, workers=2, checkpoint_path=checkpoint
-            ).run(_sweep_jobs(OddBall().analyze(other).top_k(2).tolist(), count=2))
+            ).run(sweep_jobs(OddBall().analyze(other).top_k(2).tolist(), count=2))
 
 
 class TestEngineSpec:
@@ -367,12 +345,12 @@ class TestBaselineEngineInjection:
 
 class TestWorkerFailure:
     def test_dead_worker_raises_and_preserves_completed_jobs(
-        self, graph_and_targets, tmp_path, monkeypatch
+        self, graph_and_targets, tmp_path, monkeypatch, sweep_jobs, assert_outcomes_identical
     ):
         """A worker that dies mid-shard fails the run loudly, but the jobs
         it completed stay in the merged checkpoint for the next resume."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=6)
+        jobs = sweep_jobs(targets, count=6)
         checkpoint = tmp_path / "campaign.jsonl"
 
         import repro.attacks.executor as executor_module
@@ -401,4 +379,4 @@ class TestWorkerFailure:
             graph, workers=2, checkpoint_path=checkpoint
         ).run(jobs)
         assert resumed.resumed_jobs == 3
-        _assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
+        assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)

@@ -28,38 +28,13 @@ from repro.attacks.scheduler import (
     LeaseHeartbeat,
     resolve_lease_ttl,
 )
-from repro.graph.generators import barabasi_albert
-from repro.oddball.detector import OddBall
-
 pytestmark = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="scheduler chaos tests monkeypatch worker entry points through fork",
 )
 
-
-@pytest.fixture(scope="module")
-def graph_and_targets():
-    graph = barabasi_albert(90, 3, rng=11)
-    targets = OddBall().analyze(graph).top_k(8).tolist()
-    return graph, targets
-
-
-def _sweep_jobs(targets, count=8, budget=3):
-    return grid_jobs(
-        "gradmaxsearch", [[t] for t in targets[:count]], budgets=[budget],
-        candidates="target_incident",
-    )
-
-
-def _assert_outcomes_identical(serial, scheduled):
-    assert len(serial) == len(scheduled)
-    for a, b in zip(serial, scheduled):
-        assert a.job_id == b.job_id
-        assert a.flips_by_budget == b.flips_by_budget
-        assert a.surrogate_by_budget == b.surrogate_by_budget
-        assert a.rank_shifts == b.rank_shifts
-        assert a.score_before == b.score_before
-        assert a.score_after == b.score_after
+# graph_and_targets / sweep_jobs / assert_outcomes_identical come from
+# tests/conftest.py (shared campaign fixtures)
 
 
 class FakeClock:
@@ -237,27 +212,27 @@ class TestWorkQueue:
 
 class TestSchedulerSerialParity:
     @pytest.mark.parametrize("backend", ["dense", "sparse"])
-    def test_identical_result_serial_vs_scheduler(self, graph_and_targets, backend):
+    def test_identical_result_serial_vs_scheduler(self, graph_and_targets, backend, sweep_jobs, assert_outcomes_identical):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         serial = build_campaign(graph, backend=backend, workers=1).run(jobs)
         scheduled = build_campaign(
             graph, backend=backend, workers=4, scheduler=True
         ).run(jobs)
-        _assert_outcomes_identical(serial, scheduled)
+        assert_outcomes_identical(serial, scheduled)
 
-    def test_mixed_cost_grid_parity(self, graph_and_targets):
+    def test_mixed_cost_grid_parity(self, graph_and_targets, sweep_jobs, assert_outcomes_identical):
         """λ-sweep Binarized jobs next to cheap GradMax jobs — the skew the
         scheduler exists for — still produce bit-identical outcomes."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=3)
+        jobs = sweep_jobs(targets, count=3)
         jobs += grid_jobs(
             "binarizedattack", [targets[:3]], budgets=[3],
             lambdas=[0.3, 0.05], candidates="target_incident", iterations=15,
         )
         serial = AttackCampaign(graph).run(jobs)
         scheduled = SchedulingCampaignExecutor(graph, workers=3).run(jobs)
-        _assert_outcomes_identical(serial, scheduled)
+        assert_outcomes_identical(serial, scheduled)
 
     def test_build_campaign_scheduler_switch(self, graph_and_targets):
         graph, _ = graph_and_targets
@@ -267,9 +242,9 @@ class TestSchedulerSerialParity:
         static = build_campaign(graph, workers=2)
         assert not isinstance(static, SchedulingCampaignExecutor)
 
-    def test_worker_observability(self, graph_and_targets):
+    def test_worker_observability(self, graph_and_targets, sweep_jobs):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=6)
+        jobs = sweep_jobs(targets, count=6)
         executor = SchedulingCampaignExecutor(graph, workers=3)
         executor.run(jobs)
         assert sum(len(s) for s in executor.last_shards) == 6
@@ -281,10 +256,10 @@ class TestSchedulerSerialParity:
         assert executor.last_overhead_seconds >= 0.0
 
     def test_queue_dir_is_cleaned_up_after_the_run(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs
     ):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=3)
+        jobs = sweep_jobs(targets, count=3)
         checkpoint = tmp_path / "campaign.jsonl"
         SchedulingCampaignExecutor(
             graph, workers=2, checkpoint_path=checkpoint
@@ -294,20 +269,20 @@ class TestSchedulerSerialParity:
 
 
 class TestSchedulerCheckpointResume:
-    def test_scheduler_resumes_serial_checkpoint(self, graph_and_targets, tmp_path):
+    def test_scheduler_resumes_serial_checkpoint(self, graph_and_targets, tmp_path, sweep_jobs, assert_outcomes_identical):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         checkpoint = tmp_path / "campaign.jsonl"
         AttackCampaign(graph, checkpoint_path=checkpoint).run(jobs[:4])
         resumed = SchedulingCampaignExecutor(
             graph, workers=3, checkpoint_path=checkpoint
         ).run(jobs)
         assert resumed.resumed_jobs == 4
-        _assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
+        assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
 
-    def test_serial_resumes_scheduler_checkpoint(self, graph_and_targets, tmp_path):
+    def test_serial_resumes_scheduler_checkpoint(self, graph_and_targets, tmp_path, sweep_jobs):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         checkpoint = tmp_path / "campaign.jsonl"
         SchedulingCampaignExecutor(
             graph, workers=3, checkpoint_path=checkpoint
@@ -316,10 +291,10 @@ class TestSchedulerCheckpointResume:
         assert resumed.resumed_jobs == len(jobs)
 
     def test_static_executor_resumes_scheduler_checkpoint(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs, assert_outcomes_identical
     ):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         checkpoint = tmp_path / "campaign.jsonl"
         SchedulingCampaignExecutor(
             graph, workers=2, checkpoint_path=checkpoint
@@ -328,13 +303,13 @@ class TestSchedulerCheckpointResume:
             graph, workers=3, checkpoint_path=checkpoint
         ).run(jobs)
         assert resumed.resumed_jobs == 5
-        _assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
+        assert_outcomes_identical(AttackCampaign(graph).run(jobs), resumed)
 
     def test_fully_checkpointed_run_spawns_no_workers(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs
     ):
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=3)
+        jobs = sweep_jobs(targets, count=3)
         checkpoint = tmp_path / "campaign.jsonl"
         SchedulingCampaignExecutor(
             graph, workers=2, checkpoint_path=checkpoint
@@ -355,14 +330,14 @@ def _chaos_ttl():
 
 class TestChaosKillMidLease:
     def test_chaos_sigkill_after_claim_requeues_and_matches_serial(
-        self, graph_and_targets, tmp_path, monkeypatch
+        self, graph_and_targets, tmp_path, monkeypatch, sweep_jobs, assert_outcomes_identical
     ):
         """The acceptance scenario: SIGKILL a worker the instant it claims
         (it dies holding an active lease, before any work lands in its
         shard).  The surviving workers must requeue the job after the TTL
         and the merged checkpoint must be bit-identical to serial."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         serial = AttackCampaign(graph).run(jobs)
 
         import repro.attacks.scheduler as scheduler_module
@@ -396,17 +371,17 @@ class TestChaosKillMidLease:
         result = executor.run(jobs)           # must NOT raise: jobs recovered
         assert executor.last_dead_workers == ["scheduler-worker-0"]
         assert executor.last_requeues >= 1
-        _assert_outcomes_identical(serial, result)
+        assert_outcomes_identical(serial, result)
 
     def test_chaos_sigkill_between_append_and_done_marker_dedupes(
-        self, graph_and_targets, tmp_path, monkeypatch
+        self, graph_and_targets, tmp_path, monkeypatch, sweep_jobs, assert_outcomes_identical
     ):
         """Kill in the gap between the two durable steps: the outcome is in
         the dead worker's shard but the done marker never lands, so the job
         is requeued and completed AGAIN by a survivor.  The merge must keep
         exactly one record and still match serial bit-for-bit."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets)
+        jobs = sweep_jobs(targets)
         serial = AttackCampaign(graph).run(jobs)
 
         import repro.attacks.scheduler as scheduler_module
@@ -433,7 +408,7 @@ class TestChaosKillMidLease:
         )
         result = executor.run(jobs)
         assert executor.last_dead_workers == ["scheduler-worker-0"]
-        _assert_outcomes_identical(serial, result)
+        assert_outcomes_identical(serial, result)
         # exactly one record per job survived the double completion
         records = [
             json.loads(line)
@@ -442,12 +417,12 @@ class TestChaosKillMidLease:
         assert len(records) == len(jobs)
 
     def test_chaos_kill_without_checkpoint_still_recovers(
-        self, graph_and_targets, tmp_path, monkeypatch
+        self, graph_and_targets, tmp_path, monkeypatch, sweep_jobs, assert_outcomes_identical
     ):
         """Crash recovery must not depend on a main checkpoint file — the
         per-worker shards + queue are enough."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=5)
+        jobs = sweep_jobs(targets, count=5)
         serial = AttackCampaign(graph).run(jobs)
 
         import repro.attacks.scheduler as scheduler_module
@@ -477,7 +452,7 @@ class TestChaosKillMidLease:
         )
         result = executor.run(jobs)
         assert executor.last_dead_workers == ["scheduler-worker-1"]
-        _assert_outcomes_identical(serial, result)
+        assert_outcomes_identical(serial, result)
 
 
 def _synthetic_outcome(job, seconds=0.0):
@@ -510,14 +485,14 @@ class TestCheckpointDedupe:
         assert loaded[job.job_id].seconds == 1.0
 
     def test_double_completion_shard_pair_after_requeue_keeps_one_record(
-        self, graph_and_targets, tmp_path
+        self, graph_and_targets, tmp_path, sweep_jobs, assert_outcomes_identical
     ):
         """A shard pair left by a slow-but-alive worker finishing a job a
         survivor already completed: both shards hold the job (different
         ``seconds``), the merged checkpoint keeps one record and the run
         matches serial."""
         graph, targets = graph_and_targets
-        jobs = _sweep_jobs(targets, count=4)
+        jobs = sweep_jobs(targets, count=4)
         serial = AttackCampaign(graph).run(jobs)
         checkpoint = tmp_path / "campaign.jsonl"
 
@@ -533,7 +508,7 @@ class TestCheckpointDedupe:
 
         result = executor.run(jobs)
         assert result.resumed_jobs == 1       # the duplicated job, once
-        _assert_outcomes_identical(serial, result)
+        assert_outcomes_identical(serial, result)
         records = [
             json.loads(line)
             for line in checkpoint.read_text().splitlines()[1:]

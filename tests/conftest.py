@@ -1,4 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Beyond the small deterministic graphs, this hosts the fixtures the
+campaign/executor/scheduler/store suites used to duplicate per-module:
+the 90-node BA campaign graph with its OddBall target ranking, the
+gradmaxsearch sweep-grid factory, the outcome bit-identity assertion,
+and the cached blogcatalog store build.
+"""
 
 from __future__ import annotations
 
@@ -44,3 +51,68 @@ def clique_graph() -> Graph:
 def triangle_graph() -> Graph:
     """A single triangle."""
     return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture(scope="session")
+def campaign_graph() -> Graph:
+    """The 90-node BA graph every campaign-layer suite attacks."""
+    return barabasi_albert(90, 3, rng=11)
+
+
+@pytest.fixture(scope="session")
+def campaign_targets(campaign_graph) -> "list[int]":
+    """Top-8 OddBall-scored nodes of ``campaign_graph``.
+
+    ``top_k`` is prefix-stable, so suites that want fewer targets slice
+    this list instead of re-running the detector per module.
+    """
+    from repro.oddball.detector import OddBall
+
+    return OddBall().analyze(campaign_graph).top_k(8).tolist()
+
+
+@pytest.fixture(scope="module")
+def graph_and_targets(campaign_graph, campaign_targets):
+    """(graph, targets) pair matching the historical per-module fixtures."""
+    return campaign_graph, campaign_targets
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs():
+    """Factory for the single-target gradmaxsearch grids the suites sweep."""
+    from repro.attacks import grid_jobs
+
+    def make(targets, count=8, budget=3, **params):
+        params.setdefault("candidates", "target_incident")
+        return grid_jobs(
+            "gradmaxsearch", [[int(t)] for t in targets[:count]],
+            budgets=[budget], **params,
+        )
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def assert_outcomes_identical():
+    """Bit-identity check between two campaign results (any executor)."""
+
+    def check(a_result, b_result):
+        assert len(a_result) == len(b_result)
+        for a, b in zip(a_result, b_result):
+            assert a.job_id == b.job_id
+            assert a.flips_by_budget == b.flips_by_budget
+            assert a.surrogate_by_budget == b.surrogate_by_budget
+            assert a.rank_shifts == b.rank_shifts
+            assert a.score_before == b.score_before
+            assert a.score_after == b.score_after
+
+    return check
+
+
+@pytest.fixture(scope="session")
+def store(tmp_path_factory):
+    """A cached 0.3-scale blogcatalog store (built once per session)."""
+    from repro.store import build_store
+
+    cache = tmp_path_factory.mktemp("shared-store-cache")
+    return build_store("blogcatalog", cache_dir=cache, scale=0.3, seed=11)

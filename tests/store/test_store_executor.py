@@ -10,16 +10,11 @@ from repro.attacks import (
     AttackCampaign,
     ParallelCampaignExecutor,
     build_campaign,
-    grid_jobs,
 )
 from repro.oddball.surrogate import EngineSpec, SurrogateEngine
-from repro.store import build_store
 
-
-@pytest.fixture(scope="module")
-def store(tmp_path_factory):
-    cache = tmp_path_factory.mktemp("executor-store-cache")
-    return build_store("blogcatalog", cache_dir=cache, scale=0.3, seed=11)
+# store / sweep_jobs / assert_outcomes_identical come from tests/conftest.py
+# (shared fixtures); this module derives its targets from store degrees.
 
 
 @pytest.fixture(scope="module")
@@ -27,23 +22,9 @@ def memory_graph(store):
     return store.detached_csr()
 
 
-def sweep_jobs(store, count=6, budget=3):
-    targets = np.argsort(-store.degrees(), kind="stable")[:count]
-    return grid_jobs(
-        "gradmaxsearch", [[int(t)] for t in targets], budgets=[budget],
-        candidates="target_incident",
-    )
-
-
-def assert_outcomes_identical(a_result, b_result):
-    assert len(a_result) == len(b_result)
-    for a, b in zip(a_result, b_result):
-        assert a.job_id == b.job_id
-        assert a.flips_by_budget == b.flips_by_budget
-        assert a.surrogate_by_budget == b.surrogate_by_budget
-        assert a.rank_shifts == b.rank_shifts
-        assert a.score_before == b.score_before
-        assert a.score_after == b.score_after
+@pytest.fixture(scope="module")
+def store_targets(store):
+    return np.argsort(-store.degrees(), kind="stable")[:8].tolist()
 
 
 class TestStoreSpec:
@@ -75,11 +56,11 @@ class TestStoreSpec:
 
 
 class TestStoreExecutorParity:
-    def test_store_spec_1_vs_4_workers_vs_payload(self, store, memory_graph):
+    def test_store_spec_1_vs_4_workers_vs_payload(self, store, memory_graph, sweep_jobs, assert_outcomes_identical, store_targets):
         """The satellite contract: a 1-worker and a 4-worker run from a
         ``store_path`` spec agree bit-for-bit with each other AND with the
         payload-spec (in-memory CSR) execution of the same grid."""
-        jobs = sweep_jobs(store)
+        jobs = sweep_jobs(store_targets, count=6)
         store_serial = build_campaign(store, workers=1).run(jobs)
         store_parallel = build_campaign(store, workers=4).run(jobs)
         payload_parallel = ParallelCampaignExecutor(
@@ -88,15 +69,15 @@ class TestStoreExecutorParity:
         assert_outcomes_identical(store_serial, store_parallel)
         assert_outcomes_identical(store_parallel, payload_parallel)
 
-    def test_worker_stats_record_rss(self, store):
+    def test_worker_stats_record_rss(self, store, sweep_jobs, store_targets):
         executor = ParallelCampaignExecutor(store, workers=2)
-        executor.run(sweep_jobs(store, count=4))
+        executor.run(sweep_jobs(store_targets, count=4))
         assert executor.last_worker_stats
         for stats in executor.last_worker_stats:
             assert stats["max_rss_kb"] > 0
 
-    def test_store_checkpoint_resume(self, store, tmp_path):
-        jobs = sweep_jobs(store)
+    def test_store_checkpoint_resume(self, store, tmp_path, sweep_jobs, assert_outcomes_identical, store_targets):
+        jobs = sweep_jobs(store_targets, count=6)
         checkpoint = tmp_path / "campaign.jsonl"
         AttackCampaign(store, checkpoint_path=checkpoint).run(jobs[:2])
         resumed = ParallelCampaignExecutor(
@@ -112,11 +93,11 @@ class TestStoreExecutorParity:
 
 
 class TestShardTruncation:
-    def test_truncated_shard_mid_record_resumes(self, store, tmp_path):
+    def test_truncated_shard_mid_record_resumes(self, store, tmp_path, sweep_jobs, assert_outcomes_identical, store_targets):
         """Satellite: kill a worker mid-append (simulated by truncating its
         shard inside the final record) — the resume must skip exactly the
         torn job, warn, and still converge to the serial result."""
-        jobs = sweep_jobs(store)
+        jobs = sweep_jobs(store_targets, count=6)
         checkpoint = tmp_path / "campaign.jsonl"
         executor = ParallelCampaignExecutor(
             store, workers=2, checkpoint_path=checkpoint
@@ -143,12 +124,12 @@ class TestShardTruncation:
 
 
 class TestFingerprintRoundTrip:
-    def test_tagged_csr_through_executor_with_checkpoint(self, store, tmp_path):
+    def test_tagged_csr_through_executor_with_checkpoint(self, store, tmp_path, sweep_jobs, assert_outcomes_identical, store_targets):
         """Passing the store's *tagged CSR* (not the GraphStore) must work:
         the parent fingerprints by the store token, workers rebuild from a
         byte payload — the token has to survive the spec round-trip or the
         shard merge rejects every completed job."""
-        jobs = sweep_jobs(store, count=4)
+        jobs = sweep_jobs(store_targets, count=4)
         checkpoint = tmp_path / "campaign.jsonl"
         via_csr = ParallelCampaignExecutor(
             store.csr(), workers=2, backend="sparse", checkpoint_path=checkpoint
