@@ -29,6 +29,10 @@ Subpackages
 ``repro.experiments``
     One driver per paper table/figure, with ``paper`` and ``ci`` scale
     presets and a CLI runner.
+``repro.telemetry``
+    Opt-in structured tracing & metrics: nested spans, scheduler events
+    and kernel counters landing in torn-write-tolerant JSONL sinks, with
+    a ``python -m repro.telemetry report`` aggregation CLI.
 
 Quickstart
 ----------
@@ -43,7 +47,18 @@ Quickstart
 True
 """
 
-from repro import attacks, autograd, experiments, gad, graph, ml, oddball, store, utils
+from repro import (
+    attacks,
+    autograd,
+    experiments,
+    gad,
+    graph,
+    ml,
+    oddball,
+    store,
+    telemetry,
+    utils,
+)
 
 __version__ = "1.0.0"
 
@@ -57,5 +72,6 @@ __all__ = [
     "ml",
     "oddball",
     "store",
+    "telemetry",
     "utils",
 ]

@@ -49,6 +49,7 @@ from typing import Iterable, Sequence
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.attacks.base import AttackResult, validate_targets
 from repro.attacks.binarized import BinarizedAttack
 from repro.attacks.candidates import CANDIDATE_STRATEGIES
@@ -384,13 +385,27 @@ class JobOutcome:
 
 @dataclass
 class CampaignResult:
-    """Ordered outcomes of a campaign run (JSON round-trippable)."""
+    """Ordered outcomes of a campaign run (JSON round-trippable).
+
+    Beyond the outcomes themselves, a result carries the run's execution
+    stats: ``worker_stats`` (per-worker cpu/wall seconds, job counts and
+    peak ``max_rss_kb`` from the executor ``.stats`` sidecars; empty for
+    serial runs), and — for scheduler runs — ``dead_workers`` (workers
+    that exited abnormally but whose jobs the survivors recovered) and
+    ``requeues`` (lease steals).  They are observability metadata, not
+    outcome identity: parity assertions compare outcomes, and two runs of
+    one grid are bit-identical in ``outcomes`` regardless of who executed
+    which job.
+    """
 
     outcomes: list[JobOutcome]
     backend: str
     n: int
     seconds: float
     resumed_jobs: int = 0
+    worker_stats: list[dict] = field(default_factory=list)
+    dead_workers: tuple[str, ...] = ()
+    requeues: int = 0
 
     def __post_init__(self) -> None:
         self._by_id = {o.job_id: o for o in self.outcomes}
@@ -400,6 +415,14 @@ class CampaignResult:
 
     def __iter__(self):
         return iter(self.outcomes)
+
+    @property
+    def peak_rss_kb(self) -> int:
+        """Largest per-worker peak RSS in KiB (0 for serial runs)."""
+        return max(
+            (int(stats.get("max_rss_kb", 0)) for stats in self.worker_stats),
+            default=0,
+        )
 
     def outcome(self, job: "AttackJob | str") -> JobOutcome:
         """Outcome for a job (or raw job id); raises ``KeyError`` if absent."""
@@ -415,6 +438,9 @@ class CampaignResult:
             "n": self.n,
             "seconds": self.seconds,
             "resumed_jobs": self.resumed_jobs,
+            "worker_stats": [_jsonable_mapping(s) for s in self.worker_stats],
+            "dead_workers": [str(w) for w in self.dead_workers],
+            "requeues": int(self.requeues),
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
 
@@ -427,6 +453,11 @@ class CampaignResult:
             n=int(payload["n"]),
             seconds=float(payload["seconds"]),
             resumed_jobs=int(payload.get("resumed_jobs", 0)),
+            worker_stats=[dict(s) for s in payload.get("worker_stats", [])],
+            dead_workers=tuple(
+                str(w) for w in payload.get("dead_workers", [])
+            ),
+            requeues=int(payload.get("requeues", 0)),
         )
 
 
@@ -747,6 +778,13 @@ class AttackCampaign:
         Record per-target rank shifts (clean rank → poisoned rank under a
         full re-score).  One O(n log n) argsort per job; disable for pure
         flip-set sweeps where only the flips matter.
+    telemetry:
+        Optional trace directory: configures the process-global
+        :mod:`repro.telemetry` tracer (per-job spans, kernel counters)
+        before any work runs.  ``None`` leaves the global configuration
+        untouched — telemetry may still be on via ``$REPRO_TELEMETRY`` or
+        an earlier ``configure()``.  Tracing never changes results: job
+        ids, flips and checkpoints are bit-identical with it on or off.
     engine:
         Optional pre-built :class:`SurrogateEngine` to run every job on —
         the parallel executor's workers pass the engine they rebuilt from
@@ -776,8 +814,11 @@ class AttackCampaign:
         checkpoint_path: "Path | str | None" = None,
         compute_ranks: bool = True,
         engine: "SurrogateEngine | None" = None,
+        telemetry: "Path | str | None" = None,
     ):
         validate_backend(backend)
+        if telemetry is not None:
+            _telemetry.configure(telemetry)
         self.kernels = validate_kernels(kernels)
         store_backed = hasattr(graph, "adjacency_csr")
         self._original = _normalize_graph(graph)
@@ -822,18 +863,22 @@ class AttackCampaign:
         if resumed:
             _log.info("resuming campaign: %d/%d jobs checkpointed", resumed, len(jobs))
         start = time.perf_counter()
-        for index, job in enumerate(jobs):
-            if job.job_id in completed:
-                continue
-            outcome = self._run_job(job)
-            completed[job.job_id] = outcome
-            if store is not None:
-                store.append(outcome)
-            _log.debug(
-                "job %d/%d (%s) done in %.3fs: tau=%.3f",
-                index + 1, len(jobs), job.attack, outcome.seconds,
-                outcome.score_decrease,
-            )
+        with _telemetry.span(
+            "campaign.run", jobs=len(jobs), backend=self.backend,
+            n=self.n, resumed=resumed,
+        ):
+            for index, job in enumerate(jobs):
+                if job.job_id in completed:
+                    continue
+                outcome = self._run_job(job)
+                completed[job.job_id] = outcome
+                if store is not None:
+                    store.append(outcome)
+                _log.debug(
+                    "job %d/%d (%s) done in %.3fs: tau=%.3f",
+                    index + 1, len(jobs), job.attack, outcome.seconds,
+                    outcome.score_decrease,
+                )
         elapsed = time.perf_counter() - start
         return CampaignResult(
             outcomes=[completed[job.job_id] for job in jobs],
@@ -862,35 +907,46 @@ class AttackCampaign:
 
     def _run_job(self, job: AttackJob) -> JobOutcome:
         """Run one job on the shared engine, restoring it afterwards."""
+        with _telemetry.span(
+            "job", job_id=job.job_id, attack=job.attack,
+            budget=int(job.budget),
+        ):
+            return self._run_job_traced(job)
+
+    def _run_job_traced(self, job: AttackJob) -> JobOutcome:
+        """The :meth:`_run_job` body, inside the job's telemetry span."""
         attack = job.build_attack(self.backend, self.kernels)
         engine = self._ensure_engine(job)
         start = time.perf_counter()
         if job.attack in SHARED_ENGINE_ATTACKS:
             token = engine.checkpoint()
             try:
-                result = attack.attack(
-                    self._original,
-                    list(job.targets),
-                    job.budget,
-                    target_weights=job.weights,
-                    candidates=job.candidates,
-                    engine=engine,
-                )
+                with _telemetry.span("job.attack"):
+                    result = attack.attack(
+                        self._original,
+                        list(job.targets),
+                        job.budget,
+                        target_weights=job.weights,
+                        candidates=job.candidates,
+                        engine=engine,
+                    )
             finally:
                 # Always roll the job's flips back — an exception (or the
                 # KeyboardInterrupt of an interrupted campaign) must not
                 # leave the NEXT job running on a silently poisoned engine.
                 engine.restore(token)
         else:
-            result = attack.attack(
-                self._original,
-                list(job.targets),
-                job.budget,
-                target_weights=job.weights,
-                candidates=job.candidates,
-            )
+            with _telemetry.span("job.attack"):
+                result = attack.attack(
+                    self._original,
+                    list(job.targets),
+                    job.budget,
+                    target_weights=job.weights,
+                    candidates=job.candidates,
+                )
         seconds = time.perf_counter() - start
-        score_before, score_after, rank_shifts = self._score(job, result)
+        with _telemetry.span("job.score"):
+            score_before, score_after, rank_shifts = self._score(job, result)
         return JobOutcome(
             job=job,
             flips_by_budget={b: result.flips(b) for b in result.budgets},
@@ -909,19 +965,23 @@ class AttackCampaign:
             # its own pairs, and ``None`` here would materialise all
             # n(n−1)/2 upper-triangle pairs — 50M entries at n = 10 000.
             empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
-            self._engine = SurrogateEngine.create(
-                self._original,
-                job.targets,
-                empty,
-                backend=self.backend,
-                kernels=self.kernels,
-            )
+            with _telemetry.span(
+                "engine.build", backend=self.backend, n=self.n,
+            ):
+                self._engine = SurrogateEngine.create(
+                    self._original,
+                    job.targets,
+                    empty,
+                    backend=self.backend,
+                    kernels=self.kernels,
+                )
         if self._clean_scores is None:
-            n_feature, e_feature = self._engine.node_features()
-            self._clean_scores = score_from_features(
-                n_feature, e_feature, fit_power_law(n_feature, e_feature)
-            )
-            self._clean_ranks = rank_positions(self._clean_scores)
+            with _telemetry.span("engine.clean_scores"):
+                n_feature, e_feature = self._engine.node_features()
+                self._clean_scores = score_from_features(
+                    n_feature, e_feature, fit_power_law(n_feature, e_feature)
+                )
+                self._clean_ranks = rank_positions(self._clean_scores)
         return self._engine
 
     def _score(

@@ -88,6 +88,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -581,6 +582,7 @@ class AdaptiveCandidateSet(CandidateSet):
             keys = np.union1d(old_keys, add_keys)
         else:
             keys = old_keys
+        _telemetry.count("candidates.admissions", int(keys.size - old_keys.size))
         return AdaptiveCandidateSet(
             n=self.n,
             rows=(keys // self.n).astype(np.intp),
@@ -770,6 +772,11 @@ class BlockCandidateSet(CandidateSet):
             new_keys = np.union1d(kept, fresh[:refill])
         else:
             new_keys = kept
+        # Flipped pairs are a subset of the current block (never evicted),
+        # so the drop count is exactly the size difference.
+        _telemetry.count("candidates.block_refreshes", 1)
+        _telemetry.count("candidates.evictions", int(keys.size - kept.size))
+        _telemetry.count("candidates.admissions", int(new_keys.size - kept.size))
         return BlockCandidateSet(
             n=self.n,
             rows=(new_keys // self.n).astype(np.intp),

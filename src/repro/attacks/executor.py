@@ -54,6 +54,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.attacks.campaign import (
     AttackCampaign,
     AttackJob,
@@ -89,6 +90,7 @@ def build_campaign(
     compute_ranks: bool = True,
     scheduler: bool = False,
     lease_ttl: "float | None" = None,
+    telemetry: "str | None" = None,
 ):
     """Serial :class:`AttackCampaign` or a :class:`ParallelCampaignExecutor`.
 
@@ -102,7 +104,9 @@ def build_campaign(
     ``run(jobs) -> CampaignResult`` surface and produce bit-identical
     results, so callers never branch again.  ``kernels`` selects the
     hot-loop kernel backend (see :mod:`repro.kernels`); either value
-    yields the same flips.
+    yields the same flips.  ``telemetry`` names a trace directory for the
+    :mod:`repro.telemetry` layer (``None`` defers to
+    ``$REPRO_TELEMETRY``); tracing changes no results.
     """
     if workers <= 1:
         return AttackCampaign(
@@ -111,6 +115,7 @@ def build_campaign(
             kernels=kernels,
             checkpoint_path=checkpoint_path,
             compute_ranks=compute_ranks,
+            telemetry=telemetry,
         )
     if scheduler:
         # Imported lazily: scheduler.py imports from this module.
@@ -124,6 +129,7 @@ def build_campaign(
             checkpoint_path=checkpoint_path,
             compute_ranks=compute_ranks,
             lease_ttl=lease_ttl,
+            telemetry=telemetry,
         )
     return ParallelCampaignExecutor(
         graph,
@@ -132,6 +138,7 @@ def build_campaign(
         kernels=kernels,
         checkpoint_path=checkpoint_path,
         compute_ranks=compute_ranks,
+        telemetry=telemetry,
     )
 
 
@@ -140,6 +147,7 @@ def _worker_main(
     jobs: "list[AttackJob]",
     shard_path: str,
     compute_ranks: bool,
+    telemetry: "dict | None" = None,
 ) -> None:
     """Entry point of one worker process: build one engine, drain one shard.
 
@@ -149,6 +157,11 @@ def _worker_main(
     completed job is durable the moment it finishes — a killed worker
     loses at most the job it was executing.
 
+    ``telemetry`` is a :func:`repro.telemetry.worker_spec` payload (or
+    ``None``): the first thing the worker does is open its OWN per-worker
+    sink (or disable the fork-inherited tracer), so parent and child
+    never write one file and the merged trace stays one tree.
+
     A ``<shard>.stats`` sidecar records the worker's CPU and wall seconds;
     the parent collects these into
     :attr:`ParallelCampaignExecutor.last_worker_stats`.  CPU seconds are
@@ -156,40 +169,47 @@ def _worker_main(
     clock of W time-sharing workers stretches by up to W×, while CPU time
     measures the work itself.
     """
+    _telemetry.worker_configure(telemetry)
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-    # Empty candidate set, exactly like AttackCampaign's lazy construction:
-    # every job retargets with its own pairs, and ``None`` would materialise
-    # all n(n−1)/2 upper-triangle pairs — 50M entries at n = 10 000.
-    empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
-    graph = spec.to_graph()  # materialised once: engine + campaign share it
-    engine = SurrogateEngine.from_spec(
-        spec, jobs[0].targets, candidates=empty, graph=graph
-    )
-    campaign = AttackCampaign(
-        graph,
-        backend=spec.backend,
-        # The spec carries the REQUESTED kernels flag (possibly "auto");
-        # the engine build above resolved it against THIS host, and the
-        # campaign default keeps per-job attack params consistent with it.
-        kernels=spec.kernels,
-        checkpoint_path=shard_path,
-        compute_ranks=compute_ranks,
-        engine=engine,
-    )
-    campaign.run(jobs)
-    stats = {
-        "jobs": len(jobs),
-        "cpu_seconds": time.process_time() - cpu_start,
-        "wall_seconds": time.perf_counter() - wall_start,
-        # Peak resident set of this worker in KiB: the memory signal the
-        # store-vs-payload benchmark compares.  With the fork start method
-        # this includes pages inherited copy-on-write from the parent, so
-        # it is an honest "what this process kept mapped" number, not a
-        # private-bytes number.  0 where getrusage is unavailable.
-        "max_rss_kb": _max_rss_kb(),
-    }
-    Path(shard_path + ".stats").write_text(json.dumps(stats) + "\n")
+    try:
+        with _telemetry.span("worker.run", jobs=len(jobs)):
+            # Empty candidate set, exactly like AttackCampaign's lazy
+            # construction: every job retargets with its own pairs, and
+            # ``None`` would materialise all n(n−1)/2 upper-triangle pairs
+            # — 50M entries at n = 10 000.
+            empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
+            graph = spec.to_graph()  # materialised once: engine + campaign share it
+            engine = SurrogateEngine.from_spec(
+                spec, jobs[0].targets, candidates=empty, graph=graph
+            )
+            campaign = AttackCampaign(
+                graph,
+                backend=spec.backend,
+                # The spec carries the REQUESTED kernels flag (possibly
+                # "auto"); the engine build above resolved it against THIS
+                # host, and the campaign default keeps per-job attack
+                # params consistent with it.
+                kernels=spec.kernels,
+                checkpoint_path=shard_path,
+                compute_ranks=compute_ranks,
+                engine=engine,
+            )
+            campaign.run(jobs)
+        stats = {
+            "jobs": len(jobs),
+            "cpu_seconds": time.process_time() - cpu_start,
+            "wall_seconds": time.perf_counter() - wall_start,
+            # Peak resident set of this worker in KiB: the memory signal the
+            # store-vs-payload benchmark compares.  With the fork start method
+            # this includes pages inherited copy-on-write from the parent, so
+            # it is an honest "what this process kept mapped" number, not a
+            # private-bytes number.  0 where getrusage is unavailable.
+            "max_rss_kb": _max_rss_kb(),
+        }
+        Path(shard_path + ".stats").write_text(json.dumps(stats) + "\n")
+    finally:
+        _telemetry.shutdown()  # flush the worker's counters before exit
 
 
 def _max_rss_kb() -> int:
@@ -240,6 +260,14 @@ class ParallelCampaignExecutor:
         a temporary directory and only the in-memory result survives.
     compute_ranks:
         Forwarded to every worker's campaign (per-target rank shifts).
+    telemetry:
+        Optional trace directory for the :mod:`repro.telemetry` layer.
+        The parent configures its tracer here (spec capture, drain and
+        merge become spans) and each worker opens its own per-worker sink
+        keyed by worker id, parented to the drain span — so the merged
+        trace directory reads as ONE tree.  ``None`` defers to
+        ``$REPRO_TELEMETRY``/earlier configuration; results are
+        bit-identical with telemetry on or off.
     mp_context:
         Optional :mod:`multiprocessing` start-method name.  Defaults to
         ``"fork"`` where available (workers inherit loaded modules — no
@@ -267,8 +295,11 @@ class ParallelCampaignExecutor:
         checkpoint_path=None,
         compute_ranks: bool = True,
         mp_context: "str | None" = None,
+        telemetry: "str | None" = None,
     ):
         validate_backend(backend)
+        if telemetry is not None:
+            _telemetry.configure(telemetry)
         self.kernels = validate_kernels(kernels)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -345,18 +376,29 @@ class ParallelCampaignExecutor:
         self.last_shards = [[job.job_id for job in shard] for shard in shards]
         self.last_worker_stats = []
         drain_seconds = 0.0
-        if shards:
-            drain_seconds = self._run_workers(shards, shard_dir)
-            self.last_worker_stats = self._collect_stats(shard_dir, len(shards))
-            merged = self._collect(shard_dir, into=completed)
-            missing = [job for job in pending if job.job_id not in completed]
-            if missing:
-                raise RuntimeError(
-                    f"parallel campaign finished with {len(missing)} jobs "
-                    "unaccounted for (first missing: "
-                    f"{missing[0].to_dict()!r})"
+        with _telemetry.span(
+            "executor.run", workers=self.workers, jobs=len(jobs),
+            resumed=resumed,
+        ):
+            if shards:
+                drain_seconds = self._run_workers(shards, shard_dir)
+                self.last_worker_stats = self._collect_stats(
+                    shard_dir, len(shards)
                 )
-            _log.debug("merged %d outcomes from %d shards", merged, len(shards))
+                with _telemetry.span("executor.merge", shards=len(shards)):
+                    merged = self._collect(shard_dir, into=completed)
+                missing = [
+                    job for job in pending if job.job_id not in completed
+                ]
+                if missing:
+                    raise RuntimeError(
+                        f"parallel campaign finished with {len(missing)} jobs "
+                        "unaccounted for (first missing: "
+                        f"{missing[0].to_dict()!r})"
+                    )
+                _log.debug(
+                    "merged %d outcomes from %d shards", merged, len(shards)
+                )
         elapsed = time.perf_counter() - start
         self.last_overhead_seconds = max(elapsed - drain_seconds, 0.0)
         return CampaignResult(
@@ -365,6 +407,7 @@ class ParallelCampaignExecutor:
             n=self.n,
             seconds=elapsed,
             resumed_jobs=resumed,
+            worker_stats=list(self.last_worker_stats),
         )
 
     def _shard(self, pending: "list[AttackJob]") -> "list[list[AttackJob]]":
@@ -386,35 +429,48 @@ class ParallelCampaignExecutor:
         # ``last_overhead_seconds``), so it runs before the drain clock
         # starts.
         shard_dir.mkdir(parents=True, exist_ok=True)
-        if self._graph_store is not None:
-            spec = EngineSpec.from_store(self._graph_store, kernels=self.kernels)
-        else:
-            spec = EngineSpec.from_graph(
-                self._original, backend=self.backend, kernels=self.kernels
-            )
+        with _telemetry.span("executor.spec", store=self._graph_store is not None):
+            if self._graph_store is not None:
+                spec = EngineSpec.from_store(
+                    self._graph_store, kernels=self.kernels
+                )
+            else:
+                spec = EngineSpec.from_graph(
+                    self._original, backend=self.backend, kernels=self.kernels
+                )
         drain_start = time.perf_counter()
+        drain_span = _telemetry.span("executor.drain", workers=len(shards))
         processes = []
-        for index, shard in enumerate(shards):
-            process = self._mp.Process(
-                target=_worker_main,
-                args=(spec, shard, str(self._shard_path(shard_dir, index)),
-                      self.compute_ranks),
-                name=f"campaign-worker-{index}",
-            )
-            process.start()
-            processes.append(process)
-        try:
-            for process in processes:
-                process.join()
-        except BaseException:
-            # Parent interrupted (e.g. KeyboardInterrupt): stop the workers;
-            # whatever they checkpointed stays on disk for the next resume.
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join()
-            raise
+        with drain_span:
+            for index, shard in enumerate(shards):
+                args = (spec, shard, str(self._shard_path(shard_dir, index)),
+                        self.compute_ranks)
+                # Only extend the args tuple when tracing, so the worker
+                # entry point keeps its historical positional signature
+                # (tests monkeypatch it) on untraced runs.
+                tspec = _telemetry.worker_spec(f"worker-{index}")
+                if tspec is not None:
+                    args += (tspec,)
+                process = self._mp.Process(
+                    target=_worker_main,
+                    args=args,
+                    name=f"campaign-worker-{index}",
+                )
+                process.start()
+                processes.append(process)
+            try:
+                for process in processes:
+                    process.join()
+            except BaseException:
+                # Parent interrupted (e.g. KeyboardInterrupt): stop the
+                # workers; whatever they checkpointed stays on disk for the
+                # next resume.
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+                for process in processes:
+                    process.join()
+                raise
         failed = [p.name for p in processes if p.exitcode != 0]
         if failed:
             if self.checkpoint_path is not None:

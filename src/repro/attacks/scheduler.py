@@ -64,6 +64,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.attacks.campaign import (
     AttackCampaign,
     AttackJob,
@@ -255,6 +256,9 @@ class WorkQueue:
         tmp = queue_dir / "queue.json.tmp"
         tmp.write_text(json.dumps(manifest) + "\n")
         tmp.rename(queue_dir / "queue.json")
+        _telemetry.event(
+            "scheduler.publish", jobs=len(jobs), lease_ttl=float(lease_ttl)
+        )
         return cls(queue_dir, jobs, lease_ttl)
 
     @classmethod
@@ -373,6 +377,12 @@ class WorkQueue:
                         "generation %d)",
                         self.worker, job_id, lease.worker, generation,
                     )
+                    _telemetry.event(
+                        "scheduler.requeue",
+                        job_id=job_id,
+                        lost_worker=lease.worker,
+                        generation=generation,
+                    )
                 self._write_lease(
                     Lease(
                         job_id=job_id,
@@ -383,6 +393,9 @@ class WorkQueue:
                     )
                 )
                 self.claims += 1
+                _telemetry.event(
+                    "scheduler.claim", job_id=job_id, generation=generation
+                )
                 return job
         return None
 
@@ -399,6 +412,7 @@ class WorkQueue:
             lease = self._read_lease(job_id)
             if lease is None or lease.worker != self.worker:
                 self.lost_leases += 1
+                _telemetry.event("scheduler.lease_lost", job_id=job_id)
                 return False
             now = self.clock()
             self._write_lease(
@@ -411,6 +425,7 @@ class WorkQueue:
                 )
             )
             self.heartbeats += 1
+            _telemetry.event("scheduler.heartbeat", job_id=job_id)
             return True
 
     def complete(self, job_id: str) -> bool:
@@ -451,6 +466,7 @@ class WorkQueue:
                 self._lease_path(job_id).unlink(missing_ok=True)
             self._known_done.add(job_id)
             self.completions += 1
+            _telemetry.event("scheduler.complete", job_id=job_id, first=first)
             return first
 
     def release(self, job_id: str) -> None:
@@ -459,6 +475,7 @@ class WorkQueue:
             lease = self._read_lease(job_id)
             if lease is not None and lease.worker == self.worker:
                 self._lease_path(job_id).unlink(missing_ok=True)
+                _telemetry.event("scheduler.release", job_id=job_id)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -557,6 +574,7 @@ def _scheduler_worker_main(
     compute_ranks: bool,
     lease_ttl: float,
     worker_index: int,
+    telemetry: "dict | None" = None,
 ) -> None:
     """Entry point of one scheduler worker: drain the shared queue.
 
@@ -567,6 +585,26 @@ def _scheduler_worker_main(
     between the two requeues a job whose record already exists, and the
     merge dedupes by job content hash.
     """
+    _telemetry.worker_configure(telemetry)
+    try:
+        with _telemetry.span("worker.run"):
+            _scheduler_worker_drain(
+                spec, queue_dir, shard_path, compute_ranks, lease_ttl,
+                worker_index,
+            )
+    finally:
+        _telemetry.shutdown()
+
+
+def _scheduler_worker_drain(
+    spec: EngineSpec,
+    queue_dir: str,
+    shard_path: str,
+    compute_ranks: bool,
+    lease_ttl: float,
+    worker_index: int,
+) -> None:
+    """The claim/run/complete loop of :func:`_scheduler_worker_main`."""
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     queue = WorkQueue.open(
@@ -656,6 +694,7 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
         compute_ranks: bool = True,
         mp_context: "str | None" = None,
         lease_ttl: "float | None" = None,
+        telemetry: "str | None" = None,
     ):
         super().__init__(
             graph,
@@ -665,6 +704,7 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
             checkpoint_path=checkpoint_path,
             compute_ranks=compute_ranks,
             mp_context=mp_context,
+            telemetry=telemetry,
         )
         self.lease_ttl = resolve_lease_ttl(lease_ttl)
         #: Names of workers that exited abnormally in the most recent
@@ -701,7 +741,13 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
         if pending:
             count = min(self.workers, len(pending))
             queue_dir = self._queue_dir(shard_dir)
-            drain_seconds = self._drain_queue(pending, count, shard_dir, queue_dir)
+            with _telemetry.span(
+                "executor.run", workers=count, jobs=len(jobs), resumed=resumed,
+                scheduler=True,
+            ):
+                drain_seconds = self._drain_queue(
+                    pending, count, shard_dir, queue_dir
+                )
             self.last_worker_stats = self._collect_stats(shard_dir, count)
             self.last_requeues = sum(
                 int(stats.get("steals", 0)) for stats in self.last_worker_stats
@@ -713,7 +759,8 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
                 for index in range(count)
                 if self._shard_path(shard_dir, index).exists()
             ]
-            self._collect(shard_dir, into=completed)
+            with _telemetry.span("executor.merge", shards=len(self.last_shards)):
+                self._collect(shard_dir, into=completed)
             missing = [job for job in pending if job.job_id not in completed]
             if missing:
                 dead = (
@@ -746,6 +793,9 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
             n=self.n,
             seconds=elapsed,
             resumed_jobs=resumed,
+            worker_stats=list(self.last_worker_stats),
+            dead_workers=tuple(self.last_dead_workers),
+            requeues=self.last_requeues,
         )
 
     def _queue_dir(self, shard_dir: Path) -> Path:
@@ -771,12 +821,15 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
         fails if jobs are actually missing afterwards.
         """
         shard_dir.mkdir(parents=True, exist_ok=True)
-        if self._graph_store is not None:
-            spec = EngineSpec.from_store(self._graph_store, kernels=self.kernels)
-        else:
-            spec = EngineSpec.from_graph(
-                self._original, backend=self.backend, kernels=self.kernels
-            )
+        with _telemetry.span("executor.spec", store=self._graph_store is not None):
+            if self._graph_store is not None:
+                spec = EngineSpec.from_store(
+                    self._graph_store, kernels=self.kernels
+                )
+            else:
+                spec = EngineSpec.from_graph(
+                    self._original, backend=self.backend, kernels=self.kernels
+                )
         # The queue is ephemeral coordination state: durable truth lives in
         # the shard checkpoints, so a previous (crashed) run's queue is
         # simply replaced.
@@ -785,33 +838,41 @@ class SchedulingCampaignExecutor(ParallelCampaignExecutor):
         WorkQueue.create(queue_dir, pending, lease_ttl=self.lease_ttl)
         drain_start = time.perf_counter()
         processes = []
-        for index in range(count):
-            process = self._mp.Process(
-                target=_scheduler_worker_main,
-                args=(
+        with _telemetry.span("executor.drain", workers=count):
+            for index in range(count):
+                args = (
                     spec,
                     str(queue_dir),
                     str(self._shard_path(shard_dir, index)),
                     self.compute_ranks,
                     self.lease_ttl,
                     index,
-                ),
-                name=f"scheduler-worker-{index}",
-            )
-            process.start()
-            processes.append(process)
-        try:
-            for process in processes:
-                process.join()
-        except BaseException:
-            # Parent interrupted: stop the workers; whatever they
-            # checkpointed stays on disk for the next resume.
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join()
-            raise
+                )
+                # Only extend the args tuple when tracing, so the worker
+                # entry point keeps its historical positional signature
+                # (chaos tests monkeypatch it) on untraced runs.
+                tspec = _telemetry.worker_spec(f"worker-{index}")
+                if tspec is not None:
+                    args += (tspec,)
+                process = self._mp.Process(
+                    target=_scheduler_worker_main,
+                    args=args,
+                    name=f"scheduler-worker-{index}",
+                )
+                process.start()
+                processes.append(process)
+            try:
+                for process in processes:
+                    process.join()
+            except BaseException:
+                # Parent interrupted: stop the workers; whatever they
+                # checkpointed stays on disk for the next resume.
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+                for process in processes:
+                    process.join()
+                raise
         self.last_dead_workers = [
             p.name for p in processes if p.exitcode != 0
         ]

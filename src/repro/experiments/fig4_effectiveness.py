@@ -166,6 +166,9 @@ def run(
                 "campaign_seconds": sweep.seconds,
                 "campaign_jobs": len(sweep),
                 "campaign_resumed_jobs": sweep.resumed_jobs,
+                "campaign_peak_rss_kb": sweep.peak_rss_kb,
+                "campaign_dead_workers": list(sweep.dead_workers),
+                "campaign_requeues": sweep.requeues,
                 "tau_mean": {
                     name: np.mean(np.array(rows), axis=0).tolist()
                     for name, rows in per_method.items()
@@ -212,4 +215,11 @@ def format_results(payload: dict) -> str:
                 ),
             )
         )
+        if panel.get("campaign_peak_rss_kb") or panel.get("campaign_requeues"):
+            blocks.append(
+                f"  run stats [{panel['panel']}]: "
+                f"peak worker RSS {panel['campaign_peak_rss_kb'] / 1024:.1f} MiB, "
+                f"requeues {panel['campaign_requeues']}, "
+                f"dead workers {panel['campaign_dead_workers'] or 'none'}"
+            )
     return "\n\n".join(blocks)

@@ -45,6 +45,12 @@ round-robin shards: identical results, better wall-clock on cost-skewed
 grids, and a killed worker's jobs are requeued after ``--lease-ttl``
 seconds instead of failing the sweep.
 
+``--telemetry DIR`` turns on :mod:`repro.telemetry` process-wide: the
+campaigns, executors, scheduler and kernels the drivers touch write a
+structured trace (spans, scheduler events, kernel counters) under DIR —
+inspect it afterwards with ``python -m repro.telemetry report DIR``.
+Results are bit-identical with or without it.
+
 Drivers that do not run attacks ignore these flags.
 """
 
@@ -209,6 +215,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--store-cache", type=Path, default=None,
                         help="graph-store cache directory (default: "
                              "$REPRO_STORE_CACHE or ./.repro-store-cache)")
+    parser.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                        help="write a structured trace (repro.telemetry "
+                             "spans/events/counters) under DIR; inspect "
+                             "afterwards with `python -m repro.telemetry "
+                             "report DIR` (default: $REPRO_TELEMETRY or "
+                             "off; results are bit-identical either way)")
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON/text dumps")
     args = parser.parse_args(argv)
 
@@ -222,28 +234,50 @@ def main(argv: "list[str] | None" = None) -> int:
         # one switch here beats threading the flag through every driver
         # signature (workers inherit it through the EngineSpec they get).
         set_default_kernels(args.kernels)
+    if args.telemetry is not None:
+        from repro import telemetry
+
+        # Same process-wide pattern as --kernels: the drivers' campaigns,
+        # executors and engines pick the active tracer up wherever they
+        # run, and executor children get their own sink via worker specs.
+        telemetry.configure(args.telemetry)
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
     if names == [None]:
         parser.error("provide --experiment NAME, --all or --list")
+    from repro import telemetry
+
     for name in names:
-        _, text = run_experiment(
-            name,
-            scale=_SCALES[args.scale],
-            seed=args.seed,
-            output_dir=args.output,
-            backend=args.backend,
-            candidates=args.candidates,
-            block_size=args.block_size,
-            block_seed=args.block_seed,
-            campaign_checkpoint=args.campaign_checkpoint,
-            workers=args.workers,
-            store_datasets=args.store_datasets,
-            store_cache=args.store_cache,
-            scheduler=args.scheduler,
-            lease_ttl=args.lease_ttl,
-        )
+        # One span per experiment even when the driver itself emits
+        # nothing (dense path, no campaign), so a --telemetry run always
+        # produces a trace to report on.
+        with telemetry.span("runner.experiment", experiment=name,
+                            scale=args.scale):
+            _, text = run_experiment(
+                name,
+                scale=_SCALES[args.scale],
+                seed=args.seed,
+                output_dir=args.output,
+                backend=args.backend,
+                candidates=args.candidates,
+                block_size=args.block_size,
+                block_seed=args.block_seed,
+                campaign_checkpoint=args.campaign_checkpoint,
+                workers=args.workers,
+                store_datasets=args.store_datasets,
+                store_cache=args.store_cache,
+                scheduler=args.scheduler,
+                lease_ttl=args.lease_ttl,
+            )
         print(text)
         print()
+    if args.telemetry is not None:
+        from repro import telemetry
+
+        telemetry.shutdown()
+        print(
+            f"telemetry trace: {args.telemetry} (inspect with "
+            f"`python -m repro.telemetry report {args.telemetry}`)"
+        )
     return 0
 
 

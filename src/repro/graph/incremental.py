@@ -49,9 +49,12 @@ override sets and the Δ-overlay) and never copied.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.graph.sparse import egonet_features_sparse, to_sparse
 from repro.kernels import kernel_table, resolve_kernels
 
@@ -277,6 +280,8 @@ class IncrementalEgonetFeatures:
         backend simply loops.
         """
         pairs = list(pairs)
+        tracer = _telemetry.active_tracer()
+        start_ns = time.perf_counter_ns() if tracer is not None else 0
         if self._ts is not None and len(pairs) > 1:
             arr = np.array(pairs, dtype=np.int64)
             u, v = arr[:, 0], arr[:, 1]
@@ -297,9 +302,15 @@ class IncrementalEgonetFeatures:
             self._prev_versions.extend(range(counter, counter + count - 1))
             self._version = counter + count - 1
             self._version_counter = counter + count
+            if tracer is not None:
+                tracer.count("kernels.toggle_batch", len(pairs),
+                             time.perf_counter_ns() - start_ns)
             return
         for u, v in pairs:
             self.flip(int(u), int(v))
+        if tracer is not None:
+            tracer.count("kernels.toggle_batch", len(pairs),
+                         time.perf_counter_ns() - start_ns)
 
     def rollback(self, count: int = 1) -> None:
         """Undo the last ``count`` flips exactly (reverse order, O(deg) each).

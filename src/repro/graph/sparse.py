@@ -15,9 +15,12 @@ verified bit-for-bit against the dense implementations in the tests.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.graph.graph import Graph
 from repro.oddball.regression import fit_power_law
 from repro.oddball.scores import score_from_features
@@ -106,8 +109,13 @@ def egonet_features_sparse(
     matrix = to_sparse(adjacency)
     n = matrix.shape[0]
     n_feature = np.asarray(matrix.sum(axis=1)).ravel()
+    tracer = _telemetry.active_tracer()
+    start_ns = time.perf_counter_ns() if tracer is not None else 0
     if resolve_kernels(kernels) == "compiled" and matrix.has_sorted_indices:
         triangles = kernel_table().triangle_counts(matrix)
+        if tracer is not None:
+            tracer.count("kernels.triangle_counts", 1,
+                         time.perf_counter_ns() - start_ns)
         return n_feature, n_feature + 0.5 * triangles
     triangles = np.empty(n, dtype=np.float64)
     # cumulative projected fill per row prefix; block boundaries are one
@@ -126,6 +134,9 @@ def egonet_features_sparse(
         two_paths = (block @ matrix).multiply(block)
         triangles[start:stop] = np.asarray(two_paths.sum(axis=1)).ravel()
         start = stop
+    if tracer is not None:
+        tracer.count("kernels.triangle_counts", 1,
+                     time.perf_counter_ns() - start_ns)
     e_feature = n_feature + 0.5 * triangles
     return n_feature, e_feature
 

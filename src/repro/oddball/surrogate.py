@@ -56,11 +56,13 @@ engine-parity suite in ``tests/oddball/test_engine.py``).
 from __future__ import annotations
 
 import abc
+import time
 from typing import NamedTuple, Sequence
 
 import numpy as np
 from scipy import sparse as _sparse
 
+from repro import telemetry as _telemetry
 from repro.autograd.ops import apply_pair_flips, binarize_ste, maximum, symmetric_from_upper
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.graph.features import egonet_features_tensor
@@ -1269,6 +1271,8 @@ class SparseSurrogateEngine(SurrogateEngine):
         # per-job fixed cost at campaign scale (|C| ≈ n per retarget).
         if rows.size == 0:
             return np.empty(0, dtype=np.float64)
+        tracer = _telemetry.active_tracer()
+        start_ns = time.perf_counter_ns() if tracer is not None else 0
         base, delta = self._features.csr_with_delta()
         n = self.n
         pair_keys = rows * n + cols
@@ -1302,6 +1306,9 @@ class SparseSurrogateEngine(SurrogateEngine):
                     idx = int(sorter[pos]) if sorter is not None else int(pos)
                     if pair_keys[idx] == key:
                         values[idx] = 1.0 if sign > 0 else 0.0
+        if tracer is not None:
+            tracer.count("kernels.pair_values", int(rows.size),
+                         time.perf_counter_ns() - start_ns)
         return values
 
     def _scatter(
@@ -1321,11 +1328,20 @@ class SparseSurrogateEngine(SurrogateEngine):
         (never produced by the engine's own materialisations) fall back to
         the reference path, which tolerates them.
         """
+        tracer = _telemetry.active_tracer()
+        start_ns = time.perf_counter_ns() if tracer is not None else 0
         if self._kt is not None and csr.has_sorted_indices:
-            return self._kt.scatter_pair_gradient(
+            gradient = self._kt.scatter_pair_gradient(
                 csr, d_n, d_e, rows, cols, delta=delta
             )
-        return _scatter_pair_gradient(csr, d_n, d_e, rows, cols, delta=delta)
+        else:
+            gradient = _scatter_pair_gradient(
+                csr, d_n, d_e, rows, cols, delta=delta
+            )
+        if tracer is not None:
+            tracer.count("kernels.scatter_gradient", int(rows.size),
+                         time.perf_counter_ns() - start_ns)
+        return gradient
 
     def current_loss(self) -> float:
         """Surrogate from the maintained features, in O(n)."""

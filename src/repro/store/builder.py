@@ -40,6 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.store.graphstore import (
     _DATA_DTYPE,
     MANIFEST_VERSION,
@@ -179,9 +180,12 @@ def build_store(
     path.mkdir(parents=True, exist_ok=True)
 
     start = time.perf_counter()
-    keys, planted = _generate_edge_keys(recipe)
-    nnz = _write_csr(path, recipe["nodes"], keys)
-    _write_features(path, recipe["nodes"], nnz)
+    with _telemetry.span(
+        "store.build", name=recipe["name"], nodes=int(recipe["nodes"])
+    ):
+        keys, planted = _generate_edge_keys(recipe)
+        nnz = _write_csr(path, recipe["nodes"], keys)
+        _write_features(path, recipe["nodes"], nnz)
     build_seconds = time.perf_counter() - start
 
     manifest = {

@@ -9,6 +9,8 @@ Usage::
     python -m repro.store campaign blogcatalog-full --workers 4 --scheduler
     python -m repro.store campaign blogcatalog-full --budget 5 \\
         --candidates block --block-size 65536 --block-seed 1
+    python -m repro.store campaign blogcatalog-full --workers 4 \\
+        --scheduler --telemetry traces/run1
 
 ``build`` constructs (or reopens, on a cache hit) the content-addressed
 store; ``info`` prints its manifest; ``recipe-hash`` prints only the digest
@@ -148,6 +150,7 @@ def _cmd_campaign(args) -> int:
         store, workers=args.workers, backend="sparse", kernels=args.kernels,
         checkpoint_path=args.checkpoint,
         scheduler=args.scheduler, lease_ttl=args.lease_ttl,
+        telemetry=args.telemetry,
     )
     start = time.perf_counter()
     result = campaign.run(jobs)
@@ -164,11 +167,22 @@ def _cmd_campaign(args) -> int:
             f"  target {target}: tau={outcome.score_decrease:.3f} "
             f"rank-shift={shift:+d} ({outcome.seconds:.2f}s)"
         )
-    stats = getattr(campaign, "last_worker_stats", None)
-    if stats:
-        rss = [s.get("max_rss_kb") for s in stats if s.get("max_rss_kb")]
-        if rss:
-            print(f"  peak worker RSS: {max(rss) / 1024:.0f} MiB")
+    if result.peak_rss_kb:
+        print(f"  peak worker RSS: {result.peak_rss_kb / 1024:.0f} MiB")
+    if result.requeues:
+        print(f"  requeues: {result.requeues}")
+    if result.dead_workers:
+        print(
+            f"  dead workers (jobs recovered): {list(result.dead_workers)}"
+        )
+    if args.telemetry is not None:
+        from repro import telemetry as _telemetry
+
+        _telemetry.shutdown()
+        print(
+            f"  telemetry: {args.telemetry} (inspect with "
+            f"`python -m repro.telemetry report {args.telemetry}`)"
+        )
     return 0
 
 
@@ -226,6 +240,12 @@ def main(argv: "list[str] | None" = None) -> int:
     campaign.add_argument("--lease-ttl", type=float, default=None,
                           help="scheduler lease TTL in seconds (default: "
                                "$REPRO_LEASE_TTL or 30)")
+    campaign.add_argument("--telemetry", type=Path, default=None,
+                          metavar="DIR",
+                          help="write a structured trace (spans/events/"
+                               "counters) under DIR; inspect afterwards "
+                               "with `python -m repro.telemetry report DIR`"
+                               " (default: $REPRO_TELEMETRY or off)")
     campaign.set_defaults(handler=_cmd_campaign)
 
     args = parser.parse_args(argv)

@@ -50,6 +50,8 @@ from pathlib import Path
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
+
 __all__ = ["GraphStore", "MANIFEST_VERSION", "index_dtype", "recipe_hash"]
 
 #: Manifest schema version; bump on any incompatible layout change.
@@ -143,6 +145,13 @@ class GraphStore:
         store._check_structure()
         if verify:
             store._verify_adjacency()
+        _telemetry.event(
+            "store.open",
+            name=store.name,
+            n=store.number_of_nodes,
+            nnz=store.nnz,
+            verified=bool(verify),
+        )
         return store
 
     def _check_structure(self) -> None:
@@ -266,6 +275,7 @@ class GraphStore:
                 # cost at full Blogcatalog scale.
                 matrix._repro_egonet_features = features
             self._csr = matrix
+            _telemetry.event("store.mmap", name=self.name, nnz=self.nnz)
         return self._csr
 
     def features(self) -> "tuple[np.ndarray, np.ndarray] | None":

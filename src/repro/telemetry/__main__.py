@@ -1,0 +1,58 @@
+"""CLI: ``python -m repro.telemetry report TRACE_DIR``.
+
+Aggregates a trace directory (the per-worker ``trace-*.jsonl`` sinks a
+traced run wrote) into per-phase/per-worker/per-job breakdowns plus a
+critical-path walk, and optionally exports a Chrome ``trace_event`` JSON
+file for ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.telemetry.report import chrome_trace, render_report, summarize
+from repro.telemetry.sink import load_trace_dir
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect repro.telemetry trace directories.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    report = commands.add_parser(
+        "report",
+        help="aggregate a trace directory into breakdown tables",
+    )
+    report.add_argument(
+        "trace_dir",
+        help="directory holding per-worker trace-*.jsonl sink files",
+    )
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="how many of the slowest jobs to list (default: 10)",
+    )
+    report.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="also write a Chrome trace_event JSON export to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    events = load_trace_dir(args.trace_dir)
+    if not events:
+        print(f"no telemetry events under {args.trace_dir}")
+        return 1
+    print(render_report(summarize(events), top=args.top))
+    if args.chrome:
+        path = Path(args.chrome)
+        path.write_text(json.dumps(chrome_trace(events)) + "\n")
+        print(f"\nchrome trace written to {path} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,311 @@
+"""Aggregate a telemetry event stream into reports and Chrome traces.
+
+Pure functions over the record list :func:`~repro.telemetry.sink.load_trace_dir`
+returns — no I/O, no clocks — so the CLI, the tests (golden output) and
+the benchmarks all render the same trace identically.
+
+Three views:
+
+* :func:`summarize` — per-phase (span name), per-worker and per-job
+  breakdowns, aggregated counters, scheduler event tallies, and a
+  critical-path walk (root span → latest-finishing child, recursively);
+* :func:`render_report` — the text report ``python -m repro.telemetry
+  report`` prints;
+* :func:`chrome_trace` — a Chrome ``trace_event`` JSON object
+  (load in ``chrome://tracing`` or https://ui.perfetto.dev): spans become
+  complete ``"X"`` slices on one thread row per worker, instant events
+  become ``"i"`` marks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["chrome_trace", "render_report", "summarize"]
+
+_MS = 1e6   # ns per millisecond
+_S = 1e9    # ns per second
+
+
+def _span_end(record: dict) -> int:
+    return int(record["start_ns"]) + int(record["dur_ns"])
+
+
+def summarize(events: "list[dict]") -> dict:
+    """Aggregate an event stream into the report's breakdown tables."""
+    spans = [e for e in events if e.get("kind") == "span"]
+    instants = [e for e in events if e.get("kind") == "event"]
+    counter_records = [e for e in events if e.get("kind") == "counter"]
+
+    # Per-phase: group spans by name.
+    phases: "dict[str, dict]" = {}
+    for record in spans:
+        entry = phases.setdefault(
+            record["name"], {"count": 0, "total_ns": 0, "max_ns": 0}
+        )
+        entry["count"] += 1
+        entry["total_ns"] += int(record["dur_ns"])
+        entry["max_ns"] = max(entry["max_ns"], int(record["dur_ns"]))
+    phase_rows = [
+        {
+            "name": name,
+            "count": entry["count"],
+            "total_s": entry["total_ns"] / _S,
+            "mean_ms": entry["total_ns"] / entry["count"] / _MS,
+            "max_ms": entry["max_ns"] / _MS,
+        }
+        # Alphabetical tiebreak keeps equal-duration rows deterministic.
+        for name, entry in sorted(
+            phases.items(), key=lambda item: (-item[1]["total_ns"], item[0])
+        )
+    ]
+
+    # Per-worker: span volume, job spans, and the worker's wall extent.
+    workers: "dict[str, dict]" = {}
+    for record in spans + instants:
+        entry = workers.setdefault(
+            record.get("worker", "?"),
+            {"spans": 0, "events": 0, "jobs": 0, "job_ns": 0,
+             "first_ns": None, "last_ns": None},
+        )
+        if record.get("kind") == "span":
+            entry["spans"] += 1
+            start, end = int(record["start_ns"]), _span_end(record)
+            if record["name"] == "job":
+                entry["jobs"] += 1
+                entry["job_ns"] += int(record["dur_ns"])
+        else:
+            entry["events"] += 1
+            start = end = int(record["ns"])
+        entry["first_ns"] = (
+            start if entry["first_ns"] is None else min(entry["first_ns"], start)
+        )
+        entry["last_ns"] = (
+            end if entry["last_ns"] is None else max(entry["last_ns"], end)
+        )
+    worker_rows = [
+        {
+            "worker": worker,
+            "spans": entry["spans"],
+            "events": entry["events"],
+            "jobs": entry["jobs"],
+            "job_s": entry["job_ns"] / _S,
+            "wall_s": (entry["last_ns"] - entry["first_ns"]) / _S,
+        }
+        for worker, entry in sorted(workers.items())
+    ]
+
+    # Per-job: the slowest "job" spans, labelled from their attributes.
+    job_rows = [
+        {
+            "job_id": str(record.get("attrs", {}).get("job_id", "?")),
+            "attack": str(record.get("attrs", {}).get("attack", "?")),
+            "worker": record.get("worker", "?"),
+            "seconds": int(record["dur_ns"]) / _S,
+        }
+        for record in sorted(
+            (r for r in spans if r["name"] == "job"),
+            key=lambda r: (-int(r["dur_ns"]),
+                           str(r.get("attrs", {}).get("job_id", ""))),
+        )
+    ]
+
+    # Counters: sum repeated flushes (one per root-span close per worker).
+    counters: "dict[str, dict]" = {}
+    for record in counter_records:
+        entry = counters.setdefault(record["name"], {"count": 0, "total_ns": 0})
+        entry["count"] += int(record.get("count", 0))
+        entry["total_ns"] += int(record.get("total_ns", 0))
+    counter_rows = [
+        {"name": name, "count": entry["count"],
+         "total_ms": entry["total_ns"] / _MS}
+        for name, entry in sorted(counters.items())
+    ]
+
+    # Instant events tallied by name (the scheduler protocol view).
+    event_counts: "dict[str, int]" = {}
+    for record in instants:
+        event_counts[record["name"]] = event_counts.get(record["name"], 0) + 1
+    event_rows = [
+        {"name": name, "count": count}
+        for name, count in sorted(event_counts.items())
+    ]
+
+    return {
+        "spans": len(spans),
+        "events": len(instants),
+        "counter_records": len(counter_records),
+        "phases": phase_rows,
+        "workers": worker_rows,
+        "jobs": job_rows,
+        "counters": counter_rows,
+        "event_counts": event_rows,
+        "critical_path": _critical_path(spans),
+    }
+
+
+def _critical_path(spans: "list[dict]") -> "list[dict]":
+    """Root-to-leaf chain following the latest-finishing child at each step.
+
+    The classic fork/join critical path: at every span, whichever child
+    finished *last* is what the parent actually waited for.  Roots are
+    spans whose parent is absent from the trace (``None``, or written by
+    a process that died before closing it); the walk starts from the
+    longest root.
+    """
+    by_id = {record["span"]: record for record in spans}
+    children: "dict[str, list[dict]]" = {}
+    roots: "list[dict]" = []
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+    if not roots:
+        return []
+    current = max(roots, key=lambda r: (int(r["dur_ns"]), r["span"]))
+    path = []
+    while current is not None:
+        path.append({
+            "name": current["name"],
+            "worker": current.get("worker", "?"),
+            "seconds": int(current["dur_ns"]) / _S,
+        })
+        branches = children.get(current["span"], [])
+        current = (
+            max(branches, key=lambda r: (_span_end(r), r["span"]))
+            if branches else None
+        )
+    return path
+
+
+def render_report(summary: dict, top: int = 10) -> str:
+    """The text report: one table per :func:`summarize` section."""
+    lines: "list[str]" = []
+    lines.append(
+        f"telemetry report: {summary['spans']} spans, "
+        f"{summary['events']} events, "
+        f"{summary['counter_records']} counter records"
+    )
+
+    lines.append("")
+    lines.append("per-phase (by span name):")
+    lines.append(
+        f"  {'phase':<24} {'count':>7} {'total s':>10} {'mean ms':>10} "
+        f"{'max ms':>10}"
+    )
+    for row in summary["phases"]:
+        lines.append(
+            f"  {row['name']:<24} {row['count']:>7} {row['total_s']:>10.3f} "
+            f"{row['mean_ms']:>10.2f} {row['max_ms']:>10.2f}"
+        )
+
+    lines.append("")
+    lines.append("per-worker:")
+    lines.append(
+        f"  {'worker':<24} {'spans':>7} {'events':>7} {'jobs':>6} "
+        f"{'job s':>9} {'wall s':>9}"
+    )
+    for row in summary["workers"]:
+        lines.append(
+            f"  {row['worker']:<24} {row['spans']:>7} {row['events']:>7} "
+            f"{row['jobs']:>6} {row['job_s']:>9.3f} {row['wall_s']:>9.3f}"
+        )
+
+    if summary["jobs"]:
+        lines.append("")
+        lines.append(f"slowest jobs (top {min(top, len(summary['jobs']))}):")
+        lines.append(
+            f"  {'job id':<18} {'attack':<18} {'worker':<18} {'seconds':>9}"
+        )
+        for row in summary["jobs"][:top]:
+            lines.append(
+                f"  {row['job_id']:<18} {row['attack']:<18} "
+                f"{row['worker']:<18} {row['seconds']:>9.3f}"
+            )
+
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        lines.append(f"  {'counter':<28} {'count':>10} {'total ms':>11}")
+        for row in summary["counters"]:
+            lines.append(
+                f"  {row['name']:<28} {row['count']:>10} "
+                f"{row['total_ms']:>11.2f}"
+            )
+
+    if summary["event_counts"]:
+        lines.append("")
+        lines.append("events:")
+        lines.append(f"  {'event':<28} {'count':>10}")
+        for row in summary["event_counts"]:
+            lines.append(f"  {row['name']:<28} {row['count']:>10}")
+
+    if summary["critical_path"]:
+        lines.append("")
+        lines.append("critical path (longest root span, latest-finishing child):")
+        for depth, row in enumerate(summary["critical_path"]):
+            indent = "  " * depth
+            lines.append(
+                f"  {indent}{row['name']}  {row['seconds']:.3f}s  "
+                f"[{row['worker']}]"
+            )
+
+    return "\n".join(lines)
+
+
+def chrome_trace(events: "list[dict]") -> dict:
+    """A Chrome ``trace_event`` JSON object for the whole event stream.
+
+    One process, one thread row per worker (named via ``"M"`` metadata
+    records).  Timestamps are microseconds rebased to the earliest record
+    so the viewer opens at t=0 instead of hours into monotonic time.
+    """
+    workers = sorted({
+        record.get("worker", "?")
+        for record in events
+        if record.get("kind") in ("span", "event")
+    })
+    tids = {worker: index + 1 for index, worker in enumerate(workers)}
+    starts = [
+        int(record["start_ns"]) if record.get("kind") == "span"
+        else int(record["ns"])
+        for record in events
+        if record.get("kind") in ("span", "event")
+    ]
+    base_ns = min(starts) if starts else 0
+    trace_events: "list[dict]" = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tids[worker],
+            "args": {"name": worker},
+        }
+        for worker in workers
+    ]
+    for record in events:
+        kind = record.get("kind")
+        worker = record.get("worker", "?")
+        if kind == "span":
+            trace_events.append({
+                "name": record["name"],
+                "cat": "span",
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[worker],
+                "ts": (int(record["start_ns"]) - base_ns) / 1e3,
+                "dur": int(record["dur_ns"]) / 1e3,
+                "args": dict(record.get("attrs", {})),
+            })
+        elif kind == "event":
+            trace_events.append({
+                "name": record["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tids[worker],
+                "ts": (int(record["ns"]) - base_ns) / 1e3,
+                "args": dict(record.get("attrs", {})),
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -1,0 +1,193 @@
+"""Torn-write-tolerant JSONL telemetry sinks (one file per worker).
+
+A sink is an append-only JSONL file: one header line naming the format
+version and the writing worker, then one JSON record per line.  The
+format deliberately mirrors the campaign layer's
+:class:`~repro.attacks.campaign.CheckpointStore` durability contract —
+every record is durable the moment its line is flushed, a ``kill -9``
+can tear at most the trailing line, and the loader skips a torn record
+with a warning instead of failing the whole trace.
+
+Workers write *separate* files (``trace-<worker>.jsonl``) inside one
+trace directory, so no cross-process write coordination is ever needed;
+:func:`load_trace_dir` merges them at read time into one
+timestamp-ordered event stream.  Timestamps are ``perf_counter_ns``
+readings — CLOCK_MONOTONIC is machine-wide on Linux (the same property
+the scheduler's lease deadlines rely on), so records from different
+processes on one host order correctly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_VERSION",
+    "TelemetrySink",
+    "load_events",
+    "load_trace_dir",
+    "sink_path",
+]
+
+_log = get_logger("telemetry.sink")
+
+TELEMETRY_FORMAT = "repro-telemetry"
+TELEMETRY_VERSION = 1
+
+#: Sink file naming inside a trace directory: ``trace-<worker>.jsonl``.
+SINK_PREFIX = "trace-"
+SINK_SUFFIX = ".jsonl"
+
+
+def sink_path(directory: "Path | str", worker: str) -> Path:
+    """The sink file for ``worker`` inside trace directory ``directory``."""
+    return Path(directory) / f"{SINK_PREFIX}{worker}{SINK_SUFFIX}"
+
+
+class TelemetrySink:
+    """One append-only JSONL telemetry file.
+
+    The handle stays open across appends (telemetry can emit thousands of
+    records per run; reopening per record would dominate the overhead
+    budget) and every record is flushed immediately, so a killed process
+    loses at most the record it was writing.  Appends are serialised by a
+    lock because the scheduler's :class:`~repro.attacks.scheduler.LeaseHeartbeat`
+    thread emits events concurrently with the worker's main thread.
+    """
+
+    def __init__(self, path: "Path | str", worker: str = "main"):
+        self.path = Path(path)
+        self.worker = str(worker)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def _open(self) -> None:
+        """Create/repair the file and position the handle for clean appends."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            header = {
+                "format": TELEMETRY_FORMAT,
+                "version": TELEMETRY_VERSION,
+                "worker": self.worker,
+            }
+            self.path.write_text(json.dumps(header, sort_keys=True) + "\n")
+        # A hard kill can leave the previous append torn WITHOUT a trailing
+        # newline; appending straight after it would glue two records into
+        # one unparsable line (the CheckpointStore.append failure mode).
+        # Start a fresh line so a tear costs exactly the torn record.
+        with self.path.open("rb") as reader:
+            reader.seek(-1, 2)
+            torn = reader.read(1) != b"\n"
+        self._handle = self.path.open("ab")
+        if torn:
+            self._handle.write(b"\n")
+
+    def append(self, record: dict) -> None:
+        """Append one JSON record (opens the file + header on first use)."""
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        with self._lock:
+            if self._handle is None:
+                self._open()
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying handle (idempotent; reopens on next append)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def load_events(path: "Path | str") -> "list[dict]":
+    """Records of one sink file, header excluded, torn lines skipped.
+
+    Mirrors :meth:`CheckpointStore.load` resilience: a record torn by a
+    hard kill — unparseable JSON, or JSON that is not a telemetry record —
+    is skipped with a warning; a file holding only a torn header loads as
+    empty.  Every returned record carries a ``worker`` key (defaulted from
+    the header for old records).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text().splitlines()
+    if not lines:
+        return []
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        if not any(line.strip() for line in lines[1:]):
+            _log.warning(
+                "telemetry sink %s has a torn header and no records; "
+                "treating it as empty", path,
+            )
+            return []
+        raise ValueError(
+            f"telemetry sink {path} has a corrupt header; delete it to "
+            "start a fresh trace"
+        ) from None
+    if header.get("format") != TELEMETRY_FORMAT:
+        raise ValueError(
+            f"{path} is not a telemetry sink (format "
+            f"{header.get('format')!r})"
+        )
+    if header.get("version") != TELEMETRY_VERSION:
+        raise ValueError(
+            f"telemetry sink {path} has unsupported version "
+            f"{header.get('version')!r}"
+        )
+    worker = str(header.get("worker", path.stem))
+    events: "list[dict]" = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # a record torn by a hard kill — appends after a tear start a
+            # fresh line, so only the torn record itself is lost
+            _log.warning(
+                "telemetry sink %s has a truncated record; skipping it", path,
+            )
+            continue
+        if not isinstance(record, dict) or "kind" not in record:
+            _log.warning(
+                "telemetry sink %s has a malformed record; skipping it", path,
+            )
+            continue
+        record.setdefault("worker", worker)
+        events.append(record)
+    return events
+
+
+def load_trace_dir(directory: "Path | str") -> "list[dict]":
+    """Merge every per-worker sink in a trace directory, timestamp-ordered.
+
+    This is the cross-process merge: each worker wrote its own file, all
+    timestamps came from the machine-wide monotonic clock, so a plain sort
+    interleaves them into one coherent timeline.  Missing or torn files
+    degrade per-record, never per-trace — a SIGKILL'd worker's sink
+    contributes everything it flushed before dying.
+    """
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    events: "list[dict]" = []
+    for path in sorted(directory.glob(f"{SINK_PREFIX}*{SINK_SUFFIX}")):
+        events.extend(load_events(path))
+    events.sort(key=_event_ns)
+    return events
+
+
+def _event_ns(record: dict) -> int:
+    """Sort key: a record's monotonic timestamp in nanoseconds."""
+    if "start_ns" in record:
+        return int(record["start_ns"])
+    return int(record.get("ns", 0))

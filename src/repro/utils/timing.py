@@ -1,4 +1,11 @@
-"""Wall-clock timing helpers used by the experiment drivers."""
+"""Wall-clock timing helpers used by the experiment drivers.
+
+When :mod:`repro.telemetry` is active, every labelled :class:`Timer`
+additionally lands in the trace as a span (recorded at exit through
+:meth:`~repro.telemetry.Tracer.record_span`, parented to whatever span
+is open on the calling thread); otherwise the behaviour is unchanged —
+one DEBUG log line per labelled timer.
+"""
 
 from __future__ import annotations
 
@@ -25,19 +32,31 @@ class Timer:
         self.label = label
         self.start = 0.0
         self.elapsed = 0.0
+        self._start_ns = 0
 
     def __enter__(self) -> "Timer":
         self.start = time.perf_counter()
+        self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc) -> None:
+        end_ns = time.perf_counter_ns()
         self.elapsed = time.perf_counter() - self.start
         if self.label:
             _log.debug("%s took %.3fs", self.label, self.elapsed)
+            # Imported lazily: repro.telemetry depends on repro.utils, so a
+            # module-level import here would be circular.
+            from repro import telemetry
+
+            tracer = telemetry.active_tracer()
+            if tracer is not None:
+                tracer.record_span(
+                    self.label, self._start_ns, end_ns - self._start_ns
+                )
 
 
 def timed(fn: Callable[..., T]) -> Callable[..., T]:
-    """Decorator logging the wall-clock duration of each call at DEBUG."""
+    """Decorator logging (and, when telemetry is on, tracing) each call."""
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):

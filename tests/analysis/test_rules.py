@@ -112,6 +112,13 @@ class TestScoping:
             "checkpoint-json-purity"
         ].scope
 
+    def test_json_purity_scope_covers_telemetry(self):
+        # trace sinks are merged across processes and golden-compared, so
+        # their records must stay JSON-pure exactly like checkpoint lines
+        assert "telemetry/*.py" in RULE_REGISTRY[
+            "checkpoint-json-purity"
+        ].scope
+
     def test_unparseable_file_reported_not_crashed(self, tmp_path):
         broken = tmp_path / "attacks" / "broken.py"
         broken.parent.mkdir()

@@ -1,0 +1,28 @@
+"""Telemetry-suite fixtures: every test starts with a clean tracer state.
+
+The tracer configuration is process-global (module globals in
+``repro.telemetry.tracer``), so tests must not leak an active tracer —
+or a resolved-off decision — into each other.  The autouse fixture
+clears the environment override and resets the resolution state on both
+sides of every test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import tracer as tracer_module
+
+
+def _reset() -> None:
+    tracer_module.shutdown()
+    tracer_module._RESOLVED = False
+    tracer_module._OWNER_PID = None
+
+
+@pytest.fixture(autouse=True)
+def isolated_telemetry(monkeypatch):
+    monkeypatch.delenv(tracer_module.TELEMETRY_ENV, raising=False)
+    _reset()
+    yield
+    _reset()

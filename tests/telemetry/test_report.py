@@ -1,0 +1,161 @@
+"""Report aggregation goldens: summarize, render_report, chrome_trace, CLI.
+
+The inputs are synthetic traces with fixed nanosecond timestamps, so the
+aggregation output is deterministic text — golden-comparable without
+normalisation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import TelemetrySink, load_trace_dir, sink_path
+from repro.telemetry.__main__ import main as telemetry_main
+from repro.telemetry.report import chrome_trace, render_report, summarize
+
+MS = 1_000_000
+
+
+def _span(worker, span, parent, name, start_ms, dur_ms, **attrs):
+    return {
+        "kind": "span", "name": name, "trace": "t0", "span": span,
+        "parent": parent, "worker": worker, "start_ns": start_ms * MS,
+        "dur_ns": dur_ms * MS, "attrs": attrs,
+    }
+
+
+def _event(worker, name, at_ms, **attrs):
+    return {
+        "kind": "event", "name": name, "trace": "t0", "worker": worker,
+        "ns": at_ms * MS, "attrs": attrs,
+    }
+
+
+def _counter(worker, name, count, total_ms):
+    return {
+        "kind": "counter", "name": name, "trace": "t0", "worker": worker,
+        "count": count, "total_ns": total_ms * MS,
+    }
+
+
+def synthetic_trace(directory):
+    """A 2-worker campaign shape: executor drain, one job per worker."""
+    main = TelemetrySink(sink_path(directory, "main"), worker="main")
+    main.append(_span("main", "main:2", "main:1", "executor.drain", 10, 100))
+    main.append(_span("main", "main:1", None, "executor.run", 5, 110))
+    w0 = TelemetrySink(sink_path(directory, "worker-0"), worker="worker-0")
+    w0.append(_event("worker-0", "scheduler.claim", 21, job_id="j0"))
+    w0.append(_span("worker-0", "worker-0:2", "worker-0:1", "job", 20, 60,
+                    job_id="j0", attack="gradmaxsearch", budget=3))
+    w0.append(_span("worker-0", "worker-0:1", "main:2", "worker.run", 15, 90))
+    w0.append(_counter("worker-0", "kernels.toggle_batch", 40, 12))
+    w1 = TelemetrySink(sink_path(directory, "worker-1"), worker="worker-1")
+    w1.append(_event("worker-1", "scheduler.claim", 26, job_id="j1"))
+    w1.append(_span("worker-1", "worker-1:2", "worker-1:1", "job", 25, 30,
+                    job_id="j1", attack="gradmaxsearch", budget=3))
+    w1.append(_span("worker-1", "worker-1:1", "main:2", "worker.run", 18, 45))
+    w1.append(_counter("worker-1", "kernels.toggle_batch", 10, 3))
+    for sink in (main, w0, w1):
+        sink.close()
+
+
+class TestSummarize:
+    def test_counts_and_phases(self, tmp_path):
+        synthetic_trace(tmp_path)
+        summary = summarize(load_trace_dir(tmp_path))
+        assert summary["spans"] == 6
+        assert summary["events"] == 2
+        assert summary["counter_records"] == 2
+        phases = {row["name"]: row for row in summary["phases"]}
+        assert phases["job"]["count"] == 2
+        assert phases["job"]["max_ms"] == 60.0
+        assert phases["executor.run"]["total_s"] == 0.11
+
+    def test_workers_and_jobs(self, tmp_path):
+        synthetic_trace(tmp_path)
+        summary = summarize(load_trace_dir(tmp_path))
+        workers = {row["worker"]: row for row in summary["workers"]}
+        assert workers["worker-0"]["jobs"] == 1
+        assert workers["worker-0"]["events"] == 1
+        jobs = summary["jobs"]
+        assert [j["job_id"] for j in jobs] == ["j0", "j1"]  # by -duration
+        assert jobs[0]["worker"] == "worker-0"
+
+    def test_counters_summed_across_workers(self, tmp_path):
+        synthetic_trace(tmp_path)
+        summary = summarize(load_trace_dir(tmp_path))
+        (row,) = summary["counters"]
+        assert row["name"] == "kernels.toggle_batch"
+        assert row["count"] == 50
+        assert row["total_ms"] == 15.0
+
+    def test_critical_path_crosses_processes(self, tmp_path):
+        synthetic_trace(tmp_path)
+        summary = summarize(load_trace_dir(tmp_path))
+        path = [step["name"] for step in summary["critical_path"]]
+        # main's executor spans, then the latest-finishing worker chain
+        assert path == ["executor.run", "executor.drain", "worker.run", "job"]
+        assert summary["critical_path"][2]["worker"] == "worker-0"
+
+
+class TestRender:
+    def test_report_sections_render(self, tmp_path):
+        synthetic_trace(tmp_path)
+        text = render_report(summarize(load_trace_dir(tmp_path)))
+        assert "telemetry report: 6 spans, 2 events, 2 counter records" in text
+        assert "per-phase (by span name):" in text
+        assert "per-worker:" in text
+        assert "slowest jobs" in text
+        assert "counters:" in text
+        assert "critical path" in text
+        # the critical path renders as an indented tree
+        assert "\n    executor.drain" in text
+        assert "\n      worker.run" in text
+
+
+class TestChromeTrace:
+    def test_export_shape(self, tmp_path):
+        synthetic_trace(tmp_path)
+        trace = chrome_trace(load_trace_dir(tmp_path))
+        assert trace["displayTimeUnit"] == "ms"
+        kinds = {}
+        for entry in trace["traceEvents"]:
+            kinds[entry["ph"]] = kinds.get(entry["ph"], 0) + 1
+        assert kinds == {"M": 3, "X": 6, "i": 2}
+        # timestamps rebase to the earliest record at 0, in microseconds
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        run = next(e for e in xs if e["name"] == "executor.run")
+        assert run["dur"] == 110_000.0
+        # one tid per worker, named through metadata records
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"] if e["ph"] == "M"
+        }
+        assert sorted(names.values()) == ["main", "worker-0", "worker-1"]
+
+    def test_export_is_json_serialisable(self, tmp_path):
+        synthetic_trace(tmp_path)
+        json.dumps(chrome_trace(load_trace_dir(tmp_path)))
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        synthetic_trace(tmp_path)
+        out_json = tmp_path / "chrome.json"
+        code = telemetry_main(
+            ["report", str(tmp_path), "--top", "1", "--chrome", str(out_json)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry report: 6 spans" in out
+        assert "slowest jobs (top 1):" in out
+        assert "j0" in out and "j1" not in out.split("counters:")[0]
+        assert "chrome trace written" in out
+        exported = json.loads(out_json.read_text())
+        assert len(exported["traceEvents"]) == 11
+
+    def test_empty_dir_fails_cleanly(self, tmp_path, capsys):
+        code = telemetry_main(["report", str(tmp_path)])
+        assert code == 1
+        assert "no telemetry events" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""TelemetrySink durability: JSONL roundtrip and torn-write tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TELEMETRY_FORMAT,
+    TELEMETRY_VERSION,
+    TelemetrySink,
+    load_events,
+    load_trace_dir,
+    sink_path,
+)
+
+
+def _record(name: str, ns: int = 0) -> dict:
+    return {"kind": "event", "name": name, "trace": "t", "ns": ns, "attrs": {}}
+
+
+class TestRoundtrip:
+    def test_append_then_load(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        sink = TelemetrySink(path, worker="w0")
+        sink.append(_record("a", 1))
+        sink.append(_record("b", 2))
+        sink.close()
+        events = load_events(path)
+        assert [e["name"] for e in events] == ["a", "b"]
+        # worker is defaulted from the header for records lacking one
+        assert all(e["worker"] == "w0" for e in events)
+
+    def test_header_written_once(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        sink = TelemetrySink(path, worker="w0")
+        sink.append(_record("a"))
+        sink.close()
+        # reopening the same file appends, never re-writes the header
+        again = TelemetrySink(path, worker="w0")
+        again.append(_record("b"))
+        again.close()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "format": TELEMETRY_FORMAT,
+            "version": TELEMETRY_VERSION,
+            "worker": "w0",
+        }
+        assert len(lines) == 3
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_events(tmp_path / "trace-none.jsonl") == []
+        assert load_trace_dir(tmp_path / "nowhere") == []
+
+    def test_trace_dir_merge_orders_by_timestamp(self, tmp_path):
+        a = TelemetrySink(sink_path(tmp_path, "a"), worker="a")
+        b = TelemetrySink(sink_path(tmp_path, "b"), worker="b")
+        a.append(_record("third", 30))
+        b.append(_record("first", 10))
+        a.append(_record("second", 20))
+        a.close()
+        b.close()
+        merged = load_trace_dir(tmp_path)
+        assert [e["name"] for e in merged] == ["first", "second", "third"]
+
+
+class TestTornWrites:
+    def test_truncated_trailing_record_is_skipped(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        sink = TelemetrySink(path, worker="w0")
+        sink.append(_record("kept"))
+        sink.append(_record("torn"))
+        sink.close()
+        # Tear mid-record, exactly what a hard kill mid-write leaves.
+        data = path.read_bytes()
+        path.write_bytes(data[:-9])
+        events = load_events(path)
+        assert [e["name"] for e in events] == ["kept"]
+
+    def test_append_after_tear_starts_a_fresh_line(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        sink = TelemetrySink(path, worker="w0")
+        sink.append(_record("kept"))
+        sink.append(_record("torn"))
+        sink.close()
+        path.write_bytes(path.read_bytes()[:-9])
+        repaired = TelemetrySink(path, worker="w0")
+        repaired.append(_record("after"))
+        repaired.close()
+        # the new record must not be glued onto the torn line
+        assert [e["name"] for e in load_events(path)] == ["kept", "after"]
+
+    def test_torn_header_only_loads_empty(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        path.write_text('{"format": "repro-telem')
+        assert load_events(path) == []
+
+    def test_corrupt_header_with_records_raises(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        path.write_text(
+            '{"broken\n' + json.dumps(_record("a")) + "\n"
+        )
+        with pytest.raises(ValueError, match="corrupt header"):
+            load_events(path)
+
+    def test_malformed_record_is_skipped(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        sink = TelemetrySink(path, worker="w0")
+        sink.append(_record("good"))
+        sink.close()
+        with path.open("a") as handle:
+            handle.write('["not", "a", "record"]\n')
+            handle.write('{"no_kind": true}\n')
+        assert [e["name"] for e in load_events(path)] == ["good"]
+
+
+class TestHeaderValidation:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        path.write_text('{"format": "other", "version": 1}\n')
+        with pytest.raises(ValueError, match="not a telemetry sink"):
+            load_events(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = sink_path(tmp_path, "w0")
+        header = {"format": TELEMETRY_FORMAT, "version": 999, "worker": "w"}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="unsupported version"):
+            load_events(path)
